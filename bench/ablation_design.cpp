@@ -1,0 +1,160 @@
+// Ablations of the library's design choices (DESIGN.md section 5):
+//
+//  A. Greedy deletion tie-break: Algorithm 1's "remove the i-th row" is
+//     ambiguous for a symmetric correlation matrix; we delete the
+//     smaller-norm member of the correlated pair. Quantify vs the naive
+//     reading.
+//  B. PCA training backend: snapshot-Gram (exact, default) vs matrix-free
+//     orthogonal iteration (approximate) — eigenvalue agreement and time.
+//  C. Training-set subsampling: how far can the design-time ensemble be
+//     strided before the basis degrades?
+//  D. Temporal generalization: train on the first 80% of the trace,
+//     evaluate on the unseen last 20%.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/allocation.h"
+#include "core/metrics.h"
+#include "numerics/stats.h"
+#include "core/order_selection.h"
+#include "io/table.h"
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eigenmaps;
+  std::printf("== Ablations of design choices ==\n");
+  const core::Experiment e = bench::load_paper_experiment(argc, argv);
+
+  // --- A: greedy tie-break ---------------------------------------------
+  std::printf("\n[A] greedy deletion tie-break (norm-aware vs naive)\n");
+  io::Table tie({"M", "cond_norm_aware", "cond_naive", "MSE_norm_aware",
+                 "MSE_naive"});
+  for (std::size_t m : {8u, 16u, 24u, 32u}) {
+    auto evaluate = [&](bool norm_tiebreak, double* cond_out) {
+      core::GreedyOptions options;
+      options.norm_tiebreak = norm_tiebreak;
+      core::SensorLocations sensors;
+      std::size_t k_alloc = m;
+      for (; k_alloc >= 1; --k_alloc) {
+        try {
+          sensors = core::allocate_greedy(e.eigenmaps_basis(), k_alloc, m,
+                                          nullptr, options);
+          break;
+        } catch (const std::invalid_argument&) {
+        }
+      }
+      const core::OrderSelection sel =
+          core::select_order(e.eigenmaps_basis(), sensors, e.mean_map(),
+                             e.snapshots().data(), m);
+      const core::Reconstructor rec(e.eigenmaps_basis(), sel.k, sensors,
+                                    e.mean_map());
+      *cond_out = rec.condition_number();
+      return core::evaluate_reconstruction(rec, e.snapshots().data()).mse;
+    };
+    double cond_aware = 0.0, cond_naive = 0.0;
+    const double mse_aware = evaluate(true, &cond_aware);
+    const double mse_naive = evaluate(false, &cond_naive);
+    tie.new_row()
+        .add(m)
+        .add(cond_aware, 2)
+        .add(cond_naive, 2)
+        .add_scientific(mse_aware)
+        .add_scientific(mse_naive);
+  }
+  tie.print(std::cout);
+  tie.write_csv("ablation_tiebreak.csv");
+
+  // --- B: PCA backend ----------------------------------------------------
+  std::printf("\n[B] PCA backend: snapshot-Gram vs orthogonal iteration\n");
+  {
+    const std::size_t k = 32;
+    double t0 = now_seconds();
+    core::PcaOptions gram_options;
+    gram_options.max_order = k;
+    const core::PcaBasis gram(e.training_set(), gram_options);
+    const double gram_time = now_seconds() - t0;
+
+    t0 = now_seconds();
+    core::PcaOptions oi_options;
+    oi_options.method = core::PcaMethod::kOrthogonalIteration;
+    oi_options.max_order = k;
+    const core::PcaBasis oi(e.training_set(), oi_options);
+    const double oi_time = now_seconds() - t0;
+
+    double worst_rel = 0.0;
+    const std::size_t shared =
+        std::min(gram.max_order(), oi.max_order());
+    for (std::size_t j = 0; j < shared; ++j) {
+      const double rel =
+          std::abs(gram.eigenvalues()[j] - oi.eigenvalues()[j]) /
+          std::max(gram.eigenvalues()[j], 1e-12);
+      worst_rel = std::max(worst_rel, rel);
+    }
+    std::printf("  snapshot-Gram: %.2fs   orthogonal iteration: %.2fs   "
+                "worst eigenvalue mismatch: %.2e\n",
+                gram_time, oi_time, worst_rel);
+  }
+
+  // --- C: training stride -------------------------------------------------
+  std::printf("\n[C] training-set stride (design-time cost vs accuracy)\n");
+  io::Table stride_table({"stride", "train_maps", "approx_MSE_K16",
+                          "recon_MSE_M16"});
+  for (std::size_t stride : {1u, 2u, 4u, 8u, 16u}) {
+    const core::SnapshotSet training = e.snapshots().subsample(stride);
+    core::PcaOptions options;
+    options.max_order = 32;
+    const core::PcaBasis basis(training, options);
+    numerics::Matrix centered = e.snapshots().data();
+    numerics::subtract_row_mean(centered, training.mean());
+    const double approx =
+        core::empirical_approximation_mse(basis, centered, std::min<std::size_t>(16, basis.max_order()));
+    const core::SensorLocations sensors = bench::allocate_greedy_within_budget(
+        basis, 16, 16);
+    const core::OrderSelection sel = core::select_order(
+        basis, sensors, training.mean(), e.snapshots().data(), 16);
+    const core::Reconstructor rec(basis, sel.k, sensors, training.mean());
+    const double recon =
+        core::evaluate_reconstruction(rec, e.snapshots().data()).mse;
+    stride_table.new_row()
+        .add(stride)
+        .add(training.count())
+        .add_scientific(approx)
+        .add_scientific(recon);
+  }
+  stride_table.print(std::cout);
+  stride_table.write_csv("ablation_stride.csv");
+
+  // --- D: temporal generalization ----------------------------------------
+  std::printf("\n[D] temporal generalization (train 80%% / test unseen 20%%)\n");
+  {
+    const std::size_t train_count = (e.snapshots().count() * 4) / 5;
+    const auto [train, test] = e.snapshots().split(train_count);
+    core::PcaOptions options;
+    options.max_order = 32;
+    const core::PcaBasis basis(train, options);
+    const core::SensorLocations sensors =
+        bench::allocate_greedy_within_budget(basis, 16, 16);
+    const core::OrderSelection sel =
+        core::select_order(basis, sensors, train.mean(), train.data(), 16);
+    const core::Reconstructor rec(basis, sel.k, sensors, train.mean());
+    const double train_mse =
+        core::evaluate_reconstruction(rec, train.data()).mse;
+    const double test_mse = core::evaluate_reconstruction(rec, test.data()).mse;
+    std::printf("  K=%zu, M=16: train MSE %.3e, unseen-test MSE %.3e "
+                "(ratio %.2f)\n",
+                sel.k, train_mse, test_mse, test_mse / train_mse);
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels:
+// dense products, QR least squares, eigensolvers, sparse CG, thermal
+// stepping, PCA training and the greedy allocator.
+//
+// These quantify the design choices DESIGN.md calls out — in particular the
+// snapshot-Gram PCA vs the dense-covariance eigensolve, and the cost of one
+// greedy allocation against one reconstruction.
+#include <benchmark/benchmark.h>
+
+#include "core/allocation.h"
+#include "core/dct_basis.h"
+#include "core/pca_basis.h"
+#include "core/reconstructor.h"
+#include "core/snapshot_set.h"
+#include "floorplan/floorplan.h"
+#include "floorplan/grid.h"
+#include "numerics/blas.h"
+#include "numerics/qr.h"
+#include "numerics/rng.h"
+#include "numerics/svd.h"
+#include "numerics/symmetric_eigen.h"
+#include "sparse/conjugate_gradient.h"
+#include "thermal/rc_model.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+numerics::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                               std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  numerics::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+core::SnapshotSet synthetic_snapshots(std::size_t t, std::size_t n) {
+  numerics::Rng rng(7);
+  const std::size_t rank = 8;
+  const numerics::Matrix modes = random_matrix(rank, n, 11);
+  numerics::Matrix maps(t, n);
+  for (std::size_t j = 0; j < t; ++j) {
+    for (std::size_t r = 0; r < rank; ++r) {
+      const double coeff = rng.normal() * static_cast<double>(rank - r);
+      for (std::size_t i = 0; i < n; ++i) maps(j, i) += coeff * modes(r, i);
+    }
+  }
+  return core::SnapshotSet(std::move(maps));
+}
+
+void BM_DenseMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const numerics::Matrix a = random_matrix(n, n, 1);
+  const numerics::Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerics::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_DenseMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QrLeastSquares(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 16;
+  const numerics::Matrix a = random_matrix(m, k, 3);
+  numerics::Rng rng(4);
+  const numerics::Vector b = rng.normal_vector(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerics::solve_least_squares(a, b));
+  }
+}
+BENCHMARK(BM_QrLeastSquares)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const numerics::Matrix g = numerics::gram(random_matrix(n + 8, n, 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerics::symmetric_eigen(g));
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SingularValues(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const numerics::Matrix a = random_matrix(m, 16, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerics::singular_values(a));
+  }
+}
+BENCHMARK(BM_SingularValues)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SparseCgThermalSystem(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const floorplan::Floorplan plan = floorplan::make_niagara_t1();
+  const floorplan::ThermalGrid grid(plan, side, side);
+  const thermal::RcModel model(grid);
+  numerics::Vector power(plan.block_count(), 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.steady_state(power));
+  }
+}
+BENCHMARK(BM_SparseCgThermalSystem)->Arg(20)->Arg(40)->Arg(60);
+
+void BM_ThermalTransientStep(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const floorplan::Floorplan plan = floorplan::make_niagara_t1();
+  const floorplan::ThermalGrid grid(plan, side, side);
+  const thermal::RcModel model(grid);
+  numerics::Vector power(plan.block_count(), 2.0);
+  numerics::Vector state_vec = model.steady_state(power);
+  numerics::Rng rng(9);
+  for (auto _ : state) {
+    // Perturb power so each step does real work.
+    for (std::size_t b = 0; b < power.size(); ++b) {
+      power[b] = 2.0 + 0.5 * rng.uniform();
+    }
+    benchmark::DoNotOptimize(model.step(state_vec, power, 0.01));
+  }
+}
+BENCHMARK(BM_ThermalTransientStep)->Arg(20)->Arg(40)->Arg(60);
+
+void BM_PcaTrainSnapshotGram(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const core::SnapshotSet set = synthetic_snapshots(t, 1200);
+  core::PcaOptions options;
+  options.max_order = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PcaBasis(set, options));
+  }
+}
+BENCHMARK(BM_PcaTrainSnapshotGram)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PcaTrainDenseCovariance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::SnapshotSet set = synthetic_snapshots(128, n);
+  core::PcaOptions options;
+  options.method = core::PcaMethod::kDenseCovariance;
+  options.max_order = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PcaBasis(set, options));
+  }
+}
+BENCHMARK(BM_PcaTrainDenseCovariance)->Arg(128)->Arg(256);
+
+void BM_GreedyAllocation(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const core::DctBasis basis(side, side, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::allocate_greedy(basis, 16, 24));
+  }
+}
+BENCHMARK(BM_GreedyAllocation)->Arg(16)->Arg(32)->Arg(48);
+
+void BM_Reconstruct(benchmark::State& state) {
+  const auto n_side = static_cast<std::size_t>(state.range(0));
+  const core::DctBasis basis(n_side, n_side, 16);
+  const core::SensorLocations sensors =
+      core::allocate_greedy(basis, 16, 24);
+  const numerics::Vector mean(n_side * n_side, 50.0);
+  const core::Reconstructor rec(basis, 16, sensors, mean);
+  numerics::Rng rng(12);
+  const numerics::Vector readings = rng.normal_vector(sensors.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.reconstruct(readings));
+  }
+}
+BENCHMARK(BM_Reconstruct)->Arg(32)->Arg(56)->Arg(80);
+
+}  // namespace
+
+BENCHMARK_MAIN();
