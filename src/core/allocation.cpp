@@ -1,0 +1,274 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/svd.h"
+
+namespace eigenmaps::core {
+
+namespace {
+
+constexpr double kZeroRowNorm = 1e-14;
+
+// Workspace for one greedy run over R candidate rows of the sampled basis.
+struct GreedyState {
+  std::size_t order = 0;
+  std::vector<std::size_t> cells;   // candidate cell per row
+  std::vector<double> rows;         // R x order, rows normalised
+  std::vector<double> norms;        // original row norms
+  std::vector<char> alive;
+  std::size_t alive_count = 0;
+  std::vector<double> best_corr;    // |corr| to the closest other row
+  std::vector<std::size_t> best_j;
+
+  double correlation(std::size_t a, std::size_t b) const {
+    const double* ra = rows.data() + a * order;
+    const double* rb = rows.data() + b * order;
+    double s = 0.0;
+    for (std::size_t j = 0; j < order; ++j) s += ra[j] * rb[j];
+    return std::fabs(s);
+  }
+
+  void recompute_best(std::size_t r) {
+    best_corr[r] = -1.0;
+    best_j[r] = r;
+    for (std::size_t s = 0; s < cells.size(); ++s) {
+      if (s == r || !alive[s]) continue;
+      const double c = correlation(r, s);
+      if (c > best_corr[r]) {
+        best_corr[r] = c;
+        best_j[r] = s;
+      }
+    }
+  }
+
+  // sigma_min / sigma_max of the surviving sampled basis, optionally with
+  // one extra row removed.
+  double rank_ratio_without(std::size_t excluded) const {
+    std::size_t count = 0;
+    for (std::size_t r = 0; r < cells.size(); ++r) {
+      count += (alive[r] && r != excluded);
+    }
+    if (count < order) return 0.0;
+    numerics::Matrix a(count, order);
+    std::size_t out = 0;
+    for (std::size_t r = 0; r < cells.size(); ++r) {
+      if (!alive[r] || r == excluded) continue;
+      // Rank is invariant to the row normalisation applied in `rows`.
+      for (std::size_t j = 0; j < order; ++j) a(out, j) = rows[r * order + j];
+      ++out;
+    }
+    const numerics::Vector sv = numerics::singular_values(a);
+    if (sv.empty() || sv.front() == 0.0) return 0.0;
+    return sv.back() / sv.front();
+  }
+
+  void remove(std::size_t victim) {
+    alive[victim] = 0;
+    --alive_count;
+    for (std::size_t r = 0; r < cells.size(); ++r) {
+      if (alive[r] && best_j[r] == victim) recompute_best(r);
+    }
+  }
+};
+
+GreedyState build_state(const Basis& basis, std::size_t order,
+                        const floorplan::SensorMask* mask) {
+  const numerics::Matrix& v = basis.vectors();
+  GreedyState st;
+  st.order = order;
+  for (std::size_t i = 0; i < v.rows(); ++i) {
+    if (mask != nullptr && !mask->allowed(i)) continue;
+    const double* row = v.row_data(i);
+    double nrm = 0.0;
+    for (std::size_t j = 0; j < order; ++j) nrm += row[j] * row[j];
+    nrm = std::sqrt(nrm);
+    // Zero rows see nothing of the subspace; placing a sensor there is
+    // useless, so they are dropped before the pairwise stage.
+    if (nrm <= kZeroRowNorm) continue;
+    st.cells.push_back(i);
+    st.norms.push_back(nrm);
+    const double inv = 1.0 / nrm;
+    for (std::size_t j = 0; j < order; ++j) st.rows.push_back(row[j] * inv);
+  }
+  const std::size_t r = st.cells.size();
+  st.alive.assign(r, 1);
+  st.alive_count = r;
+  st.best_corr.assign(r, -1.0);
+  st.best_j.resize(r);
+  for (std::size_t a = 0; a < r; ++a) st.best_j[a] = a;
+  // One upper-triangle sweep fills both sides of every best-partner slot.
+  for (std::size_t a = 0; a < r; ++a) {
+    for (std::size_t b = a + 1; b < r; ++b) {
+      const double c = st.correlation(a, b);
+      if (c > st.best_corr[a]) {
+        st.best_corr[a] = c;
+        st.best_j[a] = b;
+      }
+      if (c > st.best_corr[b]) {
+        st.best_corr[b] = c;
+        st.best_j[b] = a;
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+SensorLocations allocate_greedy(const Basis& basis, std::size_t order,
+                                std::size_t sensor_count,
+                                const floorplan::SensorMask* mask,
+                                const GreedyOptions& options) {
+  if (order == 0 || order > basis.max_order()) {
+    throw std::invalid_argument("allocate_greedy: order out of range");
+  }
+  if (sensor_count < order) {
+    throw std::invalid_argument(
+        "allocate_greedy: sensor budget below subspace order");
+  }
+  if (mask != nullptr && mask->size() != basis.cell_count()) {
+    throw std::invalid_argument("allocate_greedy: mask size mismatch");
+  }
+
+  GreedyState st = build_state(basis, order, mask);
+  if (st.alive_count < sensor_count) {
+    throw std::invalid_argument(
+        "allocate_greedy: fewer informative cells than the sensor budget");
+  }
+
+  const std::size_t guard_from =
+      std::max(sensor_count, order) + options.rank_check_margin;
+  while (st.alive_count > sensor_count) {
+    // Most correlated surviving pair.
+    std::size_t a = st.cells.size();
+    double best = -1.0;
+    for (std::size_t r = 0; r < st.cells.size(); ++r) {
+      if (st.alive[r] && st.best_corr[r] > best) {
+        best = st.best_corr[r];
+        a = r;
+      }
+    }
+    if (a == st.cells.size()) {
+      throw std::invalid_argument("allocate_greedy: no deletable pair");
+    }
+    const std::size_t b = st.best_j[a];
+
+    std::size_t preferred, fallback;
+    if (options.norm_tiebreak) {
+      preferred = (st.norms[a] <= st.norms[b]) ? a : b;
+    } else {
+      preferred = std::min(a, b);  // "the i-th row", read naively
+    }
+    fallback = (preferred == a) ? b : a;
+
+    std::size_t victim = preferred;
+    if (st.alive_count <= guard_from) {
+      if (st.rank_ratio_without(preferred) < options.rank_tolerance) {
+        if (st.rank_ratio_without(fallback) < options.rank_tolerance) {
+          // Theorem 1's floor: removing either member of the most
+          // correlated pair would break rank(Psi~_K) = K.
+          throw std::invalid_argument(
+              "allocate_greedy: rank guard blocks the budget at this order");
+        }
+        victim = fallback;
+      }
+    }
+    st.remove(victim);
+  }
+
+  if (st.rank_ratio_without(st.cells.size()) < options.rank_tolerance) {
+    throw std::invalid_argument(
+        "allocate_greedy: final placement is rank deficient");
+  }
+
+  SensorLocations sensors;
+  sensors.reserve(sensor_count);
+  for (std::size_t r = 0; r < st.cells.size(); ++r) {
+    if (st.alive[r]) sensors.push_back(st.cells[r]);
+  }
+  return sensors;  // cells were scanned ascending, so this is sorted
+}
+
+SensorLocations allocate_energy_centers(const numerics::Vector& cell_energy,
+                                        const floorplan::ThermalGrid& grid,
+                                        std::size_t sensor_count) {
+  if (cell_energy.size() != grid.cell_count()) {
+    throw std::invalid_argument("allocate_energy_centers: size mismatch");
+  }
+  if (sensor_count == 0 || sensor_count > grid.cell_count()) {
+    throw std::invalid_argument("allocate_energy_centers: bad sensor count");
+  }
+
+  // Rank blocks by mean energy density.
+  const std::size_t blocks = grid.block_count();
+  std::vector<double> density(blocks, 0.0);
+  std::vector<std::vector<std::size_t>> cells_of(blocks);
+  for (std::size_t i = 0; i < grid.cell_count(); ++i) {
+    const std::size_t b = grid.block_of_index(i);
+    density[b] += cell_energy[i];
+    cells_of[b].push_back(i);
+  }
+  std::vector<std::size_t> ranked;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (!cells_of[b].empty()) {
+      density[b] /= static_cast<double>(cells_of[b].size());
+      ranked.push_back(b);
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return density[x] > density[y];
+                   });
+
+  SensorLocations sensors;
+  std::vector<char> taken(grid.cell_count(), 0);
+  while (sensors.size() < sensor_count) {
+    const std::size_t before = sensors.size();
+    for (const std::size_t b : ranked) {
+      if (sensors.size() >= sensor_count) break;
+      // First visit: the cell closest to the block center. Later rounds:
+      // the free cell farthest from every sensor already in this block.
+      double block_cx = 0.0, block_cy = 0.0;
+      for (const std::size_t i : cells_of[b]) {
+        block_cx += grid.cell_x(i);
+        block_cy += grid.cell_y(i);
+      }
+      block_cx /= static_cast<double>(cells_of[b].size());
+      block_cy /= static_cast<double>(cells_of[b].size());
+
+      std::size_t pick = grid.cell_count();
+      double pick_score = -1.0;
+      for (const std::size_t i : cells_of[b]) {
+        if (taken[i]) continue;
+        double nearest = 1e300;
+        for (const std::size_t s : sensors) {
+          if (grid.block_of_index(s) != b) continue;  // spread within-block
+          const double dx = grid.cell_x(i) - grid.cell_x(s);
+          const double dy = grid.cell_y(i) - grid.cell_y(s);
+          nearest = std::min(nearest, dx * dx + dy * dy);
+        }
+        const double dcx = grid.cell_x(i) - block_cx;
+        const double dcy = grid.cell_y(i) - block_cy;
+        // Prefer spread from existing sensors; break ties toward the
+        // block center so the first pick per block is its center cell.
+        const double score = std::min(nearest, 1e290) - 1e-6 * (dcx * dcx + dcy * dcy);
+        if (score > pick_score) {
+          pick_score = score;
+          pick = i;
+        }
+      }
+      if (pick < grid.cell_count()) {
+        taken[pick] = 1;
+        sensors.push_back(pick);
+      }
+    }
+    if (sensors.size() == before) break;  // every cell taken
+  }
+  std::sort(sensors.begin(), sensors.end());
+  return sensors;
+}
+
+}  // namespace eigenmaps::core

@@ -1,0 +1,52 @@
+// Sensor placement: the paper's greedy Algorithm 1 and the energy-center
+// baseline of [12].
+#ifndef EIGENMAPS_CORE_ALLOCATION_H
+#define EIGENMAPS_CORE_ALLOCATION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/basis.h"
+#include "floorplan/grid.h"
+
+namespace eigenmaps::core {
+
+/// Grid cell indices carrying a sensor, ascending.
+using SensorLocations = std::vector<std::size_t>;
+
+struct GreedyOptions {
+  /// Algorithm 1 says "remove the i-th row" of the most correlated pair,
+  /// which is ambiguous for a symmetric correlation. When true (default) we
+  /// delete the smaller-norm member — it contributes less signal energy;
+  /// when false we take the naive reading and delete the first index.
+  /// DESIGN.md §4 and ablation_design.cpp quantify the difference.
+  bool norm_tiebreak = true;
+  /// A placement is rank-deficient when sigma_min/sigma_max of the sampled
+  /// basis falls below this; the rank guard refuses such deletions.
+  double rank_tolerance = 1e-8;
+  /// Deletions are rank-checked once the surviving count is within this
+  /// margin of max(sensor_count, order); earlier deletions cannot
+  /// realistically lose rank and checking them would dominate the runtime.
+  std::size_t rank_check_margin = 8;
+};
+
+/// Algorithm 1: start from every (allowed) cell, repeatedly delete one
+/// member of the most-correlated row pair of the sampled order-`order`
+/// basis until `sensor_count` cells survive. Throws std::invalid_argument
+/// when the rank guard cannot reach the budget at this order (Theorem 1
+/// requires rank(Psi~_K) = K) — callers retry with a smaller order.
+SensorLocations allocate_greedy(const Basis& basis, std::size_t order,
+                                std::size_t sensor_count,
+                                const floorplan::SensorMask* mask = nullptr,
+                                const GreedyOptions& options = {});
+
+/// Energy-center baseline [12]: sensors go to the centers of the blocks
+/// that dissipate the most energy; extra sensors beyond the block count
+/// spread within the hottest blocks, away from already-placed sensors.
+SensorLocations allocate_energy_centers(const numerics::Vector& cell_energy,
+                                        const floorplan::ThermalGrid& grid,
+                                        std::size_t sensor_count);
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_ALLOCATION_H

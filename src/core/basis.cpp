@@ -1,0 +1,81 @@
+#include "core/basis.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace eigenmaps::core {
+
+namespace {
+
+void check_args(const Basis& basis, const numerics::Matrix& centered_maps,
+                std::size_t k) {
+  if (centered_maps.cols() != basis.cell_count()) {
+    throw std::invalid_argument("approximation metric: cell count mismatch");
+  }
+  if (k == 0 || k > basis.max_order()) {
+    throw std::invalid_argument("approximation metric: order out of range");
+  }
+  if (centered_maps.rows() == 0) {
+    throw std::invalid_argument("approximation metric: no maps");
+  }
+}
+
+}  // namespace
+
+double empirical_approximation_mse(const Basis& basis,
+                                   const numerics::Matrix& centered_maps,
+                                   std::size_t k) {
+  check_args(basis, centered_maps, k);
+  const numerics::Matrix& v = basis.vectors();
+  const std::size_t n = basis.cell_count();
+  double total = 0.0;
+  std::vector<double> coeff(k);
+  for (std::size_t t = 0; t < centered_maps.rows(); ++t) {
+    const double* x = centered_maps.row_data(t);
+    std::fill(coeff.begin(), coeff.end(), 0.0);
+    double energy = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double xc = x[c];
+      energy += xc * xc;
+      const double* vrow = v.row_data(c);
+      for (std::size_t j = 0; j < k; ++j) coeff[j] += xc * vrow[j];
+    }
+    double captured = 0.0;
+    for (std::size_t j = 0; j < k; ++j) captured += coeff[j] * coeff[j];
+    // Orthonormal columns: residual energy is the Parseval gap. Guard the
+    // tiny negative values floating point can leave behind.
+    total += std::max(energy - captured, 0.0);
+  }
+  return total /
+         (static_cast<double>(centered_maps.rows()) * static_cast<double>(n));
+}
+
+double empirical_approximation_max(const Basis& basis,
+                                   const numerics::Matrix& centered_maps,
+                                   std::size_t k) {
+  check_args(basis, centered_maps, k);
+  const numerics::Matrix& v = basis.vectors();
+  const std::size_t n = basis.cell_count();
+  std::vector<double> coeff(k);
+  double worst = 0.0;
+  for (std::size_t t = 0; t < centered_maps.rows(); ++t) {
+    const double* x = centered_maps.row_data(t);
+    std::fill(coeff.begin(), coeff.end(), 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+      const double xc = x[c];
+      const double* vrow = v.row_data(c);
+      for (std::size_t j = 0; j < k; ++j) coeff[j] += xc * vrow[j];
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      const double* vrow = v.row_data(c);
+      double approx = 0.0;
+      for (std::size_t j = 0; j < k; ++j) approx += vrow[j] * coeff[j];
+      const double r = x[c] - approx;
+      worst = std::max(worst, r * r);
+    }
+  }
+  return worst;
+}
+
+}  // namespace eigenmaps::core

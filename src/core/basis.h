@@ -1,0 +1,34 @@
+// Orthonormal map bases and the basis-level approximation metrics.
+#ifndef EIGENMAPS_CORE_BASIS_H
+#define EIGENMAPS_CORE_BASIS_H
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::core {
+
+/// An orthonormal basis of thermal maps: vectors() is N x max_order with
+/// orthonormal columns (column j = j-th basis map, flattened row-major).
+class Basis {
+ public:
+  virtual ~Basis() = default;
+
+  virtual const numerics::Matrix& vectors() const = 0;
+
+  std::size_t cell_count() const { return vectors().rows(); }
+  std::size_t max_order() const { return vectors().cols(); }
+};
+
+/// Mean over maps of ||x - V_k V_k^T x||^2 / N for the centered maps (one
+/// per row). Uses Parseval: residual energy = ||x||^2 - ||V_k^T x||^2.
+double empirical_approximation_mse(const Basis& basis,
+                                   const numerics::Matrix& centered_maps,
+                                   std::size_t k);
+
+/// Max over maps and cells of the squared approximation residual.
+double empirical_approximation_max(const Basis& basis,
+                                   const numerics::Matrix& centered_maps,
+                                   std::size_t k);
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_BASIS_H

@@ -1,0 +1,52 @@
+#include "core/dct_basis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace eigenmaps::core {
+
+DctBasis::DctBasis(std::size_t height, std::size_t width,
+                   std::size_t max_order) {
+  if (height == 0 || width == 0) {
+    throw std::invalid_argument("DctBasis: empty grid");
+  }
+  const std::size_t n = height * width;
+  const std::size_t order = std::min(max_order, n);
+  if (order == 0) throw std::invalid_argument("DctBasis: zero order");
+
+  // Rank all (p, q) mode pairs by total frequency.
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> modes;
+  modes.reserve(n);
+  for (std::size_t p = 0; p < height; ++p) {
+    for (std::size_t q = 0; q < width; ++q) {
+      modes.emplace_back(p + q, std::max(p, q), p * width + q);
+    }
+  }
+  std::sort(modes.begin(), modes.end());
+
+  const double pi = 3.14159265358979323846;
+  vectors_ = numerics::Matrix(n, order);
+  for (std::size_t j = 0; j < order; ++j) {
+    const std::size_t packed = std::get<2>(modes[j]);
+    const std::size_t p = packed / width;
+    const std::size_t q = packed % width;
+    const double ap = (p == 0) ? std::sqrt(1.0 / static_cast<double>(height))
+                               : std::sqrt(2.0 / static_cast<double>(height));
+    const double aq = (q == 0) ? std::sqrt(1.0 / static_cast<double>(width))
+                               : std::sqrt(2.0 / static_cast<double>(width));
+    for (std::size_t r = 0; r < height; ++r) {
+      const double cr = std::cos(pi * (2.0 * r + 1.0) * p /
+                                 (2.0 * static_cast<double>(height)));
+      for (std::size_t c = 0; c < width; ++c) {
+        const double cc = std::cos(pi * (2.0 * c + 1.0) * q /
+                                   (2.0 * static_cast<double>(width)));
+        vectors_(r * width + c, j) = ap * aq * cr * cc;
+      }
+    }
+  }
+}
+
+}  // namespace eigenmaps::core

@@ -1,0 +1,24 @@
+// The k-LSE comparison basis: low-frequency 2-D DCT modes.
+#ifndef EIGENMAPS_CORE_DCT_BASIS_H
+#define EIGENMAPS_CORE_DCT_BASIS_H
+
+#include "core/basis.h"
+
+namespace eigenmaps::core {
+
+/// Orthonormal 2-D DCT-II modes on a height x width grid, ordered by
+/// increasing total frequency p + q (ties by max(p, q), then p), so the
+/// first columns are the smoothest maps — the subspace k-LSE uses.
+class DctBasis : public Basis {
+ public:
+  DctBasis(std::size_t height, std::size_t width, std::size_t max_order);
+
+  const numerics::Matrix& vectors() const override { return vectors_; }
+
+ private:
+  numerics::Matrix vectors_;  // (height * width) x max_order
+};
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_DCT_BASIS_H

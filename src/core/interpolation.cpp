@@ -1,0 +1,132 @@
+#include "core/interpolation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eigenmaps::core {
+
+namespace {
+constexpr std::size_t kNeighbors = 4;
+}
+
+SensorLocations allocate_uniform_grid(const floorplan::ThermalGrid& grid,
+                                      std::size_t sensor_count) {
+  if (sensor_count == 0 || sensor_count > grid.cell_count()) {
+    throw std::invalid_argument("allocate_uniform_grid: bad sensor count");
+  }
+  // Rows x cols layout matching the grid aspect ratio as closely as possible.
+  const double aspect = static_cast<double>(grid.height()) /
+                        static_cast<double>(grid.width());
+  std::size_t rows = static_cast<std::size_t>(std::lround(
+      std::sqrt(static_cast<double>(sensor_count) * aspect)));
+  rows = std::clamp<std::size_t>(rows, 1, sensor_count);
+  const std::size_t cols = (sensor_count + rows - 1) / rows;
+
+  SensorLocations sensors;
+  sensors.reserve(sensor_count);
+  for (std::size_t r = 0; r < rows && sensors.size() < sensor_count; ++r) {
+    for (std::size_t c = 0; c < cols && sensors.size() < sensor_count; ++c) {
+      // Cell centers of an evenly spaced rows x cols lattice.
+      const std::size_t gr = static_cast<std::size_t>(
+          (static_cast<double>(r) + 0.5) / static_cast<double>(rows) *
+          static_cast<double>(grid.height()));
+      const std::size_t gc = static_cast<std::size_t>(
+          (static_cast<double>(c) + 0.5) / static_cast<double>(cols) *
+          static_cast<double>(grid.width()));
+      sensors.push_back(grid.index(std::min(gr, grid.height() - 1),
+                                   std::min(gc, grid.width() - 1)));
+    }
+  }
+  std::sort(sensors.begin(), sensors.end());
+  sensors.erase(std::unique(sensors.begin(), sensors.end()), sensors.end());
+  // Duplicates can only appear when sensor_count approaches the cell count;
+  // top up with the first free cells.
+  for (std::size_t i = 0; i < grid.cell_count() && sensors.size() < sensor_count;
+       ++i) {
+    if (!std::binary_search(sensors.begin(), sensors.end(), i)) {
+      sensors.insert(std::lower_bound(sensors.begin(), sensors.end(), i), i);
+    }
+  }
+  return sensors;
+}
+
+InterpolatingReconstructor::InterpolatingReconstructor(
+    const floorplan::ThermalGrid& grid, SensorLocations sensors)
+    : sensors_(std::move(sensors)), cell_count_(grid.cell_count()) {
+  if (sensors_.empty()) {
+    throw std::invalid_argument("InterpolatingReconstructor: no sensors");
+  }
+  for (const std::size_t s : sensors_) {
+    if (s >= cell_count_) {
+      throw std::invalid_argument(
+          "InterpolatingReconstructor: sensor out of range");
+    }
+  }
+
+  neighbor_count_.assign(cell_count_, 0);
+  neighbor_index_.assign(cell_count_ * kNeighbors, 0);
+  neighbor_weight_.assign(cell_count_ * kNeighbors, 0.0);
+
+  const std::size_t take = std::min(kNeighbors, sensors_.size());
+  std::vector<std::pair<double, std::size_t>> dist(sensors_.size());
+  for (std::size_t i = 0; i < cell_count_; ++i) {
+    for (std::size_t s = 0; s < sensors_.size(); ++s) {
+      const double dx = grid.cell_x(i) - grid.cell_x(sensors_[s]);
+      const double dy = grid.cell_y(i) - grid.cell_y(sensors_[s]);
+      dist[s] = {dx * dx + dy * dy, s};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + take, dist.end());
+
+    if (dist[0].first == 0.0) {
+      // The cell carries a sensor: pass its reading through exactly.
+      neighbor_count_[i] = 1;
+      neighbor_index_[i * kNeighbors] = dist[0].second;
+      neighbor_weight_[i * kNeighbors] = 1.0;
+      continue;
+    }
+    double weight_sum = 0.0;
+    for (std::size_t j = 0; j < take; ++j) {
+      weight_sum += 1.0 / dist[j].first;  // inverse squared distance
+    }
+    neighbor_count_[i] = take;
+    for (std::size_t j = 0; j < take; ++j) {
+      neighbor_index_[i * kNeighbors + j] = dist[j].second;
+      neighbor_weight_[i * kNeighbors + j] =
+          (1.0 / dist[j].first) / weight_sum;
+    }
+  }
+}
+
+numerics::Vector InterpolatingReconstructor::sample(
+    const numerics::Vector& map) const {
+  if (map.size() != cell_count_) {
+    throw std::invalid_argument(
+        "InterpolatingReconstructor::sample: map size mismatch");
+  }
+  numerics::Vector readings(sensors_.size());
+  for (std::size_t s = 0; s < sensors_.size(); ++s) {
+    readings[s] = map[sensors_[s]];
+  }
+  return readings;
+}
+
+numerics::Vector InterpolatingReconstructor::reconstruct(
+    const numerics::Vector& readings) const {
+  if (readings.size() != sensors_.size()) {
+    throw std::invalid_argument(
+        "InterpolatingReconstructor::reconstruct: readings size mismatch");
+  }
+  numerics::Vector map(cell_count_, 0.0);
+  for (std::size_t i = 0; i < cell_count_; ++i) {
+    double v = 0.0;
+    for (std::size_t j = 0; j < neighbor_count_[i]; ++j) {
+      v += neighbor_weight_[i * kNeighbors + j] *
+           readings[neighbor_index_[i * kNeighbors + j]];
+    }
+    map[i] = v;
+  }
+  return map;
+}
+
+}  // namespace eigenmaps::core

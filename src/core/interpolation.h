@@ -1,0 +1,39 @@
+// Model-free baseline: uniform sensor grid + spatial interpolation
+// (the Long et al. [9] family the paper compares against).
+#ifndef EIGENMAPS_CORE_INTERPOLATION_H
+#define EIGENMAPS_CORE_INTERPOLATION_H
+
+#include "core/allocation.h"
+#include "floorplan/grid.h"
+
+namespace eigenmaps::core {
+
+/// Near-uniform placement of `sensor_count` sensors over the grid (the
+/// native placement for interpolation-based reconstruction).
+SensorLocations allocate_uniform_grid(const floorplan::ThermalGrid& grid,
+                                      std::size_t sensor_count);
+
+/// Inverse-distance-weighted interpolation from the sensor cells; weights
+/// over the four nearest sensors are precomputed per cell.
+class InterpolatingReconstructor {
+ public:
+  InterpolatingReconstructor(const floorplan::ThermalGrid& grid,
+                             SensorLocations sensors);
+
+  const SensorLocations& sensors() const { return sensors_; }
+
+  numerics::Vector sample(const numerics::Vector& map) const;
+  numerics::Vector reconstruct(const numerics::Vector& readings) const;
+
+ private:
+  SensorLocations sensors_;
+  std::size_t cell_count_;
+  // Per cell: up to four (sensor index, weight) pairs, flattened.
+  std::vector<std::size_t> neighbor_index_;
+  std::vector<double> neighbor_weight_;
+  std::vector<std::size_t> neighbor_count_;
+};
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_INTERPOLATION_H

@@ -1,0 +1,43 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eigenmaps::core {
+
+ReconstructionErrors evaluate_reconstruction(const Reconstructor& rec,
+                                             const numerics::Matrix& maps,
+                                             NoiseModel* noise) {
+  if (maps.rows() == 0) {
+    throw std::invalid_argument("evaluate_reconstruction: no maps");
+  }
+  ReconstructionErrors errors;
+  for (std::size_t t = 0; t < maps.rows(); ++t) {
+    const numerics::Vector original = maps.row(t);
+    numerics::Vector readings = rec.sample(original);
+    if (noise != nullptr) noise->perturb(readings);
+    const numerics::Vector estimate = rec.reconstruct(readings);
+    double sq_sum = 0.0;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      const double d = original[i] - estimate[i];
+      const double sq = d * d;
+      sq_sum += sq;
+      errors.max_sq = std::max(errors.max_sq, sq);
+    }
+    errors.mse += sq_sum / static_cast<double>(original.size());
+  }
+  errors.mse /= static_cast<double>(maps.rows());
+  return errors;
+}
+
+double signal_energy_per_cell(const numerics::Matrix& centered_maps) {
+  if (centered_maps.rows() == 0 || centered_maps.cols() == 0) {
+    throw std::invalid_argument("signal_energy_per_cell: empty matrix");
+  }
+  double total = 0.0;
+  for (const double v : centered_maps.storage()) total += v * v;
+  return total / (static_cast<double>(centered_maps.rows()) *
+                  static_cast<double>(centered_maps.cols()));
+}
+
+}  // namespace eigenmaps::core

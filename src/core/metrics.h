@@ -1,0 +1,27 @@
+// Reconstruction-quality metrics over a snapshot ensemble.
+#ifndef EIGENMAPS_CORE_METRICS_H
+#define EIGENMAPS_CORE_METRICS_H
+
+#include "core/noise.h"
+#include "core/reconstructor.h"
+
+namespace eigenmaps::core {
+
+struct ReconstructionErrors {
+  double mse = 0.0;     // mean over maps of the per-map MSE, (deg C)^2
+  double max_sq = 0.0;  // worst squared cell error over all maps
+};
+
+/// Samples, (optionally) perturbs and reconstructs every map (one per row)
+/// and accumulates the paper's MSE / MAX metrics.
+ReconstructionErrors evaluate_reconstruction(const Reconstructor& rec,
+                                             const numerics::Matrix& maps,
+                                             NoiseModel* noise = nullptr);
+
+/// Mean signal energy per cell of the centered maps: the x-energy in the
+/// paper's SNR = ||x||^2 / ||w||^2.
+double signal_energy_per_cell(const numerics::Matrix& centered_maps);
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_METRICS_H

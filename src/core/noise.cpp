@@ -1,0 +1,23 @@
+#include "core/noise.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eigenmaps::core {
+
+NoiseModel::NoiseModel(double snr_db, double signal_energy_per_cell,
+                       std::uint64_t seed)
+    : sigma_(0.0), rng_(seed) {
+  if (signal_energy_per_cell < 0.0) {
+    throw std::invalid_argument("NoiseModel: negative signal energy");
+  }
+  const double snr_linear = std::pow(10.0, snr_db / 10.0);
+  sigma_ = std::sqrt(signal_energy_per_cell / snr_linear);
+}
+
+void NoiseModel::perturb(numerics::Vector& readings) {
+  if (sigma_ == 0.0) return;
+  for (double& r : readings) r += sigma_ * rng_.normal();
+}
+
+}  // namespace eigenmaps::core

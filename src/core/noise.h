@@ -1,0 +1,32 @@
+// Measurement noise at the paper's SNR definition.
+#ifndef EIGENMAPS_CORE_NOISE_H
+#define EIGENMAPS_CORE_NOISE_H
+
+#include <cstdint>
+
+#include "numerics/matrix.h"
+#include "numerics/rng.h"
+
+namespace eigenmaps::core {
+
+/// Additive white Gaussian sensor noise. The paper defines SNR as the
+/// signal-to-noise energy ratio over the centered maps; per sensor that
+/// makes the noise variance sigma^2 = E_cell / 10^(SNR_dB / 10), where
+/// E_cell is the mean signal energy per cell (core::signal_energy_per_cell).
+class NoiseModel {
+ public:
+  NoiseModel(double snr_db, double signal_energy_per_cell, std::uint64_t seed);
+
+  double sigma() const { return sigma_; }
+
+  /// Adds one noise realisation to the readings in place.
+  void perturb(numerics::Vector& readings);
+
+ private:
+  double sigma_;
+  numerics::Rng rng_;
+};
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_NOISE_H

@@ -1,0 +1,45 @@
+// Validation-driven choice of the estimation order K for a placement.
+//
+// Section 3.2 of the paper: raising K shrinks the approximation error
+// epsilon but can inflate the reconstruction error epsilon_r through worse
+// conditioning (and, with noisy sensors, noise amplification). We sweep
+// every feasible K <= k_max and keep the one with the lowest validation MSE
+// under the configured noise level.
+#ifndef EIGENMAPS_CORE_ORDER_SELECTION_H
+#define EIGENMAPS_CORE_ORDER_SELECTION_H
+
+#include <cstdint>
+#include <limits>
+
+#include "core/allocation.h"
+#include "core/basis.h"
+#include "core/metrics.h"
+
+namespace eigenmaps::core {
+
+struct OrderSelectionOptions {
+  /// +infinity (default) means noiseless sensors.
+  double snr_db = std::numeric_limits<double>::infinity();
+  /// Required when snr_db is finite (see core::signal_energy_per_cell).
+  double signal_energy_per_cell = 0.0;
+  /// Validate on every stride-th map; 0 picks a stride that keeps roughly
+  /// 128 validation maps.
+  std::size_t validation_stride = 0;
+  std::uint64_t noise_seed = 4242;
+};
+
+struct OrderSelection {
+  std::size_t k = 0;
+  double validation_mse = 0.0;
+};
+
+/// Throws std::runtime_error when no order in [1, k_max] admits a full-rank
+/// sampled basis for this placement.
+OrderSelection select_order(const Basis& basis, const SensorLocations& sensors,
+                            const numerics::Vector& mean_map,
+                            const numerics::Matrix& maps, std::size_t k_max,
+                            const OrderSelectionOptions& options = {});
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_ORDER_SELECTION_H

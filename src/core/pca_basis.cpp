@@ -1,0 +1,229 @@
+#include "core/pca_basis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/blas.h"
+#include "numerics/rng.h"
+#include "numerics/symmetric_eigen.h"
+
+namespace eigenmaps::core {
+
+namespace {
+
+// Centered training matrix X (T x N).
+numerics::Matrix centered_maps(const SnapshotSet& training) {
+  numerics::Matrix x = training.data();
+  numerics::subtract_row_mean(x, training.mean());
+  return x;
+}
+
+struct Spectrum {
+  numerics::Matrix vectors;     // N x retained
+  numerics::Vector eigenvalues; // full known spectrum, descending
+};
+
+// Exact PCA from the T x T Gram matrix G = X X^T: covariance eigenvalues are
+// mu / T and basis vectors are X^T u / sqrt(mu).
+Spectrum train_snapshot_gram(const numerics::Matrix& x,
+                             const PcaOptions& options) {
+  const std::size_t t = x.rows();
+  const std::size_t n = x.cols();
+  numerics::Matrix g(t, t);
+  for (std::size_t i = 0; i < t; ++i) {
+    const double* ri = x.row_data(i);
+    for (std::size_t j = i; j < t; ++j) {
+      const double* rj = x.row_data(j);
+      double s = 0.0;
+      for (std::size_t c = 0; c < n; ++c) s += ri[c] * rj[c];
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  const numerics::SymmetricEigen eig = numerics::symmetric_eigen(g);
+
+  const double inv_t = 1.0 / static_cast<double>(t);
+  const double top = std::max(eig.eigenvalues[0], 0.0);
+  Spectrum out;
+  out.eigenvalues.reserve(t);
+  std::size_t usable = 0;
+  for (std::size_t j = 0; j < t; ++j) {
+    const double mu = eig.eigenvalues[j];
+    if (mu <= 0.0 || mu < options.rank_tolerance * top) break;
+    out.eigenvalues.push_back(mu * inv_t);
+    ++usable;
+  }
+  const std::size_t order = std::min(options.max_order, usable);
+  out.vectors = numerics::Matrix(n, order);
+  for (std::size_t j = 0; j < order; ++j) {
+    const double inv_sqrt_mu = 1.0 / std::sqrt(eig.eigenvalues[j]);
+    // v_j = X^T u_j / sqrt(mu_j)
+    for (std::size_t i = 0; i < t; ++i) {
+      const double w = eig.eigenvectors(i, j) * inv_sqrt_mu;
+      if (w == 0.0) continue;
+      const double* row = x.row_data(i);
+      for (std::size_t c = 0; c < n; ++c) out.vectors(c, j) += w * row[c];
+    }
+  }
+  return out;
+}
+
+// Exact PCA from the N x N covariance C = X^T X / T.
+Spectrum train_dense_covariance(const numerics::Matrix& x,
+                                const PcaOptions& options) {
+  const std::size_t t = x.rows();
+  const std::size_t n = x.cols();
+  numerics::Matrix c = numerics::gram(x);
+  const double inv_t = 1.0 / static_cast<double>(t);
+  for (double& v : c.storage()) v *= inv_t;
+  const numerics::SymmetricEigen eig = numerics::symmetric_eigen(c);
+
+  const double top = std::max(eig.eigenvalues[0], 0.0);
+  Spectrum out;
+  std::size_t usable = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lambda = eig.eigenvalues[j];
+    if (lambda <= 0.0 || lambda < options.rank_tolerance * top) break;
+    out.eigenvalues.push_back(lambda);
+    ++usable;
+  }
+  const std::size_t order = std::min(options.max_order, usable);
+  out.vectors = numerics::Matrix(n, order);
+  for (std::size_t j = 0; j < order; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors(i, j) = eig.eigenvectors(i, j);
+    }
+  }
+  return out;
+}
+
+// Matrix-free block orthogonal iteration: Q <- orth(X^T (X Q) / T).
+Spectrum train_orthogonal_iteration(const numerics::Matrix& x,
+                                    const PcaOptions& options) {
+  const std::size_t t = x.rows();
+  const std::size_t n = x.cols();
+  const std::size_t block =
+      std::min(options.max_order + 4, std::min(t, n));
+  numerics::Rng rng(options.seed);
+  numerics::Matrix q(n, block);
+  for (double& v : q.storage()) v = rng.normal();
+  numerics::orthonormalize_columns(q);
+
+  const double inv_t = 1.0 / static_cast<double>(t);
+  numerics::Vector estimates(block, 0.0);
+  for (std::size_t iter = 0; iter < options.iteration_limit; ++iter) {
+    // Z = X^T (X Q) / T without forming the covariance.
+    numerics::Matrix xq = numerics::matmul(x, q);        // T x block
+    numerics::Matrix z(n, block);
+    for (std::size_t i = 0; i < t; ++i) {
+      const double* xrow = x.row_data(i);
+      const double* brow = xq.row_data(i);
+      for (std::size_t c = 0; c < n; ++c) {
+        const double xv = xrow[c];
+        if (xv == 0.0) continue;
+        double* zrow = z.row_data(c);
+        for (std::size_t j = 0; j < block; ++j) zrow[j] += xv * brow[j];
+      }
+    }
+    for (double& v : z.storage()) v *= inv_t;
+
+    // Rayleigh estimates before orthonormalisation: lambda_j ~ ||z_j||.
+    numerics::Vector next(block, 0.0);
+    for (std::size_t j = 0; j < block; ++j) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < n; ++c) s += z(c, j) * z(c, j);
+      next[j] = std::sqrt(s);
+    }
+    q = std::move(z);
+    numerics::orthonormalize_columns(q);
+
+    double drift = 0.0;
+    for (std::size_t j = 0; j < block; ++j) {
+      const double denom = std::max(next[j], 1e-300);
+      drift = std::max(drift, std::fabs(next[j] - estimates[j]) / denom);
+    }
+    estimates = std::move(next);
+    if (drift < options.iteration_tolerance) break;
+  }
+
+  // Final eigenvalues via the Rayleigh quotient lambda_j = ||X q_j||^2 / T,
+  // then sort the block (orthogonal iteration usually orders it already).
+  numerics::Matrix xq = numerics::matmul(x, q);
+  std::vector<std::pair<double, std::size_t>> ranked(block);
+  for (std::size_t j = 0; j < block; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < t; ++i) s += xq(i, j) * xq(i, j);
+    ranked[j] = {s * inv_t, j};
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  const double top = std::max(ranked[0].first, 0.0);
+  std::size_t usable = 0;
+  for (std::size_t j = 0; j < block; ++j) {
+    if (ranked[j].first <= 0.0 ||
+        ranked[j].first < options.rank_tolerance * top) {
+      break;
+    }
+    ++usable;
+  }
+  const std::size_t order = std::min(options.max_order, usable);
+  Spectrum out;
+  out.vectors = numerics::Matrix(n, order);
+  out.eigenvalues.resize(order);
+  for (std::size_t j = 0; j < order; ++j) {
+    out.eigenvalues[j] = ranked[j].first;
+    for (std::size_t c = 0; c < n; ++c) {
+      out.vectors(c, j) = q(c, ranked[j].second);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PcaBasis::PcaBasis(const SnapshotSet& training, const PcaOptions& options) {
+  if (training.count() == 0 || training.cell_count() == 0) {
+    throw std::invalid_argument("PcaBasis: empty training set");
+  }
+  const numerics::Matrix x = centered_maps(training);
+  Spectrum s;
+  switch (options.method) {
+    case PcaMethod::kSnapshotGram:
+      s = train_snapshot_gram(x, options);
+      break;
+    case PcaMethod::kDenseCovariance:
+      s = train_dense_covariance(x, options);
+      break;
+    case PcaMethod::kOrthogonalIteration:
+      s = train_orthogonal_iteration(x, options);
+      break;
+  }
+  vectors_ = std::move(s.vectors);
+  eigenvalues_ = std::move(s.eigenvalues);
+  if (vectors_.cols() == 0) {
+    throw std::invalid_argument("PcaBasis: training set has zero variance");
+  }
+}
+
+std::size_t PcaBasis::order_for_energy_fraction(double tail_fraction) const {
+  const double total = numerics::sum(eigenvalues_);
+  if (total <= 0.0) return 0;
+  double tail = total;
+  for (std::size_t k = 0; k < eigenvalues_.size(); ++k) {
+    if (tail / total <= tail_fraction) return k;
+    tail -= eigenvalues_[k];
+  }
+  return eigenvalues_.size();
+}
+
+double PcaBasis::theoretical_approximation_mse(std::size_t k) const {
+  double tail = 0.0;
+  for (std::size_t j = k; j < eigenvalues_.size(); ++j) {
+    tail += eigenvalues_[j];
+  }
+  return tail / static_cast<double>(cell_count());
+}
+
+}  // namespace eigenmaps::core

@@ -1,0 +1,62 @@
+// The EigenMaps basis: principal components of the training snapshots.
+#ifndef EIGENMAPS_CORE_PCA_BASIS_H
+#define EIGENMAPS_CORE_PCA_BASIS_H
+
+#include <cstdint>
+
+#include "core/basis.h"
+#include "core/snapshot_set.h"
+
+namespace eigenmaps::core {
+
+enum class PcaMethod {
+  /// Eigendecompose the T x T snapshot Gram matrix (exact; the default —
+  /// T_train << N for this workload, see DESIGN.md §3).
+  kSnapshotGram,
+  /// Form the N x N covariance and eigendecompose it (exact; O(N^3), only
+  /// sensible for small grids).
+  kDenseCovariance,
+  /// Matrix-free block orthogonal iteration on the covariance operator
+  /// (approximate; never materialises a T x T or N x N matrix).
+  kOrthogonalIteration,
+};
+
+struct PcaOptions {
+  PcaMethod method = PcaMethod::kSnapshotGram;
+  std::size_t max_order = 48;
+  /// Components with eigenvalue below rank_tolerance * largest are dropped.
+  double rank_tolerance = 1e-12;
+  /// Orthogonal iteration controls.
+  std::size_t iteration_limit = 200;
+  double iteration_tolerance = 1e-9;
+  std::uint64_t seed = 77;
+};
+
+class PcaBasis : public Basis {
+ public:
+  explicit PcaBasis(const SnapshotSet& training,
+                    const PcaOptions& options = {});
+
+  const numerics::Matrix& vectors() const override { return vectors_; }
+
+  /// Covariance eigenvalues, descending. For the exact methods this is the
+  /// full computable spectrum (can be longer than max_order); for orthogonal
+  /// iteration only the retained leading block is known.
+  const numerics::Vector& eigenvalues() const { return eigenvalues_; }
+
+  /// Smallest K whose tail energy fraction sum_{j>=K} lambda_j / sum lambda
+  /// is at most `tail_fraction`.
+  std::size_t order_for_energy_fraction(double tail_fraction) const;
+
+  /// Eq. 2 of the paper: expected approximation MSE at order k is the tail
+  /// eigenvalue sum, reported per cell: (sum_{j>k} lambda_j) / N.
+  double theoretical_approximation_mse(std::size_t k) const;
+
+ private:
+  numerics::Matrix vectors_;     // N x max_order, orthonormal columns
+  numerics::Vector eigenvalues_; // descending
+};
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_PCA_BASIS_H

@@ -1,0 +1,106 @@
+#include "core/reconstructor.h"
+
+#include <stdexcept>
+
+#include "numerics/svd.h"
+
+namespace eigenmaps::core {
+
+namespace {
+
+constexpr double kRankTolerance = 1e-8;
+
+numerics::Matrix sampled_basis(const Basis& basis, std::size_t k,
+                               const SensorLocations& sensors) {
+  if (k == 0 || k > basis.max_order()) {
+    throw std::invalid_argument("Reconstructor: order out of range");
+  }
+  if (sensors.empty() || k > sensors.size()) {
+    throw std::invalid_argument(
+        "Reconstructor: order exceeds the sensor count");
+  }
+  const numerics::Matrix& v = basis.vectors();
+  numerics::Matrix sampled(sensors.size(), k);
+  for (std::size_t s = 0; s < sensors.size(); ++s) {
+    if (sensors[s] >= basis.cell_count()) {
+      throw std::invalid_argument("Reconstructor: sensor out of range");
+    }
+    const double* row = v.row_data(sensors[s]);
+    for (std::size_t j = 0; j < k; ++j) sampled(s, j) = row[j];
+  }
+  return sampled;
+}
+
+}  // namespace
+
+Reconstructor::SampledFactor Reconstructor::factor_sampled(
+    const Basis& basis, std::size_t k, const SensorLocations& sensors) {
+  numerics::Matrix sampled = sampled_basis(basis, k, sensors);
+  const numerics::Vector sv = numerics::singular_values(sampled);
+  if (sv.empty() || sv.front() <= 0.0 ||
+      sv.back() < kRankTolerance * sv.front()) {
+    // Theorem 1: rank(Psi~_K) = K is required for a unique least-squares
+    // estimate; the caller retries with a smaller order.
+    throw std::invalid_argument("Reconstructor: sampled basis rank deficient");
+  }
+  return {numerics::HouseholderQr(std::move(sampled)),
+          sv.front() / sv.back()};
+}
+
+Reconstructor::Reconstructor(const Basis& basis, std::size_t k,
+                             SensorLocations sensors,
+                             numerics::Vector mean_map)
+    : k_(k),
+      sensors_(std::move(sensors)),
+      mean_map_(std::move(mean_map)),
+      factor_(factor_sampled(basis, k, sensors_)) {
+  if (mean_map_.size() != basis.cell_count()) {
+    throw std::invalid_argument("Reconstructor: mean map size mismatch");
+  }
+
+  mean_at_sensors_.resize(sensors_.size());
+  for (std::size_t s = 0; s < sensors_.size(); ++s) {
+    mean_at_sensors_[s] = mean_map_[sensors_[s]];
+  }
+  subspace_ = numerics::Matrix(basis.cell_count(), k);
+  const numerics::Matrix& v = basis.vectors();
+  for (std::size_t i = 0; i < basis.cell_count(); ++i) {
+    const double* row = v.row_data(i);
+    double* dst = subspace_.row_data(i);
+    for (std::size_t j = 0; j < k; ++j) dst[j] = row[j];
+  }
+}
+
+numerics::Vector Reconstructor::sample(const numerics::Vector& map) const {
+  if (map.size() != mean_map_.size()) {
+    throw std::invalid_argument("Reconstructor::sample: map size mismatch");
+  }
+  numerics::Vector readings(sensors_.size());
+  for (std::size_t s = 0; s < sensors_.size(); ++s) {
+    readings[s] = map[sensors_[s]];
+  }
+  return readings;
+}
+
+numerics::Vector Reconstructor::reconstruct(
+    const numerics::Vector& readings) const {
+  if (readings.size() != sensors_.size()) {
+    throw std::invalid_argument(
+        "Reconstructor::reconstruct: readings size mismatch");
+  }
+  numerics::Vector centered(readings.size());
+  for (std::size_t s = 0; s < readings.size(); ++s) {
+    centered[s] = readings[s] - mean_at_sensors_[s];
+  }
+  const numerics::Vector alpha = factor_.solver.solve(centered);
+  numerics::Vector map(mean_map_);
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    const double* row = subspace_.row_data(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < k_; ++j) s += row[j] * alpha[j];
+    map[i] += s;
+  }
+  return map;
+}
+
+}  // namespace eigenmaps::core

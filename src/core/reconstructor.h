@@ -1,0 +1,53 @@
+// Least-squares thermal-map reconstruction from sparse sensor readings.
+#ifndef EIGENMAPS_CORE_RECONSTRUCTOR_H
+#define EIGENMAPS_CORE_RECONSTRUCTOR_H
+
+#include "core/allocation.h"
+#include "core/basis.h"
+#include "numerics/qr.h"
+
+namespace eigenmaps::core {
+
+/// Holds the order-k sampled basis Psi~ (sensors x k) in factored form so
+/// one map reconstruction is a tiny QR solve plus an N x k product.
+/// Construction throws std::invalid_argument when Psi~ is rank deficient
+/// (Theorem 1's feasibility condition) or k exceeds the sensor count.
+class Reconstructor {
+ public:
+  Reconstructor(const Basis& basis, std::size_t k, SensorLocations sensors,
+                numerics::Vector mean_map);
+
+  std::size_t order() const { return k_; }
+  const SensorLocations& sensors() const { return sensors_; }
+
+  /// sigma_max / sigma_min of the sampled basis Psi~ — the conditioning of
+  /// the inverse problem (drives noise amplification, Fig. 5).
+  double condition_number() const { return factor_.condition; }
+
+  /// Sensor readings for a full map (just the sampled entries).
+  numerics::Vector sample(const numerics::Vector& map) const;
+
+  /// Full-map estimate from readings: mean + V_k * lstsq(Psi~, y - mean~).
+  numerics::Vector reconstruct(const numerics::Vector& readings) const;
+
+ private:
+  // QR of the sampled basis Psi~ plus its conditioning, built together so
+  // the sensor rows are extracted and rank-checked exactly once.
+  struct SampledFactor {
+    numerics::HouseholderQr solver;
+    double condition;
+  };
+  static SampledFactor factor_sampled(const Basis& basis, std::size_t k,
+                                      const SensorLocations& sensors);
+
+  std::size_t k_;
+  SensorLocations sensors_;
+  numerics::Vector mean_map_;
+  numerics::Vector mean_at_sensors_;
+  numerics::Matrix subspace_;  // N x k copy of the leading basis columns
+  SampledFactor factor_;
+};
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_RECONSTRUCTOR_H

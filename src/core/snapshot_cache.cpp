@@ -1,0 +1,178 @@
+#include "core/snapshot_cache.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace eigenmaps::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'I', 'G', 'M', 'A', 'P', 'S', '1'};
+
+struct CacheHeader {
+  char magic[8];
+  std::uint64_t grid_width;
+  std::uint64_t grid_height;
+  std::uint64_t scenario_count;
+  std::uint64_t steps_per_scenario;
+  double dt;
+  std::uint64_t seed;
+  std::uint64_t rows;
+  std::uint64_t cols;
+};
+
+std::uint64_t fnv1a(const unsigned char* data, std::size_t size,
+                    std::uint64_t hash = 0xcbf29ce484222325ULL) {
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+CacheHeader make_header(const ExperimentConfig& config) {
+  CacheHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.grid_width = config.grid_width;
+  h.grid_height = config.grid_height;
+  h.scenario_count = config.scenario_count;
+  h.steps_per_scenario = config.steps_per_scenario;
+  h.dt = config.dt;
+  h.seed = config.seed;
+  h.rows = config.map_count();
+  h.cols = config.cell_count();
+  return h;
+}
+
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() const { return f_; }
+  explicit operator bool() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+bool save_snapshots(const std::string& path, const ExperimentConfig& config,
+                    const SnapshotSet& snapshots,
+                    const numerics::Vector& energy) {
+  const std::string tmp = path + ".tmp";
+  const auto write_all = [&]() -> bool {
+    File f(tmp, "wb");
+    if (!f) return false;
+
+    const CacheHeader header = make_header(config);
+    if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1) return false;
+
+    const std::vector<double>& maps = snapshots.data().storage();
+    if (!maps.empty() &&
+        std::fwrite(maps.data(), sizeof(double), maps.size(), f.get()) !=
+            maps.size()) {
+      return false;
+    }
+    if (!energy.empty() &&
+        std::fwrite(energy.data(), sizeof(double), energy.size(), f.get()) !=
+            energy.size()) {
+      return false;
+    }
+
+    std::uint64_t checksum = fnv1a(
+        reinterpret_cast<const unsigned char*>(maps.data()),
+        maps.size() * sizeof(double));
+    checksum = fnv1a(reinterpret_cast<const unsigned char*>(energy.data()),
+                     energy.size() * sizeof(double), checksum);
+    return std::fwrite(&checksum, sizeof(checksum), 1, f.get()) == 1;
+  };
+  if (!write_all() || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<CachedSnapshots> load_snapshots(const std::string& path,
+                                              const ExperimentConfig& config) {
+  File f(path, "rb");
+  if (!f) return std::nullopt;
+
+  CacheHeader header{};
+  if (std::fread(&header, sizeof(header), 1, f.get()) != 1) {
+    return std::nullopt;
+  }
+  const CacheHeader expected = make_header(config);
+  if (std::memcmp(&header, &expected, sizeof(header)) != 0) {
+    return std::nullopt;  // wrong magic/version or stale config
+  }
+
+  const std::size_t rows = config.map_count();
+  const std::size_t cols = config.cell_count();
+
+  // Size check before reading the payload.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) return std::nullopt;
+  const long size = std::ftell(f.get());
+  const long expected_size =
+      static_cast<long>(sizeof(CacheHeader) +
+                        (rows * cols + cols) * sizeof(double) +
+                        sizeof(std::uint64_t));
+  if (size != expected_size) return std::nullopt;
+  if (std::fseek(f.get(), sizeof(CacheHeader), SEEK_SET) != 0) {
+    return std::nullopt;
+  }
+
+  numerics::Matrix maps(rows, cols);
+  if (std::fread(maps.storage().data(), sizeof(double), rows * cols,
+                 f.get()) != rows * cols) {
+    return std::nullopt;
+  }
+  numerics::Vector energy(cols);
+  if (std::fread(energy.data(), sizeof(double), cols, f.get()) != cols) {
+    return std::nullopt;
+  }
+  std::uint64_t stored = 0;
+  if (std::fread(&stored, sizeof(stored), 1, f.get()) != 1) {
+    return std::nullopt;
+  }
+
+  std::uint64_t checksum = fnv1a(
+      reinterpret_cast<const unsigned char*>(maps.storage().data()),
+      maps.storage().size() * sizeof(double));
+  checksum = fnv1a(reinterpret_cast<const unsigned char*>(energy.data()),
+                   energy.size() * sizeof(double), checksum);
+  if (checksum != stored) return std::nullopt;
+
+  CachedSnapshots out;
+  out.snapshots = SnapshotSet(std::move(maps));
+  out.energy = std::move(energy);
+  return out;
+}
+
+Experiment build_cached_experiment(const ExperimentConfig& config,
+                                   const std::string& path) {
+  if (auto cached = load_snapshots(path, config)) {
+    return Experiment(config, std::move(cached->snapshots),
+                      std::move(cached->energy));
+  }
+  std::fprintf(stderr,
+               "# %s: cache miss (missing, stale or corrupt) — simulating\n",
+               path.c_str());
+  Experiment experiment = simulate_experiment(config);
+  if (!save_snapshots(path, config, experiment.snapshots(),
+                      experiment.energy())) {
+    std::fprintf(stderr, "# warning: could not write cache %s\n",
+                 path.c_str());
+  }
+  return experiment;
+}
+
+}  // namespace eigenmaps::core

@@ -1,0 +1,43 @@
+#include "core/snapshot_set.h"
+
+#include <stdexcept>
+
+namespace eigenmaps::core {
+
+SnapshotSet::SnapshotSet(numerics::Matrix maps) : maps_(std::move(maps)) {
+  mean_ = numerics::row_mean(maps_);
+}
+
+SnapshotSet SnapshotSet::subsample(std::size_t stride) const {
+  if (stride == 0) throw std::invalid_argument("subsample: stride must be > 0");
+  const std::size_t kept = (count() + stride - 1) / stride;
+  numerics::Matrix out(kept, cell_count());
+  for (std::size_t i = 0; i < kept; ++i) {
+    const double* src = maps_.row_data(i * stride);
+    double* dst = out.row_data(i);
+    for (std::size_t j = 0; j < cell_count(); ++j) dst[j] = src[j];
+  }
+  return SnapshotSet(std::move(out));
+}
+
+std::pair<SnapshotSet, SnapshotSet> SnapshotSet::split(
+    std::size_t first_count) const {
+  if (first_count > count()) {
+    throw std::invalid_argument("split: first_count exceeds snapshot count");
+  }
+  numerics::Matrix head(first_count, cell_count());
+  numerics::Matrix tail(count() - first_count, cell_count());
+  for (std::size_t i = 0; i < first_count; ++i) {
+    const double* src = maps_.row_data(i);
+    double* dst = head.row_data(i);
+    for (std::size_t j = 0; j < cell_count(); ++j) dst[j] = src[j];
+  }
+  for (std::size_t i = first_count; i < count(); ++i) {
+    const double* src = maps_.row_data(i);
+    double* dst = tail.row_data(i - first_count);
+    for (std::size_t j = 0; j < cell_count(); ++j) dst[j] = src[j];
+  }
+  return {SnapshotSet(std::move(head)), SnapshotSet(std::move(tail))};
+}
+
+}  // namespace eigenmaps::core

@@ -1,0 +1,36 @@
+// An ensemble of thermal maps (one map per row) with its mean cached.
+#ifndef EIGENMAPS_CORE_SNAPSHOT_SET_H
+#define EIGENMAPS_CORE_SNAPSHOT_SET_H
+
+#include <utility>
+
+#include "numerics/matrix.h"
+#include "numerics/stats.h"
+
+namespace eigenmaps::core {
+
+class SnapshotSet {
+ public:
+  SnapshotSet() = default;
+  explicit SnapshotSet(numerics::Matrix maps);
+
+  std::size_t count() const { return maps_.rows(); }
+  std::size_t cell_count() const { return maps_.cols(); }
+  const numerics::Matrix& data() const { return maps_; }
+  numerics::Vector map(std::size_t t) const { return maps_.row(t); }
+  const numerics::Vector& mean() const { return mean_; }
+
+  /// Every stride-th map, starting at the first.
+  SnapshotSet subsample(std::size_t stride) const;
+
+  /// First `first_count` maps and the remainder, in trace order.
+  std::pair<SnapshotSet, SnapshotSet> split(std::size_t first_count) const;
+
+ private:
+  numerics::Matrix maps_;  // count x cell_count
+  numerics::Vector mean_;
+};
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_SNAPSHOT_SET_H

@@ -1,0 +1,62 @@
+#include "floorplan/floorplan.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace eigenmaps::floorplan {
+
+Floorplan::Floorplan(std::vector<Block> blocks) : blocks_(std::move(blocks)) {
+  if (blocks_.empty()) {
+    throw std::invalid_argument("Floorplan: needs at least one block");
+  }
+}
+
+std::size_t Floorplan::block_at(double x, double y) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].contains(x, y)) return i;
+  }
+  // Off-grid or on the far boundary: nearest block center.
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const double dx = x - blocks_[i].center_x();
+    const double dy = y - blocks_[i].center_y();
+    const double d = dx * dx + dy * dy;
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Floorplan make_niagara_t1() {
+  std::vector<Block> b;
+  // Eight SPARC cores along the top and bottom edges.
+  for (int i = 0; i < 4; ++i) {
+    b.push_back({"sparc" + std::to_string(i), BlockType::kCore, 0.25 * i,
+                 0.75, 0.25, 0.25});
+  }
+  for (int i = 0; i < 4; ++i) {
+    b.push_back({"sparc" + std::to_string(4 + i), BlockType::kCore, 0.25 * i,
+                 0.0, 0.25, 0.25});
+  }
+  // L2 data banks on the left and right edges of the middle band.
+  b.push_back({"l2_data0", BlockType::kCache, 0.00, 0.25, 0.15, 0.25});
+  b.push_back({"l2_data1", BlockType::kCache, 0.00, 0.50, 0.15, 0.25});
+  b.push_back({"l2_data2", BlockType::kCache, 0.85, 0.25, 0.15, 0.25});
+  b.push_back({"l2_data3", BlockType::kCache, 0.85, 0.50, 0.15, 0.25});
+  // Middle band: tags + FPU below the crossbar, memory + IO above it.
+  b.push_back({"l2_tag0", BlockType::kCache, 0.15, 0.25, 0.25, 0.20});
+  b.push_back({"fpu", BlockType::kFpu, 0.40, 0.25, 0.20, 0.20});
+  b.push_back({"l2_tag1", BlockType::kCache, 0.60, 0.25, 0.25, 0.20});
+  b.push_back({"crossbar", BlockType::kCrossbar, 0.15, 0.45, 0.70, 0.10});
+  b.push_back({"dram_ctl0", BlockType::kMemController, 0.15, 0.55, 0.25,
+               0.20});
+  b.push_back({"io_bridge", BlockType::kIo, 0.40, 0.55, 0.20, 0.20});
+  b.push_back({"dram_ctl1", BlockType::kMemController, 0.60, 0.55, 0.25,
+               0.20});
+  return Floorplan(std::move(b));
+}
+
+}  // namespace eigenmaps::floorplan

@@ -1,0 +1,60 @@
+// Block-level floorplan in normalised [0,1] x [0,1] die coordinates.
+#ifndef EIGENMAPS_FLOORPLAN_FLOORPLAN_H
+#define EIGENMAPS_FLOORPLAN_FLOORPLAN_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eigenmaps::floorplan {
+
+enum class BlockType {
+  kCore,
+  kCache,
+  kCrossbar,
+  kMemController,
+  kFpu,
+  kIo,
+};
+
+struct Block {
+  std::string name;
+  BlockType type;
+  // Lower-left corner and extent, normalised to the die.
+  double x = 0.0;
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+
+  double area() const { return width * height; }
+  double center_x() const { return x + 0.5 * width; }
+  double center_y() const { return y + 0.5 * height; }
+  bool contains(double px, double py) const {
+    return px >= x && px < x + width && py >= y && py < y + height;
+  }
+};
+
+class Floorplan {
+ public:
+  explicit Floorplan(std::vector<Block> blocks);
+
+  std::size_t block_count() const { return blocks_.size(); }
+  const Block& block(std::size_t i) const { return blocks_[i]; }
+
+  /// Index of the block containing (x, y); falls back to the nearest block
+  /// center so every die point maps somewhere.
+  std::size_t block_at(double x, double y) const;
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+/// Approximate Sun UltraSPARC T1 (Niagara) floorplan: eight SPARC cores on
+/// the top and bottom die edges, L2 data banks on the sides, and the
+/// crossbar / L2 tags / FPU / DRAM controllers / IO bridge in the middle
+/// band. The rectangles tile the unit square exactly.
+Floorplan make_niagara_t1();
+
+}  // namespace eigenmaps::floorplan
+
+#endif  // EIGENMAPS_FLOORPLAN_FLOORPLAN_H

@@ -1,0 +1,38 @@
+#include "floorplan/grid.h"
+
+#include <stdexcept>
+
+namespace eigenmaps::floorplan {
+
+ThermalGrid::ThermalGrid(const Floorplan& plan, std::size_t width,
+                         std::size_t height)
+    : width_(width), height_(height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("ThermalGrid: empty grid");
+  }
+  block_of_.resize(cell_count());
+  block_cell_count_.assign(plan.block_count(), 0);
+  for (std::size_t i = 0; i < cell_count(); ++i) {
+    const std::size_t b = plan.block_at(cell_x(i), cell_y(i));
+    block_of_[i] = b;
+    ++block_cell_count_[b];
+  }
+}
+
+void SensorMask::forbid_block_type(const ThermalGrid& grid,
+                                   const Floorplan& plan, BlockType type) {
+  if (grid.cell_count() != allowed_.size()) {
+    throw std::invalid_argument("SensorMask: grid size mismatch");
+  }
+  for (std::size_t i = 0; i < allowed_.size(); ++i) {
+    if (plan.block(grid.block_of_index(i)).type == type) allowed_[i] = 0;
+  }
+}
+
+std::size_t SensorMask::allowed_count() const {
+  std::size_t n = 0;
+  for (const char a : allowed_) n += (a != 0);
+  return n;
+}
+
+}  // namespace eigenmaps::floorplan

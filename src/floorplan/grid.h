@@ -1,0 +1,74 @@
+// Discretisation of a floorplan onto the thermal grid, plus the placement
+// mask used for constrained sensor allocation (Fig. 6).
+#ifndef EIGENMAPS_FLOORPLAN_GRID_H
+#define EIGENMAPS_FLOORPLAN_GRID_H
+
+#include <cstddef>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+
+namespace eigenmaps::floorplan {
+
+/// Maps every grid cell to its floorplan block. Owns plain arrays (no
+/// reference back to the Floorplan) so it is freely copyable.
+class ThermalGrid {
+ public:
+  ThermalGrid(const Floorplan& plan, std::size_t width, std::size_t height);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t cell_count() const { return width_ * height_; }
+  std::size_t block_count() const { return block_cell_count_.size(); }
+
+  std::size_t index(std::size_t row, std::size_t col) const {
+    return row * width_ + col;
+  }
+  std::size_t row_of(std::size_t i) const { return i / width_; }
+  std::size_t col_of(std::size_t i) const { return i % width_; }
+
+  /// Normalised die coordinates of the cell center.
+  double cell_x(std::size_t i) const {
+    return (static_cast<double>(col_of(i)) + 0.5) / static_cast<double>(width_);
+  }
+  double cell_y(std::size_t i) const {
+    return (static_cast<double>(row_of(i)) + 0.5) /
+           static_cast<double>(height_);
+  }
+
+  std::size_t block_of_index(std::size_t i) const { return block_of_[i]; }
+  std::size_t block_cell_count(std::size_t block) const {
+    return block_cell_count_[block];
+  }
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::size_t> block_of_;
+  std::vector<std::size_t> block_cell_count_;
+};
+
+/// Allowed/forbidden cells for sensor placement. Fresh masks allow all.
+class SensorMask {
+ public:
+  explicit SensorMask(std::size_t cell_count)
+      : allowed_(cell_count, 1) {}
+
+  std::size_t size() const { return allowed_.size(); }
+  bool allowed(std::size_t i) const { return allowed_[i] != 0; }
+  void forbid(std::size_t i) { allowed_[i] = 0; }
+  void allow(std::size_t i) { allowed_[i] = 1; }
+
+  /// Forbids every cell whose block has the given type.
+  void forbid_block_type(const ThermalGrid& grid, const Floorplan& plan,
+                         BlockType type);
+
+  std::size_t allowed_count() const;
+
+ private:
+  std::vector<char> allowed_;
+};
+
+}  // namespace eigenmaps::floorplan
+
+#endif  // EIGENMAPS_FLOORPLAN_GRID_H

@@ -1,0 +1,89 @@
+#include "io/map_image.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace eigenmaps::io {
+
+namespace {
+
+double normalized(double value, const ValueRange& range) {
+  const double span = range.max - range.min;
+  const double t = (value - range.min) / span;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+// Five-stop heat scale: deep blue, cyan, yellow-green, orange, red.
+void heat_color(double t, unsigned char* rgb) {
+  static const double stops[5][3] = {{0.10, 0.15, 0.50},
+                                     {0.10, 0.65, 0.85},
+                                     {0.65, 0.85, 0.30},
+                                     {0.95, 0.55, 0.15},
+                                     {0.80, 0.10, 0.10}};
+  const double scaled = t * 4.0;
+  const int lo = std::min(static_cast<int>(scaled), 3);
+  const double f = scaled - lo;
+  for (int c = 0; c < 3; ++c) {
+    const double v = stops[lo][c] + f * (stops[lo + 1][c] - stops[lo][c]);
+    rgb[c] = static_cast<unsigned char>(v * 255.0 + 0.5);
+  }
+}
+
+void check_shape(const numerics::Vector& values, std::size_t height,
+                 std::size_t width) {
+  if (values.size() != height * width) {
+    throw std::invalid_argument("map image: size != height * width");
+  }
+}
+
+}  // namespace
+
+ValueRange data_range(const numerics::Vector& values) {
+  if (values.empty()) return {0.0, 1.0};
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  return {lo, hi};
+}
+
+bool write_pgm(const std::string& path, const numerics::Vector& values,
+               std::size_t height, std::size_t width, ValueRange range) {
+  check_shape(values, height, width);
+  if (range.max <= range.min) range.max = range.min + 1.0;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P5\n%zu %zu\n255\n", width, height);
+  std::vector<unsigned char> pixels(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    pixels[i] = static_cast<unsigned char>(
+        normalized(values[i], range) * 255.0 + 0.5);
+  }
+  const bool ok =
+      std::fwrite(pixels.data(), 1, pixels.size(), f) == pixels.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool write_ppm_heat(const std::string& path, const numerics::Vector& values,
+                    std::size_t height, std::size_t width, ValueRange range) {
+  check_shape(values, height, width);
+  if (range.max <= range.min) range.max = range.min + 1.0;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P6\n%zu %zu\n255\n", width, height);
+  std::vector<unsigned char> pixels(values.size() * 3);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    heat_color(normalized(values[i], range), pixels.data() + 3 * i);
+  }
+  const bool ok =
+      std::fwrite(pixels.data(), 1, pixels.size(), f) == pixels.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace eigenmaps::io

@@ -1,0 +1,31 @@
+// Thermal-map image writers (binary PGM / PPM) for the figure galleries.
+#ifndef EIGENMAPS_IO_MAP_IMAGE_H
+#define EIGENMAPS_IO_MAP_IMAGE_H
+
+#include <string>
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::io {
+
+/// Color-scale limits; values outside are clamped.
+struct ValueRange {
+  double min = 0.0;
+  double max = 1.0;
+};
+
+/// Min/max of the data (degenerate ranges are widened so rendering is
+/// always well defined).
+ValueRange data_range(const numerics::Vector& values);
+
+/// Grayscale P5 image of a row-major height x width map.
+bool write_pgm(const std::string& path, const numerics::Vector& values,
+               std::size_t height, std::size_t width, ValueRange range);
+
+/// Heat-colored P6 image (cold blue -> warm red) of the same layout.
+bool write_ppm_heat(const std::string& path, const numerics::Vector& values,
+                    std::size_t height, std::size_t width, ValueRange range);
+
+}  // namespace eigenmaps::io
+
+#endif  // EIGENMAPS_IO_MAP_IMAGE_H

@@ -1,0 +1,92 @@
+#include "io/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+namespace eigenmaps::io {
+
+namespace {
+
+std::string formatted(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: needs at least one column");
+  }
+}
+
+Table::Row Table::new_row() {
+  rows_.emplace_back();
+  return Row(this, rows_.size() - 1);
+}
+
+Table::Row& Table::Row::add(double value, int precision) {
+  char format[16];
+  std::snprintf(format, sizeof(format), "%%.%df", precision);
+  return add(formatted(format, value));
+}
+
+Table::Row& Table::Row::add_scientific(double value) {
+  return add(formatted("%.4e", value));
+}
+
+Table::Row& Table::Row::add(const std::string& value) {
+  std::vector<std::string>& row = table_->rows_[index_];
+  if (row.size() >= table_->headers_.size()) {
+    throw std::out_of_range("Table: row has more cells than headers");
+  }
+  row.push_back(value);
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+       << headers_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = (c < row.size()) ? row[c] : std::string();
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << cell;
+    }
+    os << '\n';
+  }
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "" : ",") << headers_[c];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out << (c == 0 ? "" : ",") << ((c < row.size()) ? row[c] : "");
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace eigenmaps::io

@@ -1,0 +1,51 @@
+// Aligned console tables with CSV export, as used by every harness.
+#ifndef EIGENMAPS_IO_TABLE_H
+#define EIGENMAPS_IO_TABLE_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace eigenmaps::io {
+
+class Table {
+ public:
+  /// Chainable row builder: table.new_row().add(k).add_scientific(mse)...
+  class Row {
+   public:
+    Row(Table* table, std::size_t index) : table_(table), index_(index) {}
+
+    Row& add(double value, int precision);
+    Row& add_scientific(double value);
+    Row& add(const std::string& value);
+    Row& add(const char* value) { return add(std::string(value)); }
+    template <typename T,
+              typename std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    Row& add(T value) {
+      return add(std::to_string(value));
+    }
+
+   private:
+    Table* table_;
+    std::size_t index_;
+  };
+
+  explicit Table(std::vector<std::string> headers);
+
+  Row new_row();
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  friend class Row;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eigenmaps::io
+
+#endif  // EIGENMAPS_IO_TABLE_H

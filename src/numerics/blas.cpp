@@ -1,0 +1,110 @@
+#include "numerics/blas.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eigenmaps::numerics {
+
+double dot(const Vector& a, const Vector& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimension mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  // i-k-j order keeps both B and C accesses sequential.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row_data(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix g(n, n);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_data(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      double* grow = g.row_data(i);
+      for (std::size_t j = i; j < n; ++j) grow[j] += ri * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("matvec: dimension mismatch");
+  }
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_data(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector matvec_transpose(const Matrix& a, const Vector& x) {
+  if (a.rows() != x.size()) {
+    throw std::invalid_argument("matvec_transpose: dimension mismatch");
+  }
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = a.row_data(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+std::size_t orthonormalize_columns(Matrix& a, double tolerance) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  std::size_t rank = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Subtract projections onto the previously accepted columns (twice, for
+    // numerical safety at high aspect ratios).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t k = 0; k < j; ++k) {
+        double proj = 0.0;
+        for (std::size_t i = 0; i < m; ++i) proj += a(i, k) * a(i, j);
+        if (proj == 0.0) continue;
+        for (std::size_t i = 0; i < m; ++i) a(i, j) -= proj * a(i, k);
+      }
+    }
+    double nrm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) nrm += a(i, j) * a(i, j);
+    nrm = std::sqrt(nrm);
+    if (nrm <= tolerance) {
+      for (std::size_t i = 0; i < m; ++i) a(i, j) = 0.0;
+      continue;
+    }
+    const double inv = 1.0 / nrm;
+    for (std::size_t i = 0; i < m; ++i) a(i, j) *= inv;
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace eigenmaps::numerics

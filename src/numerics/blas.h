@@ -1,0 +1,32 @@
+// Dense kernels: products, norms and column orthonormalisation.
+#ifndef EIGENMAPS_NUMERICS_BLAS_H
+#define EIGENMAPS_NUMERICS_BLAS_H
+
+#include <cstddef>
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::numerics {
+
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Gram matrix A^T * A (cols x cols), exploiting symmetry.
+Matrix gram(const Matrix& a);
+
+/// y = A * x.
+Vector matvec(const Matrix& a, const Vector& x);
+
+/// y = A^T * x.
+Vector matvec_transpose(const Matrix& a, const Vector& x);
+
+/// In-place modified Gram-Schmidt on the columns of `a`. Columns that turn
+/// out linearly dependent are replaced by zeros; returns the numerical rank.
+std::size_t orthonormalize_columns(Matrix& a, double tolerance = 1e-12);
+
+}  // namespace eigenmaps::numerics
+
+#endif  // EIGENMAPS_NUMERICS_BLAS_H

@@ -1,0 +1,69 @@
+// Dense row-major matrix and the library-wide Vector alias.
+//
+// Sizes in this library are small enough (thousands of cells, tens of basis
+// components) that a plain contiguous double buffer beats anything fancier;
+// the hot kernels live in blas.h and operate on raw rows.
+#ifndef EIGENMAPS_NUMERICS_MATRIX_H
+#define EIGENMAPS_NUMERICS_MATRIX_H
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace eigenmaps::numerics {
+
+/// Column/row/map values; all APIs take and return plain double vectors.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix. Zero-initialised on construction.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  const double& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  double* row_data(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row_data(std::size_t i) const {
+    return data_.data() + i * cols_;
+  }
+
+  Vector row(std::size_t i) const {
+    return Vector(row_data(i), row_data(i) + cols_);
+  }
+  Vector col(std::size_t j) const {
+    Vector out(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+    return out;
+  }
+
+  void set_row(std::size_t i, const Vector& values) {
+    if (values.size() != cols_) {
+      throw std::invalid_argument("Matrix::set_row: size mismatch");
+    }
+    double* dst = row_data(i);
+    for (std::size_t j = 0; j < cols_; ++j) dst[j] = values[j];
+  }
+
+  const std::vector<double>& storage() const { return data_; }
+  std::vector<double>& storage() { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace eigenmaps::numerics
+
+#endif  // EIGENMAPS_NUMERICS_MATRIX_H

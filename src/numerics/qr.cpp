@@ -1,0 +1,78 @@
+#include "numerics/qr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eigenmaps::numerics {
+
+HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (m < n) {
+    throw std::invalid_argument("HouseholderQr: need rows >= cols");
+  }
+  tau_.assign(n, 0.0);
+  diag_.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      diag_[k] = 0.0;
+      tau_[k] = 0.0;
+      continue;
+    }
+    const double alpha = (qr_(k, k) >= 0.0) ? -norm : norm;
+    // v = x - alpha e1, stored in place; normalised so v[k] = 1 implicitly.
+    const double vkk = qr_(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= vkk;
+    tau_[k] = -vkk / alpha;  // beta = 2 / (v^T v) with v[k] = 1 scaling.
+    diag_[k] = alpha;
+    // Apply reflector to the remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = qr_(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= tau_[k];
+      qr_(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+    qr_(k, k) = alpha;
+  }
+}
+
+Vector HouseholderQr::solve(const Vector& b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (b.size() != m) {
+    throw std::invalid_argument("HouseholderQr::solve: rhs size mismatch");
+  }
+  Vector y = b;
+  // y = Q^T b.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= tau_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+  // Back substitution with R.
+  Vector x(n, 0.0);
+  for (std::size_t k = n; k-- > 0;) {
+    double s = y[k];
+    for (std::size_t j = k + 1; j < n; ++j) s -= qr_(k, j) * x[j];
+    if (diag_[k] == 0.0) {
+      x[k] = 0.0;  // rank-deficient direction: minimum-effort component
+    } else {
+      x[k] = s / diag_[k];
+    }
+  }
+  return x;
+}
+
+Vector solve_least_squares(const Matrix& a, const Vector& b) {
+  return HouseholderQr(a).solve(b);
+}
+
+}  // namespace eigenmaps::numerics

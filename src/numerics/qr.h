@@ -1,0 +1,35 @@
+// Householder QR for tall-thin systems and least squares.
+#ifndef EIGENMAPS_NUMERICS_QR_H
+#define EIGENMAPS_NUMERICS_QR_H
+
+#include <cstddef>
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::numerics {
+
+/// Householder QR of an m x n matrix with m >= n, stored compactly so the
+/// factorisation can be reused for many right-hand sides (the reconstructor
+/// solves one small least-squares problem per thermal map).
+class HouseholderQr {
+ public:
+  explicit HouseholderQr(Matrix a);
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+  /// Least-squares solution of A x = b (minimises ||Ax - b||_2).
+  Vector solve(const Vector& b) const;
+
+ private:
+  Matrix qr_;       // Householder vectors below the diagonal, R on and above.
+  Vector tau_;      // Householder scalars.
+  Vector diag_;     // Diagonal of R.
+};
+
+/// One-shot least squares; factors and solves.
+Vector solve_least_squares(const Matrix& a, const Vector& b);
+
+}  // namespace eigenmaps::numerics
+
+#endif  // EIGENMAPS_NUMERICS_QR_H

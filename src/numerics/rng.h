@@ -1,0 +1,61 @@
+// Deterministic PRNG (splitmix64) with uniform and Gaussian draws.
+//
+// Deliberately not <random>: results must be bit-identical across standard
+// libraries so cached experiments and tests reproduce everywhere.
+#ifndef EIGENMAPS_NUMERICS_RNG_H
+#define EIGENMAPS_NUMERICS_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::numerics {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller (pairs cached).
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586476925286766559 * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  Vector normal_vector(std::size_t n) {
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = normal();
+    return v;
+  }
+
+ private:
+  std::uint64_t state_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace eigenmaps::numerics
+
+#endif  // EIGENMAPS_NUMERICS_RNG_H

@@ -1,0 +1,66 @@
+#include "numerics/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eigenmaps::numerics {
+
+double sum(const Vector& v) {
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s;
+}
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double mean_squared_error(const Vector& a, const Vector& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("mean_squared_error: size mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(a.size());
+}
+
+double max_squared_error(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("max_squared_error: size mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    m = std::max(m, d * d);
+  }
+  return m;
+}
+
+Vector row_mean(const Matrix& maps) {
+  Vector mean(maps.cols(), 0.0);
+  if (maps.rows() == 0) return mean;
+  for (std::size_t i = 0; i < maps.rows(); ++i) {
+    const double* row = maps.row_data(i);
+    for (std::size_t j = 0; j < maps.cols(); ++j) mean[j] += row[j];
+  }
+  const double inv = 1.0 / static_cast<double>(maps.rows());
+  for (double& m : mean) m *= inv;
+  return mean;
+}
+
+void subtract_row_mean(Matrix& maps, const Vector& mean) {
+  if (mean.size() != maps.cols()) {
+    throw std::invalid_argument("subtract_row_mean: size mismatch");
+  }
+  for (std::size_t i = 0; i < maps.rows(); ++i) {
+    double* row = maps.row_data(i);
+    for (std::size_t j = 0; j < maps.cols(); ++j) row[j] -= mean[j];
+  }
+}
+
+}  // namespace eigenmaps::numerics

@@ -1,0 +1,26 @@
+// Reductions and error metrics shared by the figure harnesses.
+#ifndef EIGENMAPS_NUMERICS_STATS_H
+#define EIGENMAPS_NUMERICS_STATS_H
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::numerics {
+
+double sum(const Vector& v);
+double norm_inf(const Vector& v);
+
+/// mean_i (a_i - b_i)^2 — the paper's MSE, in (deg C)^2.
+double mean_squared_error(const Vector& a, const Vector& b);
+
+/// max_i (a_i - b_i)^2 — the paper's MAX metric.
+double max_squared_error(const Vector& a, const Vector& b);
+
+/// Column-wise mean of the rows of `maps` (the mean thermal map).
+Vector row_mean(const Matrix& maps);
+
+/// Subtracts `mean` from every row of `maps` in place.
+void subtract_row_mean(Matrix& maps, const Vector& mean);
+
+}  // namespace eigenmaps::numerics
+
+#endif  // EIGENMAPS_NUMERICS_STATS_H

@@ -1,0 +1,46 @@
+#include "numerics/svd.h"
+
+#include <cmath>
+#include <limits>
+
+#include "numerics/blas.h"
+#include "numerics/symmetric_eigen.h"
+
+namespace eigenmaps::numerics {
+
+Vector singular_values(const Matrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) return {};
+  // Work with the smaller Gram matrix: A^T A (cols x cols) or A A^T.
+  Matrix g;
+  if (a.cols() <= a.rows()) {
+    g = gram(a);
+  } else {
+    const std::size_t m = a.rows();
+    g = Matrix(m, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* ri = a.row_data(i);
+      for (std::size_t j = i; j < m; ++j) {
+        const double* rj = a.row_data(j);
+        double s = 0.0;
+        for (std::size_t k = 0; k < a.cols(); ++k) s += ri[k] * rj[k];
+        g(i, j) = s;
+        g(j, i) = s;
+      }
+    }
+  }
+  Vector values = symmetric_eigen(g).eigenvalues;
+  for (double& v : values) v = (v > 0.0) ? std::sqrt(v) : 0.0;
+  return values;  // already descending
+}
+
+double condition_number(const Matrix& a) {
+  const Vector sv = singular_values(a);
+  if (sv.empty() || sv.front() == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double smin = sv.back();
+  if (smin <= 0.0) return std::numeric_limits<double>::infinity();
+  return sv.front() / smin;
+}
+
+}  // namespace eigenmaps::numerics

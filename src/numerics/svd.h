@@ -1,0 +1,19 @@
+// Singular values via the eigen-decomposition of the smaller Gram matrix.
+#ifndef EIGENMAPS_NUMERICS_SVD_H
+#define EIGENMAPS_NUMERICS_SVD_H
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::numerics {
+
+/// Singular values of a (any shape), sorted descending. Length is
+/// min(rows, cols). Accurate enough for rank tests and condition numbers of
+/// the small sampled-basis matrices this library works with.
+Vector singular_values(const Matrix& a);
+
+/// sigma_max / sigma_min; returns +inf when numerically singular.
+double condition_number(const Matrix& a);
+
+}  // namespace eigenmaps::numerics
+
+#endif  // EIGENMAPS_NUMERICS_SVD_H

@@ -1,0 +1,80 @@
+#include "sparse/conjugate_gradient.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eigenmaps::sparse {
+
+CgResult conjugate_gradient(const CsrMatrix& a, const numerics::Vector& b,
+                            const numerics::Vector* x0,
+                            const CgOptions& options) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("conjugate_gradient: dimension mismatch");
+  }
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  if (x0 != nullptr) {
+    if (x0->size() != n) {
+      throw std::invalid_argument("conjugate_gradient: bad warm start size");
+    }
+    result.x = *x0;
+  }
+
+  numerics::Vector inv_diag = a.diagonal();
+  for (double& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+
+  numerics::Vector r(n), z(n), p(n), ap(n);
+  a.multiply(result.x, ap);
+  double b_norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - ap[i];
+    b_norm += b[i] * b[i];
+  }
+  b_norm = std::sqrt(b_norm);
+  const double stop = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = inv_diag[i] * r[i];
+    rz += r[i] * z[i];
+  }
+  p = z;
+
+  double r_norm = 0.0;
+  for (const double v : r) r_norm += v * v;
+  r_norm = std::sqrt(r_norm);
+
+  std::size_t it = 0;
+  while (r_norm > stop && it < options.max_iterations) {
+    a.multiply(p, ap);
+    double pap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+    if (pap <= 0.0) break;  // matrix not SPD (or breakdown); bail out
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    double rz_next = 0.0;
+    r_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] = inv_diag[i] * r[i];
+      rz_next += r[i] * z[i];
+      r_norm += r[i] * r[i];
+    }
+    r_norm = std::sqrt(r_norm);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    ++it;
+  }
+
+  result.iterations = it;
+  result.residual_norm = r_norm;
+  result.converged = r_norm <= stop;
+  return result;
+}
+
+}  // namespace eigenmaps::sparse

@@ -1,0 +1,29 @@
+// Jacobi-preconditioned conjugate gradient for SPD systems.
+#ifndef EIGENMAPS_SPARSE_CONJUGATE_GRADIENT_H
+#define EIGENMAPS_SPARSE_CONJUGATE_GRADIENT_H
+
+#include "sparse/csr.h"
+
+namespace eigenmaps::sparse {
+
+struct CgOptions {
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-10;  // relative residual ||r|| / ||b||
+};
+
+struct CgResult {
+  numerics::Vector x;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b for symmetric positive definite A. Pass `x0` to warm-start
+/// (the thermal stepper reuses the previous state).
+CgResult conjugate_gradient(const CsrMatrix& a, const numerics::Vector& b,
+                            const numerics::Vector* x0 = nullptr,
+                            const CgOptions& options = {});
+
+}  // namespace eigenmaps::sparse
+
+#endif  // EIGENMAPS_SPARSE_CONJUGATE_GRADIENT_H

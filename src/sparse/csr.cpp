@@ -1,0 +1,102 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eigenmaps::sparse {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      throw std::invalid_argument("CsrMatrix: triplet out of range");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return (a.row != b.row) ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_start_.assign(rows + 1, 0);
+  m.col_index_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  for (std::size_t i = 0; i < triplets.size();) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    if (sum != 0.0) {
+      m.col_index_.push_back(triplets[i].col);
+      m.values_.push_back(sum);
+      ++m.row_start_[triplets[i].row + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    m.row_start_[r + 1] += m.row_start_[r];
+  }
+  return m;
+}
+
+void CsrMatrix::multiply(const numerics::Vector& x,
+                         numerics::Vector& y) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("CsrMatrix::multiply: dimension mismatch");
+  }
+  y.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      s += values_[k] * x[col_index_[k]];
+    }
+    y[r] = s;
+  }
+}
+
+numerics::Vector CsrMatrix::multiply(const numerics::Vector& x) const {
+  numerics::Vector y;
+  multiply(x, y);
+  return y;
+}
+
+numerics::Vector CsrMatrix::diagonal() const {
+  numerics::Vector d(std::min(rows_, cols_), 0.0);
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      if (col_index_[k] == r) d[r] += values_[k];
+    }
+  }
+  return d;
+}
+
+CsrMatrix CsrMatrix::with_diagonal_added(const numerics::Vector& extra) const {
+  if (extra.size() != rows_ || rows_ != cols_) {
+    throw std::invalid_argument("with_diagonal_added: needs square matrix");
+  }
+  CsrMatrix out = *this;
+  std::vector<char> found(rows_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = out.row_start_[r]; k < out.row_start_[r + 1]; ++k) {
+      if (out.col_index_[k] == r) {
+        out.values_[k] += extra[r];
+        found[r] = 1;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (!found[r] && extra[r] != 0.0) {
+      throw std::invalid_argument(
+          "with_diagonal_added: structural diagonal entry missing");
+    }
+  }
+  return out;
+}
+
+}  // namespace eigenmaps::sparse

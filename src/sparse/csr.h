@@ -1,0 +1,49 @@
+// Compressed sparse row matrix, built once from triplets.
+#ifndef EIGENMAPS_SPARSE_CSR_H
+#define EIGENMAPS_SPARSE_CSR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::sparse {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Duplicated (row, col) entries are summed.
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzero_count() const { return values_.size(); }
+
+  void multiply(const numerics::Vector& x, numerics::Vector& y) const;
+  numerics::Vector multiply(const numerics::Vector& x) const;
+
+  numerics::Vector diagonal() const;
+
+  /// Returns a copy with `extra[i]` added to diagonal entry (i, i); used to
+  /// assemble the backward-Euler system (C/dt + G) from the conductance G.
+  CsrMatrix with_diagonal_added(const numerics::Vector& extra) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_start_;  // rows + 1 entries
+  std::vector<std::size_t> col_index_;
+  std::vector<double> values_;
+};
+
+}  // namespace eigenmaps::sparse
+
+#endif  // EIGENMAPS_SPARSE_CSR_H

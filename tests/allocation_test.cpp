@@ -1,0 +1,122 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.h"
+#include "core/dct_basis.h"
+#include "core/interpolation.h"
+#include "core/reconstructor.h"
+#include "floorplan/floorplan.h"
+#include "floorplan/grid.h"
+#include "numerics/svd.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+bool strictly_increasing_unique(const core::SensorLocations& s) {
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i] <= s[i - 1]) return false;
+  }
+  return true;
+}
+
+TEST(AllocateGreedy, HonoursTheBudgetExactly) {
+  const core::DctBasis basis(10, 10, 8);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 8, 12);
+  EXPECT_EQ(sensors.size(), 12u);
+  EXPECT_TRUE(strictly_increasing_unique(sensors));
+  for (const std::size_t s : sensors) EXPECT_LT(s, basis.cell_count());
+}
+
+TEST(AllocateGreedy, RankGuardRejectsBudgetBelowOrder) {
+  const core::DctBasis basis(8, 8, 10);
+  // Theorem 1 needs at least K sensors for an order-K subspace.
+  EXPECT_THROW(core::allocate_greedy(basis, 10, 6), std::invalid_argument);
+  EXPECT_THROW(core::allocate_greedy(basis, 0, 6), std::invalid_argument);
+  EXPECT_THROW(core::allocate_greedy(basis, 11, 16), std::invalid_argument);
+}
+
+TEST(AllocateGreedy, PlacementSupportsFullRankReconstruction) {
+  const core::DctBasis basis(9, 9, 12);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 12, 16);
+  // The sampled basis at the chosen cells must have full column rank —
+  // Reconstructor would throw otherwise.
+  const numerics::Vector mean(basis.cell_count(), 0.0);
+  const core::Reconstructor rec(basis, 12, sensors, mean);
+  EXPECT_GE(rec.condition_number(), 1.0);
+  EXPECT_LT(rec.condition_number(), 1e6);
+}
+
+TEST(AllocateGreedy, RespectsTheMask) {
+  const floorplan::Floorplan plan = floorplan::make_niagara_t1();
+  const floorplan::ThermalGrid grid(plan, 12, 12);
+  const core::DctBasis basis(12, 12, 6);
+  floorplan::SensorMask mask(grid.cell_count());
+  mask.forbid_block_type(grid, plan, floorplan::BlockType::kCache);
+  mask.forbid_block_type(grid, plan, floorplan::BlockType::kCrossbar);
+  const core::SensorLocations sensors =
+      core::allocate_greedy(basis, 6, 10, &mask);
+  EXPECT_EQ(sensors.size(), 10u);
+  for (const std::size_t s : sensors) EXPECT_TRUE(mask.allowed(s));
+}
+
+TEST(AllocateGreedy, BothTiebreaksGiveValidPlacements) {
+  const core::DctBasis basis(10, 8, 10);
+  for (const bool norm_tiebreak : {true, false}) {
+    core::GreedyOptions options;
+    options.norm_tiebreak = norm_tiebreak;
+    const core::SensorLocations sensors =
+        core::allocate_greedy(basis, 10, 14, nullptr, options);
+    EXPECT_EQ(sensors.size(), 14u);
+    const numerics::Vector mean(basis.cell_count(), 0.0);
+    const core::Reconstructor rec(basis, 10, sensors, mean);
+    EXPECT_LT(rec.condition_number(), 1e6);
+  }
+}
+
+TEST(AllocateEnergyCenters, PicksTheHottestBlocksFirst) {
+  const floorplan::Floorplan plan = floorplan::make_niagara_t1();
+  const floorplan::ThermalGrid grid(plan, 16, 16);
+  // Make one core block clearly the most dissipating.
+  std::size_t hot_block = 0;
+  for (std::size_t b = 0; b < plan.block_count(); ++b) {
+    if (plan.block(b).type == floorplan::BlockType::kCore) {
+      hot_block = b;
+      break;
+    }
+  }
+  numerics::Vector energy(grid.cell_count(), 0.1);
+  for (std::size_t i = 0; i < grid.cell_count(); ++i) {
+    if (grid.block_of_index(i) == hot_block) energy[i] = 5.0;
+  }
+  const core::SensorLocations sensors =
+      core::allocate_energy_centers(energy, grid, 1);
+  ASSERT_EQ(sensors.size(), 1u);
+  EXPECT_EQ(grid.block_of_index(sensors[0]), hot_block);
+
+  const core::SensorLocations many =
+      core::allocate_energy_centers(energy, grid, 24);
+  EXPECT_EQ(many.size(), 24u);
+  EXPECT_TRUE(strictly_increasing_unique(many));
+}
+
+TEST(AllocateUniformGrid, CoversTheGridEvenly) {
+  const floorplan::Floorplan plan = floorplan::make_niagara_t1();
+  const floorplan::ThermalGrid grid(plan, 20, 10);
+  const core::SensorLocations sensors = core::allocate_uniform_grid(grid, 8);
+  EXPECT_EQ(sensors.size(), 8u);
+  EXPECT_TRUE(strictly_increasing_unique(sensors));
+  // Sensors appear in both halves of both axes.
+  bool left = false, right = false, top = false, bottom = false;
+  for (const std::size_t s : sensors) {
+    left |= grid.cell_x(s) < 0.5;
+    right |= grid.cell_x(s) >= 0.5;
+    top |= grid.cell_y(s) < 0.5;
+    bottom |= grid.cell_y(s) >= 0.5;
+  }
+  EXPECT_TRUE(left && right && top && bottom);
+}
+
+}  // namespace

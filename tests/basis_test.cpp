@@ -1,0 +1,154 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/basis.h"
+#include "core/dct_basis.h"
+#include "core/pca_basis.h"
+#include "numerics/rng.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+// Synthetic low-rank snapshots: `rank` fixed spatial modes with decaying
+// random coefficients, plus a constant offset.
+core::SnapshotSet planted_snapshots(std::size_t t, std::size_t n,
+                                    std::size_t rank, std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  numerics::Matrix modes(rank, n);
+  for (auto& v : modes.storage()) v = rng.normal();
+  numerics::Matrix maps(t, n);
+  for (std::size_t j = 0; j < t; ++j) {
+    for (std::size_t r = 0; r < rank; ++r) {
+      const double coeff = rng.normal() * static_cast<double>(rank - r);
+      for (std::size_t i = 0; i < n; ++i) {
+        maps(j, i) += coeff * modes(r, i);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) maps(j, i) += 50.0;
+  }
+  return core::SnapshotSet(std::move(maps));
+}
+
+void expect_orthonormal_columns(const numerics::Matrix& v, double tol) {
+  for (std::size_t a = 0; a < v.cols(); ++a) {
+    for (std::size_t b = a; b < v.cols(); ++b) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < v.rows(); ++i) s += v(i, a) * v(i, b);
+      EXPECT_NEAR(s, (a == b) ? 1.0 : 0.0, tol) << "columns " << a << "," << b;
+    }
+  }
+}
+
+TEST(DctBasis, ColumnsAreOrthonormal) {
+  const core::DctBasis basis(9, 7, 20);
+  EXPECT_EQ(basis.cell_count(), 63u);
+  EXPECT_EQ(basis.max_order(), 20u);
+  expect_orthonormal_columns(basis.vectors(), 1e-10);
+}
+
+TEST(DctBasis, FirstModeIsConstant) {
+  const core::DctBasis basis(6, 6, 4);
+  const numerics::Vector dc = basis.vectors().col(0);
+  for (const double v : dc) EXPECT_NEAR(v, dc[0], 1e-12);
+}
+
+TEST(PcaBasis, RecoversPlantedSubspaceRank) {
+  const std::size_t rank = 5;
+  const core::SnapshotSet set = planted_snapshots(80, 40, rank, 3);
+  core::PcaOptions options;
+  options.max_order = 16;
+  const core::PcaBasis basis(set, options);
+  // Exactly `rank` significant eigenvalues.
+  ASSERT_GE(basis.eigenvalues().size(), rank);
+  EXPECT_GT(basis.eigenvalues()[rank - 1], 1e-6);
+  if (basis.eigenvalues().size() > rank) {
+    EXPECT_LT(basis.eigenvalues()[rank] / basis.eigenvalues()[0], 1e-10);
+  }
+  expect_orthonormal_columns(basis.vectors(), 1e-8);
+}
+
+TEST(PcaBasis, TheoreticalMseMatchesEmpiricalOnTrainingData) {
+  const core::SnapshotSet set = planted_snapshots(60, 30, 8, 7);
+  core::PcaOptions options;
+  options.max_order = 12;
+  const core::PcaBasis basis(set, options);
+  numerics::Matrix centered = set.data();
+  numerics::subtract_row_mean(centered, set.mean());
+  for (std::size_t k = 2; k <= 6; k += 2) {
+    const double empirical =
+        core::empirical_approximation_mse(basis, centered, k);
+    const double theory = basis.theoretical_approximation_mse(k);
+    // Eq. 2 is exact on the training ensemble itself.
+    EXPECT_NEAR(empirical, theory, 1e-9 + 1e-6 * theory) << "k=" << k;
+  }
+}
+
+TEST(PcaBasis, BackendsAgreeOnSpectrumAndSubspace) {
+  const core::SnapshotSet set = planted_snapshots(50, 36, 6, 11);
+  core::PcaOptions gram_options;
+  gram_options.max_order = 6;
+  const core::PcaBasis gram(set, gram_options);
+
+  core::PcaOptions dense_options = gram_options;
+  dense_options.method = core::PcaMethod::kDenseCovariance;
+  const core::PcaBasis dense(set, dense_options);
+
+  core::PcaOptions oi_options = gram_options;
+  oi_options.method = core::PcaMethod::kOrthogonalIteration;
+  oi_options.iteration_limit = 500;
+  const core::PcaBasis oi(set, oi_options);
+
+  ASSERT_GE(gram.max_order(), 6u);
+  ASSERT_GE(dense.max_order(), 6u);
+  ASSERT_GE(oi.max_order(), 6u);
+  for (std::size_t j = 0; j < 6; ++j) {
+    const double reference = gram.eigenvalues()[j];
+    EXPECT_NEAR(dense.eigenvalues()[j], reference, 1e-6 * reference);
+    EXPECT_NEAR(oi.eigenvalues()[j], reference, 1e-3 * reference);
+  }
+  // Same subspace: projecting dense/oi vectors onto the gram basis must
+  // preserve their length.
+  for (const core::PcaBasis* other : {&dense, &oi}) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      double captured = 0.0;
+      for (std::size_t a = 0; a < 6; ++a) {
+        double dotp = 0.0;
+        for (std::size_t i = 0; i < gram.cell_count(); ++i) {
+          dotp += other->vectors()(i, j) * gram.vectors()(i, a);
+        }
+        captured += dotp * dotp;
+      }
+      EXPECT_NEAR(captured, 1.0, 1e-3);
+    }
+  }
+}
+
+TEST(PcaBasis, OrderForEnergyFraction) {
+  const core::SnapshotSet set = planted_snapshots(60, 30, 4, 19);
+  const core::PcaBasis basis(set);
+  // Rank-4 data: 4 components leave (numerically) zero tail.
+  EXPECT_LE(basis.order_for_energy_fraction(1e-9), 4u);
+  EXPECT_GE(basis.order_for_energy_fraction(1e-9), 1u);
+  // Demanding nothing needs no components.
+  EXPECT_EQ(basis.order_for_energy_fraction(1.0), 0u);
+}
+
+TEST(ApproximationMetrics, MseDecreasesWithOrderAndMaxBoundsMse) {
+  const core::SnapshotSet set = planted_snapshots(40, 25, 6, 23);
+  const core::PcaBasis basis(set);
+  numerics::Matrix centered = set.data();
+  numerics::subtract_row_mean(centered, set.mean());
+  double previous = 1e300;
+  for (std::size_t k = 1; k <= 5; ++k) {
+    const double mse = core::empirical_approximation_mse(basis, centered, k);
+    const double max_sq =
+        core::empirical_approximation_max(basis, centered, k);
+    EXPECT_LE(mse, previous + 1e-12);
+    EXPECT_GE(max_sq, mse);  // the worst cell is at least the average
+    previous = mse;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/snapshot_cache.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+core::ExperimentConfig tiny_config() {
+  core::ExperimentConfig config;
+  config.grid_width = 10;
+  config.grid_height = 8;
+  config.scenario_count = 2;
+  config.steps_per_scenario = 6;
+  config.training_stride = 2;
+  config.pca_max_order = 6;
+  config.dct_max_order = 6;
+  config.seed = 7;
+  return config;
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("eigenmaps_cache_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".cache"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CacheTest, RoundtripPreservesSnapshotsAndEnergy) {
+  const core::ExperimentConfig config = tiny_config();
+  const core::Experiment e = core::simulate_experiment(config);
+  ASSERT_TRUE(core::save_snapshots(path_, config, e.snapshots(), e.energy()));
+
+  const auto loaded = core::load_snapshots(path_, config);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->snapshots.count(), e.snapshots().count());
+  ASSERT_EQ(loaded->snapshots.cell_count(), e.snapshots().cell_count());
+  for (std::size_t t = 0; t < e.snapshots().count(); ++t) {
+    for (std::size_t i = 0; i < e.snapshots().cell_count(); ++i) {
+      ASSERT_DOUBLE_EQ(loaded->snapshots.data()(t, i),
+                       e.snapshots().data()(t, i));
+    }
+  }
+  for (std::size_t i = 0; i < e.energy().size(); ++i) {
+    ASSERT_DOUBLE_EQ(loaded->energy[i], e.energy()[i]);
+  }
+}
+
+TEST_F(CacheTest, StaleConfigIsRejected) {
+  const core::ExperimentConfig config = tiny_config();
+  const core::Experiment e = core::simulate_experiment(config);
+  ASSERT_TRUE(core::save_snapshots(path_, config, e.snapshots(), e.energy()));
+
+  core::ExperimentConfig other = config;
+  other.steps_per_scenario += 1;  // a different experiment entirely
+  EXPECT_FALSE(core::load_snapshots(path_, other).has_value());
+  other = config;
+  other.seed += 1;
+  EXPECT_FALSE(core::load_snapshots(path_, other).has_value());
+}
+
+TEST_F(CacheTest, TruncatedFileIsRejected) {
+  const core::ExperimentConfig config = tiny_config();
+  const core::Experiment e = core::simulate_experiment(config);
+  ASSERT_TRUE(core::save_snapshots(path_, config, e.snapshots(), e.energy()));
+
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 16);
+  EXPECT_FALSE(core::load_snapshots(path_, config).has_value());
+}
+
+TEST_F(CacheTest, CorruptedPayloadFailsTheChecksum) {
+  const core::ExperimentConfig config = tiny_config();
+  const core::Experiment e = core::simulate_experiment(config);
+  ASSERT_TRUE(core::save_snapshots(path_, config, e.snapshots(), e.energy()));
+
+  // Flip one byte in the middle of the payload (size unchanged).
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(static_cast<std::streamoff>(std::filesystem::file_size(path_) / 2));
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(-1, std::ios::cur);
+  byte = static_cast<char>(byte ^ 0x5a);
+  f.write(&byte, 1);
+  f.close();
+
+  EXPECT_FALSE(core::load_snapshots(path_, config).has_value());
+}
+
+TEST_F(CacheTest, BuildCachedExperimentRegeneratesCorruptFiles) {
+  const core::ExperimentConfig config = tiny_config();
+  {
+    std::ofstream garbage(path_, std::ios::binary);
+    garbage << "this is not a snapshot cache";
+  }
+  // Must fall back to simulation and overwrite the bad file.
+  const core::Experiment e = core::build_cached_experiment(config, path_);
+  EXPECT_EQ(e.snapshots().count(), config.map_count());
+  const auto reloaded = core::load_snapshots(path_, config);
+  EXPECT_TRUE(reloaded.has_value());
+}
+
+TEST_F(CacheTest, BuildCachedExperimentHitsTheCacheSecondTime) {
+  const core::ExperimentConfig config = tiny_config();
+  const core::Experiment first = core::build_cached_experiment(config, path_);
+  const core::Experiment second = core::build_cached_experiment(config, path_);
+  for (std::size_t t = 0; t < first.snapshots().count(); ++t) {
+    for (std::size_t i = 0; i < first.snapshots().cell_count(); ++i) {
+      ASSERT_DOUBLE_EQ(second.snapshots().data()(t, i),
+                       first.snapshots().data()(t, i));
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplan.h"
+#include "floorplan/grid.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+TEST(Floorplan, NiagaraTilesTheDie) {
+  const floorplan::Floorplan plan = floorplan::make_niagara_t1();
+  const floorplan::ThermalGrid grid(plan, 60, 56);
+  // Every cell maps to a block and every block owns at least one cell.
+  for (std::size_t i = 0; i < grid.cell_count(); ++i) {
+    EXPECT_LT(grid.block_of_index(i), plan.block_count());
+  }
+  for (std::size_t b = 0; b < plan.block_count(); ++b) {
+    EXPECT_GT(grid.block_cell_count(b), 0u) << plan.block(b).name;
+  }
+}
+
+TEST(Floorplan, NiagaraHasThePaperStructure) {
+  const floorplan::Floorplan plan = floorplan::make_niagara_t1();
+  std::size_t cores = 0, caches = 0, crossbars = 0;
+  double area = 0.0;
+  for (std::size_t b = 0; b < plan.block_count(); ++b) {
+    area += plan.block(b).area();
+    switch (plan.block(b).type) {
+      case floorplan::BlockType::kCore: ++cores; break;
+      case floorplan::BlockType::kCache: ++caches; break;
+      case floorplan::BlockType::kCrossbar: ++crossbars; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(cores, 8u);          // eight SPARC cores
+  EXPECT_GE(caches, 4u);         // L2 banks (+ tags)
+  EXPECT_EQ(crossbars, 1u);
+  EXPECT_NEAR(area, 1.0, 1e-9);  // rectangles tile the unit die exactly
+}
+
+TEST(Floorplan, BlockAtFindsContainingRectangle) {
+  const floorplan::Floorplan plan = floorplan::make_niagara_t1();
+  const std::size_t b = plan.block_at(0.5, 0.5);
+  EXPECT_EQ(plan.block(b).type, floorplan::BlockType::kCrossbar);
+}
+
+TEST(SensorMask, ForbidBlockTypeMatchesGridLabels) {
+  const floorplan::Floorplan plan = floorplan::make_niagara_t1();
+  const floorplan::ThermalGrid grid(plan, 30, 28);
+  floorplan::SensorMask mask(grid.cell_count());
+  EXPECT_EQ(mask.allowed_count(), grid.cell_count());
+
+  mask.forbid_block_type(grid, plan, floorplan::BlockType::kCache);
+  std::size_t cache_cells = 0;
+  for (std::size_t i = 0; i < grid.cell_count(); ++i) {
+    const bool is_cache =
+        plan.block(grid.block_of_index(i)).type == floorplan::BlockType::kCache;
+    cache_cells += is_cache;
+    EXPECT_EQ(mask.allowed(i), !is_cache);
+  }
+  EXPECT_GT(cache_cells, 0u);
+  EXPECT_EQ(mask.allowed_count(), grid.cell_count() - cache_cells);
+}
+
+}  // namespace

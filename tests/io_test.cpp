@@ -1,0 +1,114 @@
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "io/map_image.h"
+#include "io/table.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Table, PrintsAlignedColumnsAndChains) {
+  io::Table table({"K", "MSE", "tag"});
+  table.new_row().add(4).add_scientific(0.00125).add("a");
+  table.new_row().add(16).add(3.14159, 2).add("bb");
+  EXPECT_EQ(table.row_count(), 2u);
+
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("K"), std::string::npos);
+  EXPECT_NE(text.find("1.2500e-03"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  // Three lines: header + two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Table, WritesCsv) {
+  const std::string path = temp_path("eigenmaps_table_test.csv");
+  io::Table table({"a", "b"});
+  table.new_row().add(1).add(2);
+  table.new_row().add_scientific(0.5).add("x");
+  ASSERT_TRUE(table.write_csv(path));
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "5.0000e-01,x");
+  std::remove(path.c_str());
+}
+
+TEST(MapImage, DataRangeHandlesConstantData) {
+  const numerics::Vector flat(10, 3.0);
+  const io::ValueRange r = io::data_range(flat);
+  EXPECT_DOUBLE_EQ(r.min, 3.0);
+  EXPECT_GT(r.max, r.min);
+
+  const io::ValueRange r2 = io::data_range({1.0, -2.0, 5.0});
+  EXPECT_DOUBLE_EQ(r2.min, -2.0);
+  EXPECT_DOUBLE_EQ(r2.max, 5.0);
+}
+
+TEST(MapImage, PgmHasValidHeaderAndSize) {
+  const std::string path = temp_path("eigenmaps_map_test.pgm");
+  numerics::Vector values(6 * 4);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  ASSERT_TRUE(io::write_pgm(path, values, 4, 6, io::data_range(values)));
+
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 6u);
+  EXPECT_EQ(h, 4u);
+  EXPECT_EQ(maxval, 255u);
+  EXPECT_EQ(std::filesystem::file_size(path),
+            std::string("P5\n6 4\n255\n").size() + 24);
+  std::remove(path.c_str());
+}
+
+TEST(MapImage, PpmHeatIsThreeChannels) {
+  const std::string path = temp_path("eigenmaps_map_test.ppm");
+  const numerics::Vector values = {0.0, 0.5, 1.0, 0.25};
+  ASSERT_TRUE(io::write_ppm_heat(path, values, 2, 2, {0.0, 1.0}));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(std::filesystem::file_size(path),
+            std::string("P6\n2 2\n255\n").size() + 12);
+  std::remove(path.c_str());
+}
+
+TEST(Table, RejectsMoreCellsThanHeaders) {
+  io::Table table({"only", "two"});
+  auto row = table.new_row();
+  row.add(1).add(2);
+  EXPECT_THROW(row.add(3), std::out_of_range);
+  EXPECT_THROW(table.new_row().add("a").add("b").add_scientific(0.1),
+               std::out_of_range);
+}
+
+TEST(MapImage, RejectsShapeMismatch) {
+  const numerics::Vector values(5, 1.0);
+  EXPECT_THROW(io::write_pgm(temp_path("bad.pgm"), values, 2, 3, {0.0, 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace

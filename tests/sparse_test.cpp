@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "numerics/blas.h"
+#include "numerics/qr.h"
+#include "numerics/rng.h"
+#include "sparse/conjugate_gradient.h"
+#include "sparse/csr.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+TEST(Csr, MultiplyMatchesDense) {
+  // 3x3 with a duplicate triplet that must be summed.
+  std::vector<sparse::Triplet> t = {
+      {0, 0, 2.0}, {0, 2, 1.0}, {1, 1, 3.0}, {2, 0, -1.0}, {2, 2, 4.0},
+      {0, 0, 0.5}};
+  const sparse::CsrMatrix a = sparse::CsrMatrix::from_triplets(3, 3, t);
+  EXPECT_EQ(a.nonzero_count(), 5u);
+  const numerics::Vector y = a.multiply({1.0, 2.0, 3.0});
+  EXPECT_NEAR(y[0], 2.5 * 1.0 + 1.0 * 3.0, 1e-12);
+  EXPECT_NEAR(y[1], 3.0 * 2.0, 1e-12);
+  EXPECT_NEAR(y[2], -1.0 * 1.0 + 4.0 * 3.0, 1e-12);
+}
+
+TEST(Csr, DiagonalAndAddition) {
+  std::vector<sparse::Triplet> t = {{0, 0, 2.0}, {1, 1, 5.0}, {0, 1, 1.0},
+                                    {1, 0, 1.0}};
+  const sparse::CsrMatrix a = sparse::CsrMatrix::from_triplets(2, 2, t);
+  const numerics::Vector d = a.diagonal();
+  EXPECT_NEAR(d[0], 2.0, 1e-12);
+  EXPECT_NEAR(d[1], 5.0, 1e-12);
+  const sparse::CsrMatrix b = a.with_diagonal_added({10.0, 20.0});
+  EXPECT_NEAR(b.diagonal()[0], 12.0, 1e-12);
+  EXPECT_NEAR(b.diagonal()[1], 25.0, 1e-12);
+}
+
+TEST(ConjugateGradient, MatchesDenseSolveOnSpdSystem) {
+  // SPD matrix: random Gram plus a diagonal boost.
+  const std::size_t n = 24;
+  numerics::Rng rng(31);
+  numerics::Matrix raw(n + 6, n);
+  for (auto& v : raw.storage()) v = rng.normal();
+  numerics::Matrix dense = numerics::gram(raw);
+  for (std::size_t i = 0; i < n; ++i) dense(i, i) += 5.0;
+
+  std::vector<sparse::Triplet> triplets;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      triplets.push_back({i, j, dense(i, j)});
+    }
+  }
+  const sparse::CsrMatrix a = sparse::CsrMatrix::from_triplets(n, n, triplets);
+  const numerics::Vector b = rng.normal_vector(n);
+
+  const sparse::CgResult cg = sparse::conjugate_gradient(a, b);
+  EXPECT_TRUE(cg.converged);
+  // Dense reference: least squares on the square SPD system is the solve.
+  const numerics::Vector x_ref = numerics::solve_least_squares(dense, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(cg.x[i], x_ref[i], 1e-7);
+  }
+}
+
+TEST(ConjugateGradient, WarmStartAtSolutionConvergesImmediately) {
+  std::vector<sparse::Triplet> t = {{0, 0, 4.0}, {1, 1, 9.0}};
+  const sparse::CsrMatrix a = sparse::CsrMatrix::from_triplets(2, 2, t);
+  const numerics::Vector b = {8.0, 27.0};
+  const numerics::Vector x0 = {2.0, 3.0};
+  const sparse::CgResult cg = sparse::conjugate_gradient(a, b, &x0);
+  EXPECT_TRUE(cg.converged);
+  EXPECT_EQ(cg.iterations, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplan.h"
+#include "floorplan/grid.h"
+#include "numerics/stats.h"
+#include "thermal/rc_model.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+class ThermalTest : public ::testing::Test {
+ protected:
+  ThermalTest()
+      : plan_(floorplan::make_niagara_t1()),
+        grid_(plan_, 20, 18),
+        model_(grid_) {}
+
+  floorplan::Floorplan plan_;
+  floorplan::ThermalGrid grid_;
+  thermal::RcModel model_;
+};
+
+TEST_F(ThermalTest, SteadyStateIsAboveAmbientAndBounded) {
+  const numerics::Vector power(plan_.block_count(), 2.0);
+  const numerics::Vector temps = model_.steady_state(power);
+  for (const double t : temps) {
+    EXPECT_GT(t, model_.ambient());
+    EXPECT_LT(t, model_.ambient() + 200.0);
+  }
+}
+
+TEST_F(ThermalTest, SteadyStateBalancesEnergy) {
+  // In equilibrium the heat leaving through the package equals the power
+  // injected: sum_i g_v * (T_i - ambient) == sum_b P_b.
+  const numerics::Vector power(plan_.block_count(), 1.5);
+  const numerics::Vector temps = model_.steady_state(power);
+  numerics::Vector delta(temps.size());
+  for (std::size_t i = 0; i < temps.size(); ++i) {
+    delta[i] = temps[i] - model_.ambient();
+  }
+  // G * delta sums to the total vertical outflow (lateral terms cancel).
+  const numerics::Vector flow = model_.conductance().multiply(delta);
+  const double total_in = 1.5 * static_cast<double>(plan_.block_count());
+  EXPECT_NEAR(numerics::sum(flow), total_in, total_in * 1e-6);
+}
+
+TEST_F(ThermalTest, HotBlockIsLocallyHottest) {
+  numerics::Vector power(plan_.block_count(), 0.1);
+  // Find a core block and crank it.
+  std::size_t hot_block = 0;
+  for (std::size_t b = 0; b < plan_.block_count(); ++b) {
+    if (plan_.block(b).type == floorplan::BlockType::kCore) {
+      hot_block = b;
+      break;
+    }
+  }
+  power[hot_block] = 8.0;
+  const numerics::Vector temps = model_.steady_state(power);
+  std::size_t hottest = 0;
+  for (std::size_t i = 0; i < temps.size(); ++i) {
+    if (temps[i] > temps[hottest]) hottest = i;
+  }
+  EXPECT_EQ(grid_.block_of_index(hottest), hot_block);
+}
+
+TEST_F(ThermalTest, TransientConvergesToSteadyState) {
+  const numerics::Vector power(plan_.block_count(), 2.0);
+  const numerics::Vector target = model_.steady_state(power);
+  // Start from ambient and march; after many time constants we must land
+  // on the steady solution.
+  numerics::Vector state(grid_.cell_count(), model_.ambient());
+  for (int i = 0; i < 3000; ++i) {
+    state = model_.step(state, power, 5e-3);
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    EXPECT_NEAR(state[i], target[i], 1e-3);
+  }
+}
+
+TEST_F(ThermalTest, StepMovesTowardTheNewEquilibrium) {
+  const numerics::Vector low(plan_.block_count(), 0.5);
+  const numerics::Vector high(plan_.block_count(), 3.0);
+  numerics::Vector state = model_.steady_state(low);
+  const numerics::Vector before = state;
+  state = model_.step(state, high, 1e-3);
+  // One step with more power: every cell warms, none overshoots wildly.
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    EXPECT_GT(state[i], before[i]);
+    EXPECT_LT(state[i], before[i] + 50.0);
+  }
+}
+
+}  // namespace
