@@ -19,6 +19,7 @@
 #include "numerics/rng.h"
 #include "numerics/svd.h"
 #include "numerics/symmetric_eigen.h"
+#include "seed_kernels.h"
 #include "sparse/conjugate_gradient.h"
 #include "thermal/rc_model.h"
 
@@ -54,13 +55,42 @@ void BM_DenseMatmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const numerics::Matrix a = random_matrix(n, n, 1);
   const numerics::Matrix b = random_matrix(n, n, 2);
+  numerics::set_blas_threads(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(numerics::matmul(a, b));
+  }
+  numerics::set_blas_threads(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_DenseMatmul)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_DenseMatmulSeedTripleLoop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const numerics::Matrix a = random_matrix(n, n, 1);
+  const numerics::Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::seed_matmul(a, b));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
-BENCHMARK(BM_DenseMatmul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_DenseMatmulSeedTripleLoop)->Arg(256)->Arg(512);
+
+void BM_ReconstructBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const core::DctBasis basis(56, 60, 16);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 16, 24);
+  const numerics::Vector mean(basis.cell_count(), 50.0);
+  const core::Reconstructor rec(basis, 16, sensors, mean);
+  const numerics::Matrix readings = random_matrix(batch, sensors.size(), 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.reconstruct_batch(readings));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ReconstructBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_QrLeastSquares(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,30 @@
+// Baseline kernels preserved from the seed repository so the benches
+// measure today's implementations against the same historical reference.
+#ifndef EIGENMAPS_BENCH_SEED_KERNELS_H
+#define EIGENMAPS_BENCH_SEED_KERNELS_H
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::bench {
+
+/// The seed repository's matmul: plain i-k-j with the data-dependent
+/// zero-skip. Kept verbatim as the baseline the blocked kernel must beat.
+inline numerics::Matrix seed_matmul(const numerics::Matrix& a,
+                                    const numerics::Matrix& b) {
+  numerics::Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row_data(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace eigenmaps::bench
+
+#endif  // EIGENMAPS_BENCH_SEED_KERNELS_H

@@ -1,0 +1,163 @@
+// Streaming reconstruction throughput at the paper-sized grid (60 x 56):
+// per-frame reconstruct() vs reconstruct_batch() at several batch sizes,
+// the ReconstructionEngine across worker counts, and the blocked matmul
+// against the seed triple loop on 512 x 512.
+//
+// Self-timed (std::chrono) so it runs everywhere google-benchmark is
+// absent; micro_kernels has the counterpart google-benchmark kernels.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/allocation.h"
+#include "core/dct_basis.h"
+#include "core/reconstructor.h"
+#include "numerics/blas.h"
+#include "numerics/rng.h"
+#include "runtime/engine.h"
+#include "seed_kernels.h"
+
+namespace {
+
+using namespace eigenmaps;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr int kRepeats = 5;
+
+/// Best-of-N wall time: the minimum is the least noise-contaminated
+/// estimate on a shared machine.
+template <typename Fn>
+double timed_best(const Fn& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const auto start = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+numerics::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                               std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  numerics::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+volatile double g_sink = 0.0;
+
+void consume(const numerics::Matrix& m) {
+  if (!m.empty()) g_sink += m(0, 0);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kOrder = 16;
+  constexpr std::size_t kSensors = 24;
+  constexpr std::size_t kFrames = 8192;
+
+  std::printf("# streaming reconstruction throughput, 60x56 grid, K=%zu, "
+              "M=%zu, %zu frames\n",
+              kOrder, kSensors, kFrames);
+  const core::DctBasis basis(56, 60, kOrder);
+  const core::SensorLocations sensors =
+      core::allocate_greedy(basis, kOrder, kSensors);
+  const numerics::Vector mean(basis.cell_count(), 50.0);
+  const core::Reconstructor rec(basis, kOrder, sensors, mean);
+
+  const numerics::Matrix readings = random_matrix(kFrames, kSensors, 3);
+
+  // --- per-frame baseline ------------------------------------------------
+  std::printf("# timings are best of %d repeats\n", kRepeats);
+  double per_frame_fps = 0.0;
+  {
+    const double elapsed = timed_best([&] {
+      for (std::size_t f = 0; f < kFrames; ++f) {
+        const numerics::Vector map = rec.reconstruct(readings.row(f));
+        g_sink += map[0];
+      }
+    });
+    per_frame_fps = kFrames / elapsed;
+    std::printf("%-28s %10.0f frames/s  (%.3f s)\n", "per-frame reconstruct",
+                per_frame_fps, elapsed);
+  }
+
+  // --- batched reconstruction -------------------------------------------
+  for (const std::size_t batch : {8ul, 32ul, 128ul, 256ul}) {
+    const double elapsed = timed_best([&] {
+      for (std::size_t f = 0; f < kFrames; f += batch) {
+        const std::size_t size = std::min(batch, kFrames - f);
+        numerics::Matrix chunk(size, kSensors);
+        for (std::size_t r = 0; r < size; ++r) {
+          chunk.set_row(r, readings.row(f + r));
+        }
+        consume(rec.reconstruct_batch(chunk));
+      }
+    });
+    const double fps = kFrames / elapsed;
+    std::printf("%-22s %-5zu %10.0f frames/s  (%.3f s, %.2fx per-frame)\n",
+                "reconstruct_batch", batch, fps, elapsed,
+                fps / per_frame_fps);
+  }
+
+  // --- engine: batches across the worker pool ----------------------------
+  for (const std::size_t workers : {1ul, 2ul, 4ul}) {
+    runtime::EngineOptions options;
+    options.worker_count = workers;
+    options.batch_size = 32;
+    runtime::ReconstructionEngine engine(
+        rec, options,
+        [](std::uint64_t, std::uint64_t, numerics::Matrix maps) {
+          consume(maps);
+        });
+    const auto start = Clock::now();
+    for (std::size_t f = 0; f < kFrames; ++f) {
+      engine.push_frame(0, readings.row(f));
+    }
+    engine.drain();
+    const double elapsed = seconds_since(start);
+    const runtime::EngineStats stats = engine.stats();
+    const double mean_latency_ms =
+        stats.batches_completed == 0
+            ? 0.0
+            : 1e-6 * static_cast<double>(stats.total_batch_latency_ns) /
+                  static_cast<double>(stats.batches_completed);
+    std::printf("%-16s workers=%zu %10.0f frames/s  "
+                "(batches=%llu, mean latency %.3f ms, max %.3f ms)\n",
+                "engine", workers, stats.frames_completed / elapsed,
+                static_cast<unsigned long long>(stats.batches_completed),
+                mean_latency_ms, 1e-6 * stats.max_batch_latency_ns);
+  }
+
+  // --- blocked GEMM vs the seed triple loop on 512 x 512 ------------------
+  {
+    const std::size_t n = 512;
+    const numerics::Matrix a = random_matrix(n, n, 1);
+    const numerics::Matrix b = random_matrix(n, n, 2);
+    const double flops = 2.0 * n * n * n;
+
+    numerics::set_blas_threads(1);  // isolate blocking from threading
+    const double seed_s =
+        timed_best([&] { consume(bench::seed_matmul(a, b)); });
+    const double blocked_s =
+        timed_best([&] { consume(numerics::matmul(a, b)); });
+    numerics::set_blas_threads(0);
+
+    std::printf("%-28s %10.2f GFLOP/s  (%.3f s)\n", "matmul seed triple-loop",
+                1e-9 * flops / seed_s, seed_s);
+    std::printf("%-28s %10.2f GFLOP/s  (%.3f s, %.2fx seed)\n",
+                "matmul blocked (1 thread)", 1e-9 * flops / blocked_s,
+                blocked_s, seed_s / blocked_s);
+  }
+
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "numerics/blas.h"
 #include "numerics/svd.h"
 
 namespace eigenmaps::core {
@@ -63,11 +64,15 @@ Reconstructor::Reconstructor(const Basis& basis, std::size_t k,
     mean_at_sensors_[s] = mean_map_[sensors_[s]];
   }
   subspace_ = numerics::Matrix(basis.cell_count(), k);
+  subspace_t_ = numerics::Matrix(k, basis.cell_count());
   const numerics::Matrix& v = basis.vectors();
   for (std::size_t i = 0; i < basis.cell_count(); ++i) {
     const double* row = v.row_data(i);
     double* dst = subspace_.row_data(i);
-    for (std::size_t j = 0; j < k; ++j) dst[j] = row[j];
+    for (std::size_t j = 0; j < k; ++j) {
+      dst[j] = row[j];
+      subspace_t_(j, i) = row[j];
+    }
   }
 }
 
@@ -101,6 +106,29 @@ numerics::Vector Reconstructor::reconstruct(
     map[i] += s;
   }
   return map;
+}
+
+numerics::Matrix Reconstructor::reconstruct_batch(
+    const numerics::Matrix& readings) const {
+  if (readings.cols() != sensors_.size()) {
+    throw std::invalid_argument(
+        "Reconstructor::reconstruct_batch: readings size mismatch");
+  }
+  const std::size_t frames = readings.rows();
+  numerics::Matrix centered(frames, readings.cols());
+  for (std::size_t f = 0; f < frames; ++f) {
+    const double* src = readings.row_data(f);
+    double* dst = centered.row_data(f);
+    for (std::size_t s = 0; s < readings.cols(); ++s) {
+      dst[s] = src[s] - mean_at_sensors_[s];
+    }
+  }
+  // One multi-RHS solve against the cached QR factor, then one blocked
+  // GEMM expands all coefficient rows through the subspace at once, with
+  // the mean map seeded inside the kernel so the (large) output is
+  // streamed exactly once.
+  const numerics::Matrix alpha = factor_.solver.solve_batch(centered);
+  return numerics::matmul_bias(alpha, subspace_t_, mean_map_);
 }
 
 }  // namespace eigenmaps::core

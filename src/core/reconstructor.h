@@ -30,6 +30,15 @@ class Reconstructor {
   /// Full-map estimate from readings: mean + V_k * lstsq(Psi~, y - mean~).
   numerics::Vector reconstruct(const numerics::Vector& readings) const;
 
+  /// Batched reconstruction: row f of `readings` (frames x sensors) is one
+  /// sensor frame, row f of the result (frames x N) its full-map estimate.
+  /// Agrees with per-frame reconstruct() to ~1e-12 (the mean map seeds the
+  /// GEMM accumulator, so rounding differs in the last bits), but solves
+  /// the cached QR against all frames at once and expands coefficients
+  /// with one blocked GEMM, so the N x k subspace streams through cache
+  /// once per batch instead of once per frame.
+  numerics::Matrix reconstruct_batch(const numerics::Matrix& readings) const;
+
  private:
   // QR of the sampled basis Psi~ plus its conditioning, built together so
   // the sensor rows are extracted and rank-checked exactly once.
@@ -44,7 +53,8 @@ class Reconstructor {
   SensorLocations sensors_;
   numerics::Vector mean_map_;
   numerics::Vector mean_at_sensors_;
-  numerics::Matrix subspace_;  // N x k copy of the leading basis columns
+  numerics::Matrix subspace_;    // N x k copy of the leading basis columns
+  numerics::Matrix subspace_t_;  // k x N transpose, for the batched GEMM
   SampledFactor factor_;
 };
 

@@ -1,9 +1,109 @@
+// Dense kernels outside the GEMM family: dot/norm, gram, matvec, column
+// orthonormalisation, and the thread-count knobs.
+//
+// This translation unit is compiled contraction-free (-ffp-contract=off on
+// the library target): gram feeds the SVD rank checks and therefore the
+// golden regression files, so its results must be bit-identical across
+// machines and ISA levels. The contracted fast path lives in
+// blas_gemm.cpp.
 #include "numerics/blas.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "numerics/blas_internal.h"
 
 namespace eigenmaps::numerics {
+
+namespace {
+
+using detail::parallel_bounded;
+using detail::threads_for;
+
+std::atomic<std::size_t> g_thread_override{0};
+thread_local std::size_t t_thread_override = 0;
+
+std::size_t default_blas_threads() {
+  if (const char* env = std::getenv("EIGENMAPS_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || value <= 0) {
+      throw std::invalid_argument(
+          std::string("EIGENMAPS_THREADS must be a positive integer, got '") +
+          env + "'");
+    }
+    return static_cast<std::size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Upper-triangle tiles of G = A^T A whose row range is [i0, i1), with the
+/// sample loop innermost per tile; contributions accumulate with r
+/// ascending for every g(i, j), matching the naive rank-1 update order.
+EIGENMAPS_KERNEL_CLONES
+void gram_rows(const Matrix& a, Matrix& g, std::size_t i0, std::size_t i1) {
+  const std::size_t rows = a.rows();
+  const std::size_t n = a.cols();
+  constexpr std::size_t kTile = 64;
+  for (std::size_t ii = i0; ii < i1; ii += kTile) {
+    const std::size_t iend = std::min(ii + kTile, i1);
+    for (std::size_t jj = ii; jj < n; jj += kTile) {
+      const std::size_t jend = std::min(jj + kTile, n);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double* row = a.row_data(r);
+        for (std::size_t i = ii; i < iend; ++i) {
+          const double ri = row[i];
+          double* grow = g.row_data(i);
+          for (std::size_t j = std::max(i, jj); j < jend; ++j) {
+            grow[j] += ri * row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Row boundaries that equalise upper-triangle area: row i of G costs
+/// ~(n - i) samples, so thread t ends at n * (1 - sqrt(1 - t/T)). Depends
+/// only on n and the thread count — results stay bit-identical.
+std::vector<std::size_t> triangle_bounds(std::size_t n, std::size_t threads) {
+  std::vector<std::size_t> bounds(threads + 1, 0);
+  for (std::size_t t = 1; t < threads; ++t) {
+    const double frac =
+        1.0 - std::sqrt(1.0 - static_cast<double>(t) /
+                                  static_cast<double>(threads));
+    std::size_t cut = static_cast<std::size_t>(
+        frac * static_cast<double>(n) + 0.5);
+    bounds[t] = std::min(std::max(cut, bounds[t - 1]), n);
+  }
+  bounds[threads] = n;
+  return bounds;
+}
+
+}  // namespace
+
+std::size_t blas_threads() {
+  if (t_thread_override != 0) return t_thread_override;
+  const std::size_t override_value =
+      g_thread_override.load(std::memory_order_relaxed);
+  if (override_value != 0) return override_value;
+  static const std::size_t resolved = default_blas_threads();
+  return resolved;
+}
+
+void set_blas_threads(std::size_t threads) {
+  g_thread_override.store(threads, std::memory_order_relaxed);
+}
+
+void set_blas_threads_this_thread(std::size_t threads) {
+  t_thread_override = threads;
+}
 
 double dot(const Vector& a, const Vector& b) {
   double s = 0.0;
@@ -13,37 +113,14 @@ double dot(const Vector& a, const Vector& b) {
 
 double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) {
-    throw std::invalid_argument("matmul: inner dimension mismatch");
-  }
-  Matrix c(a.rows(), b.cols());
-  // i-k-j order keeps both B and C accesses sequential.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row_data(i);
-    double* crow = c.row_data(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.row_data(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
-  return c;
-}
-
 Matrix gram(const Matrix& a) {
   const std::size_t n = a.cols();
   Matrix g(n, n);
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const double* row = a.row_data(r);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double ri = row[i];
-      if (ri == 0.0) continue;
-      double* grow = g.row_data(i);
-      for (std::size_t j = i; j < n; ++j) grow[j] += ri * row[j];
-    }
-  }
+  const std::size_t threads = std::min(threads_for(a.rows() * n * n / 2), n);
+  parallel_bounded(triangle_bounds(n, std::max<std::size_t>(threads, 1)),
+                   [&](std::size_t i0, std::size_t i1) {
+                     gram_rows(a, g, i0, i1);
+                   });
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
   }
@@ -71,7 +148,6 @@ Vector matvec_transpose(const Matrix& a, const Vector& x) {
   Vector y(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
-    if (xi == 0.0) continue;
     const double* row = a.row_data(i);
     for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
   }

@@ -1,4 +1,10 @@
 // Dense kernels: products, norms and column orthonormalisation.
+//
+// The matrix products are cache-blocked and optionally multi-threaded.
+// Threading partitions output rows (or columns) into disjoint contiguous
+// ranges, and every kernel accumulates each output element in the same
+// (ascending-k) order regardless of blocking or thread count, so results
+// are bit-identical from one run and one machine to the next.
 #ifndef EIGENMAPS_NUMERICS_BLAS_H
 #define EIGENMAPS_NUMERICS_BLAS_H
 
@@ -11,8 +17,37 @@ namespace eigenmaps::numerics {
 double dot(const Vector& a, const Vector& b);
 double norm2(const Vector& a);
 
+/// Number of threads the dense kernels may use. Defaults to the
+/// EIGENMAPS_THREADS environment variable when set (a positive integer),
+/// otherwise to the hardware concurrency. Small products always run on the
+/// calling thread regardless of this setting.
+std::size_t blas_threads();
+
+/// Overrides blas_threads() for this process; 0 restores the default
+/// (environment / hardware) resolution.
+void set_blas_threads(std::size_t threads);
+
+/// Overrides blas_threads() for the calling thread only (wins over the
+/// process-wide setting); 0 clears it. Pools that already parallelise at a
+/// coarser grain pin their workers to 1 so kernel threading cannot nest.
+void set_blas_threads_this_thread(std::size_t threads);
+
 /// C = A * B.
 Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C += A * B into a caller-provided (and caller-initialised) C. Lets hot
+/// paths fold an offset into the product without a second pass over C.
+void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// c(i, j) = bias[j] + (A * B)(i, j), with the bias seeded inside the
+/// kernel's first k-panel so the output never streams through cache twice.
+/// This is the serving hot path: coefficient batches expanding through a
+/// basis on top of a mean map.
+Matrix matmul_bias(const Matrix& a, const Matrix& b, const Vector& bias);
+
+/// C = A * B^T (a is m x k, b is n x k, result m x n). Row-major B^T access
+/// would stride; this reads both operands along their contiguous rows.
+Matrix matmul_transposed(const Matrix& a, const Matrix& b);
 
 /// Gram matrix A^T * A (cols x cols), exploiting symmetry.
 Matrix gram(const Matrix& a);

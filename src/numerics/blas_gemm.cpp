@@ -1,0 +1,206 @@
+// The GEMM family: matmul / matmul_accumulate / matmul_bias /
+// matmul_transposed.
+//
+// This translation unit is compiled with -ffp-contract=fast (see
+// CMakeLists): the AVX2/AVX-512 clones fuse multiply-adds, roughly
+// doubling throughput on FMA hardware. That makes GEMM results depend on
+// the host's ISA level in the last bits — which is why the GEMM family is
+// quarantined here: every kernel the golden regression files flow through
+// (gram for the SVD rank checks, the QR solves, the eigensolvers) lives in
+// contraction-free translation units and stays bit-identical across
+// machines. Within one machine the GEMMs are still fully deterministic:
+// accumulation order is fixed (ascending k, left-associated) and the
+// thread partition depends only on the shapes, so thread count and
+// blocking never change bits anywhere.
+#include <stdexcept>
+
+#include "numerics/blas.h"
+#include "numerics/blas_internal.h"
+
+namespace eigenmaps::numerics {
+
+namespace {
+
+using detail::parallel_ranges;
+using detail::threads_for;
+
+// Panel sizes for the blocked products. A kBlockK x kBlockJ panel of B is
+// 256 KiB — resident in L2 while the i-loop sweeps over it — and a kBlockJ
+// row segment of C is 2 KiB, hot in L1 across the whole k-panel. See
+// DESIGN.md §8 for the measurements behind the choice.
+constexpr std::size_t kBlockK = 128;
+constexpr std::size_t kBlockJ = 256;
+
+/// Rows [i0, i1) of C = A * B (plus an optional per-column bias seeded
+/// into C on the first k-panel, fused so the output never streams through
+/// cache twice), blocked over k and j. For every c(i, j) the contributions
+/// accumulate left-associated with k ascending — the same order as the
+/// naive triple loop — so blocking changes speed, not bits.
+///
+/// Register blocking: two rows of C share four rows of B per sweep, so
+/// each B panel load feeds two accumulator rows and each c(i, j) is
+/// loaded/stored once per four multiply-adds. That is 8 broadcast values
+/// + 4 panel vectors + 2 accumulators = 14 live vector registers; wider
+/// shapes (16 broadcasts) spill the 16 architectural registers and halve
+/// throughput.
+EIGENMAPS_KERNEL_CLONES
+void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                 const double* bias, std::size_t i0, std::size_t i1) {
+  const std::size_t inner = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t kk = 0; kk < inner; kk += kBlockK) {
+    const std::size_t kend = std::min(kk + kBlockK, inner);
+    for (std::size_t jj = 0; jj < n; jj += kBlockJ) {
+      const std::size_t jend = std::min(jj + kBlockJ, n);
+      std::size_t i = i0;
+      for (; i + 2 <= i1; i += 2) {
+        const double* arow0 = a.row_data(i);
+        const double* arow1 = a.row_data(i + 1);
+        double* crow0 = c.row_data(i);
+        double* crow1 = c.row_data(i + 1);
+        if (bias != nullptr && kk == 0) {
+          for (std::size_t j = jj; j < jend; ++j) {
+            crow0[j] = bias[j];
+            crow1[j] = bias[j];
+          }
+        }
+        std::size_t k = kk;
+        for (; k + 4 <= kend; k += 4) {
+          const double p0 = arow0[k], p1 = arow0[k + 1], p2 = arow0[k + 2],
+                       p3 = arow0[k + 3];
+          const double q0 = arow1[k], q1 = arow1[k + 1], q2 = arow1[k + 2],
+                       q3 = arow1[k + 3];
+          const double* b0 = b.row_data(k);
+          const double* b1 = b.row_data(k + 1);
+          const double* b2 = b.row_data(k + 2);
+          const double* b3 = b.row_data(k + 3);
+          for (std::size_t j = jj; j < jend; ++j) {
+            crow0[j] =
+                crow0[j] + p0 * b0[j] + p1 * b1[j] + p2 * b2[j] + p3 * b3[j];
+            crow1[j] =
+                crow1[j] + q0 * b0[j] + q1 * b1[j] + q2 * b2[j] + q3 * b3[j];
+          }
+        }
+        for (; k < kend; ++k) {
+          const double p = arow0[k];
+          const double q = arow1[k];
+          const double* brow = b.row_data(k);
+          for (std::size_t j = jj; j < jend; ++j) {
+            crow0[j] += p * brow[j];
+            crow1[j] += q * brow[j];
+          }
+        }
+      }
+      if (i < i1) {  // odd tail row
+        const double* arow = a.row_data(i);
+        double* crow = c.row_data(i);
+        if (bias != nullptr && kk == 0) {
+          for (std::size_t j = jj; j < jend; ++j) crow[j] = bias[j];
+        }
+        std::size_t k = kk;
+        for (; k + 4 <= kend; k += 4) {
+          const double a0 = arow[k], a1 = arow[k + 1], a2 = arow[k + 2],
+                       a3 = arow[k + 3];
+          const double* b0 = b.row_data(k);
+          const double* b1 = b.row_data(k + 1);
+          const double* b2 = b.row_data(k + 2);
+          const double* b3 = b.row_data(k + 3);
+          for (std::size_t j = jj; j < jend; ++j) {
+            crow[j] =
+                crow[j] + a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+          }
+        }
+        for (; k < kend; ++k) {
+          const double aik = arow[k];
+          const double* brow = b.row_data(k);
+          for (std::size_t j = jj; j < jend; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// Rows [i0, i1) of C = A * B^T: c(i, j) = <a_row_i, b_row_j>. B's rows are
+/// tiled so a small panel stays L1-resident while the i-loop reuses it.
+EIGENMAPS_KERNEL_CLONES
+void matmul_transposed_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                            std::size_t i0, std::size_t i1) {
+  const std::size_t inner = a.cols();
+  const std::size_t n = b.rows();
+  constexpr std::size_t kPanelRows = 64;
+  for (std::size_t jj = 0; jj < n; jj += kPanelRows) {
+    const std::size_t jend = std::min(jj + kPanelRows, n);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = a.row_data(i);
+      double* crow = c.row_data(i);
+      for (std::size_t j = jj; j < jend; ++j) {
+        const double* brow = b.row_data(j);
+        double s = 0.0;
+        for (std::size_t k = 0; k < inner; ++k) s += arow[k] * brow[k];
+        crow[j] = s;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimension mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  matmul_accumulate(a, b, c);
+  return c;
+}
+
+void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_accumulate: inner dimension mismatch");
+  }
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_accumulate: output shape mismatch");
+  }
+  const std::size_t threads = threads_for(a.rows() * a.cols() * b.cols());
+  parallel_ranges(a.rows(), threads,
+                  [&](std::size_t i0, std::size_t i1) {
+                    matmul_rows(a, b, c, nullptr, i0, i1);
+                  });
+}
+
+Matrix matmul_bias(const Matrix& a, const Matrix& b, const Vector& bias) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_bias: inner dimension mismatch");
+  }
+  if (bias.size() != b.cols()) {
+    throw std::invalid_argument("matmul_bias: bias size mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  if (a.cols() == 0) {  // no k-panel runs; seed the bias directly
+    for (std::size_t i = 0; i < c.rows(); ++i) {
+      for (std::size_t j = 0; j < c.cols(); ++j) c(i, j) = bias[j];
+    }
+    return c;
+  }
+  const std::size_t threads = threads_for(a.rows() * a.cols() * b.cols());
+  parallel_ranges(a.rows(), threads,
+                  [&](std::size_t i0, std::size_t i1) {
+                    matmul_rows(a, b, c, bias.data(), i0, i1);
+                  });
+  return c;
+}
+
+Matrix matmul_transposed(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_transposed: inner dimension mismatch");
+  }
+  Matrix c(a.rows(), b.rows());
+  const std::size_t threads = threads_for(a.rows() * a.cols() * b.rows());
+  parallel_ranges(a.rows(), threads,
+                  [&](std::size_t i0, std::size_t i1) {
+                    matmul_transposed_rows(a, b, c, i0, i1);
+                  });
+  return c;
+}
+
+}  // namespace eigenmaps::numerics

@@ -41,13 +41,10 @@ HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
   }
 }
 
-Vector HouseholderQr::solve(const Vector& b) const {
+void HouseholderQr::solve_into(const double* b, double* y, double* x) const {
   const std::size_t m = qr_.rows();
   const std::size_t n = qr_.cols();
-  if (b.size() != m) {
-    throw std::invalid_argument("HouseholderQr::solve: rhs size mismatch");
-  }
-  Vector y = b;
+  for (std::size_t i = 0; i < m; ++i) y[i] = b[i];
   // y = Q^T b.
   for (std::size_t k = 0; k < n; ++k) {
     if (tau_[k] == 0.0) continue;
@@ -58,7 +55,6 @@ Vector HouseholderQr::solve(const Vector& b) const {
     for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
   }
   // Back substitution with R.
-  Vector x(n, 0.0);
   for (std::size_t k = n; k-- > 0;) {
     double s = y[k];
     for (std::size_t j = k + 1; j < n; ++j) s -= qr_(k, j) * x[j];
@@ -68,7 +64,59 @@ Vector HouseholderQr::solve(const Vector& b) const {
       x[k] = s / diag_[k];
     }
   }
+}
+
+Vector HouseholderQr::solve(const Vector& b) const {
+  if (b.size() != qr_.rows()) {
+    throw std::invalid_argument("HouseholderQr::solve: rhs size mismatch");
+  }
+  Vector scratch(qr_.rows());
+  Vector x(qr_.cols());
+  solve_into(b.data(), scratch.data(), x.data());
   return x;
+}
+
+Matrix HouseholderQr::solve_batch(const Matrix& rhs_rows) const {
+  if (rhs_rows.cols() != qr_.rows()) {
+    throw std::invalid_argument(
+        "HouseholderQr::solve_batch: rhs size mismatch");
+  }
+  Matrix x(rhs_rows.rows(), qr_.cols());
+  Vector scratch(qr_.rows());
+  for (std::size_t b = 0; b < rhs_rows.rows(); ++b) {
+    solve_into(rhs_rows.row_data(b), scratch.data(), x.row_data(b));
+  }
+  return x;
+}
+
+Matrix HouseholderQr::thin_q() const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  // Accumulate Q = H_0 H_1 ... H_{n-1} applied to the first n identity
+  // columns, reflectors in reverse order so each touches rows >= k only.
+  Matrix q(m, n);
+  for (std::size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    if (tau_[k] == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = q(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * q(i, j);
+      s *= tau_[k];
+      q(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) q(i, j) -= s * qr_(i, k);
+    }
+  }
+  return q;
+}
+
+Matrix HouseholderQr::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r(i, i) = diag_[i];
+    for (std::size_t j = i + 1; j < n; ++j) r(i, j) = qr_(i, j);
+  }
+  return r;
 }
 
 Vector solve_least_squares(const Matrix& a, const Vector& b) {

@@ -21,7 +21,22 @@ class HouseholderQr {
   /// Least-squares solution of A x = b (minimises ||Ax - b||_2).
   Vector solve(const Vector& b) const;
 
+  /// Least-squares solutions for a batch of right-hand sides, one per ROW
+  /// of `rhs_rows` (batch x m); returns batch x n with the matching
+  /// solution in each row. Row i is bit-identical to solve(row i) — the
+  /// batch form exists to reuse the factor across a whole frame batch
+  /// without per-frame vector allocations.
+  Matrix solve_batch(const Matrix& rhs_rows) const;
+
+  /// Thin Q factor (m x n, orthonormal columns).
+  Matrix thin_q() const;
+
+  /// R factor (n x n, upper triangular).
+  Matrix r() const;
+
  private:
+  void solve_into(const double* b, double* scratch_m, double* x_out) const;
+
   Matrix qr_;       // Householder vectors below the diagonal, R on and above.
   Vector tau_;      // Householder scalars.
   Vector diag_;     // Diagonal of R.

@@ -1,0 +1,277 @@
+#include "runtime/engine.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "numerics/blas.h"
+
+namespace eigenmaps::runtime {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+struct ReconstructionEngine::Job {
+  numerics::Matrix frames;
+  Clock::time_point enqueued_at;
+  // One-shot path.
+  bool has_promise = false;
+  std::promise<numerics::Matrix> promise;
+  // Streaming path.
+  std::uint64_t stream = 0;
+  std::uint64_t first_seq = 0;
+};
+
+struct ReconstructionEngine::StreamState {
+  // Ingestion side: frames waiting for the batch to fill.
+  std::mutex ingest_mutex;
+  std::vector<numerics::Vector> pending;
+  std::uint64_t next_seq = 0;        // seq of the next pushed frame
+  std::uint64_t batch_first_seq = 0; // seq of pending.front()
+  // Set (under ingest_mutex) when retire_idle_streams() unlinks the state;
+  // a producer that raced the retire re-resolves a fresh state instead of
+  // writing into the orphan.
+  bool retired = false;
+
+  // Delivery side: completed batches held until their turn.
+  std::mutex deliver_mutex;
+  std::uint64_t next_deliver_seq = 0;
+  std::map<std::uint64_t, numerics::Matrix> ready;
+};
+
+std::size_t ReconstructionEngine::default_worker_count() {
+  // Same knob as the dense kernels: EIGENMAPS_THREADS, else the hardware.
+  return numerics::blas_threads();
+}
+
+ReconstructionEngine::ReconstructionEngine(
+    const core::Reconstructor& reconstructor, EngineOptions options,
+    ResultCallback on_result)
+    : reconstructor_(reconstructor),
+      options_(options),
+      on_result_(std::move(on_result)) {
+  if (options_.batch_size == 0) {
+    throw std::invalid_argument("ReconstructionEngine: batch_size must be > 0");
+  }
+  if (options_.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "ReconstructionEngine: queue_capacity must be > 0");
+  }
+  queue_ = std::make_unique<BoundedWorkQueue<Job>>(options_.queue_capacity);
+  std::size_t workers = options_.worker_count;
+  if (workers == 0) workers = default_worker_count();
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ReconstructionEngine::~ReconstructionEngine() {
+  drain();
+  queue_->close();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::shared_ptr<ReconstructionEngine::StreamState>
+ReconstructionEngine::stream_state(std::uint64_t stream) {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  std::shared_ptr<StreamState>& slot = streams_[stream];
+  if (!slot) slot = std::make_shared<StreamState>();
+  return slot;
+}
+
+void ReconstructionEngine::enqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++jobs_in_flight_;
+  }
+  job.enqueued_at = Clock::now();
+  if (!queue_->push(std::move(job))) {
+    // Closed engine: only reachable from a producer racing the destructor,
+    // which the ownership contract forbids; account the job as gone.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    --jobs_in_flight_;
+    idle_.notify_all();
+  }
+}
+
+std::future<numerics::Matrix> ReconstructionEngine::submit(
+    numerics::Matrix frames) {
+  if (frames.cols() != reconstructor_.sensors().size()) {
+    throw std::invalid_argument(
+        "ReconstructionEngine::submit: frame width != sensor count");
+  }
+  Job job;
+  job.frames = std::move(frames);
+  job.has_promise = true;
+  std::future<numerics::Matrix> result = job.promise.get_future();
+  frames_submitted_.fetch_add(job.frames.rows(), std::memory_order_relaxed);
+  enqueue(std::move(job));
+  return result;
+}
+
+std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
+                                               const numerics::Vector& frame) {
+  if (frame.size() != reconstructor_.sensors().size()) {
+    throw std::invalid_argument(
+        "ReconstructionEngine::push_frame: frame size != sensor count");
+  }
+  // Submission is counted at ingestion, not at batch-cut time, so
+  // `submitted - completed` reflects the true backlog mid-batch.
+  frames_submitted_.fetch_add(1, std::memory_order_relaxed);
+  Job job;
+  bool cut = false;
+  std::uint64_t seq = 0;
+  for (;;) {
+    std::shared_ptr<StreamState> state = stream_state(stream);
+    std::lock_guard<std::mutex> lock(state->ingest_mutex);
+    if (state->retired) continue;  // raced retire_idle_streams(); re-resolve
+    seq = state->next_seq++;
+    state->pending.push_back(frame);
+    if (state->pending.size() >= options_.batch_size) {
+      job.frames = numerics::Matrix(state->pending.size(), frame.size());
+      for (std::size_t f = 0; f < state->pending.size(); ++f) {
+        job.frames.set_row(f, state->pending[f]);
+      }
+      job.stream = stream;
+      job.first_seq = state->batch_first_seq;
+      state->batch_first_seq = state->next_seq;
+      state->pending.clear();
+      cut = true;
+    }
+    break;
+  }
+  // Enqueue outside the ingest lock: a full queue blocks this producer but
+  // not the other producers of the stream; delivery order is restored from
+  // sequence numbers.
+  if (cut) enqueue(std::move(job));
+  return seq;
+}
+
+void ReconstructionEngine::flush(std::uint64_t stream) {
+  std::shared_ptr<StreamState> state = stream_state(stream);
+  Job job;
+  bool cut = false;
+  {
+    std::lock_guard<std::mutex> lock(state->ingest_mutex);
+    // A retired state necessarily has nothing pending; falling through to
+    // the empty check below is safe.
+    if (!state->pending.empty()) {
+      job.frames = numerics::Matrix(state->pending.size(),
+                                    state->pending.front().size());
+      for (std::size_t f = 0; f < state->pending.size(); ++f) {
+        job.frames.set_row(f, state->pending[f]);
+      }
+      job.stream = stream;
+      job.first_seq = state->batch_first_seq;
+      state->batch_first_seq = state->next_seq;
+      state->pending.clear();
+      cut = true;
+    }
+  }
+  if (cut) enqueue(std::move(job));
+}
+
+void ReconstructionEngine::drain() {
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    ids.reserve(streams_.size());
+    for (const auto& entry : streams_) ids.push_back(entry.first);
+  }
+  for (const std::uint64_t id : ids) flush(id);
+  std::unique_lock<std::mutex> lock(stats_mutex_);
+  idle_.wait(lock, [this] { return jobs_in_flight_ == 0; });
+}
+
+EngineStats ReconstructionEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  EngineStats out = stats_;
+  out.frames_submitted = frames_submitted_.load(std::memory_order_relaxed);
+  out.frames_completed = frames_completed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t ReconstructionEngine::retire_idle_streams() {
+  std::lock_guard<std::mutex> streams_lock(streams_mutex_);
+  std::size_t retired = 0;
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    StreamState& state = *it->second;
+    std::lock_guard<std::mutex> ingest(state.ingest_mutex);
+    std::lock_guard<std::mutex> deliver(state.deliver_mutex);
+    const bool idle = state.pending.empty() && state.ready.empty() &&
+                      state.next_deliver_seq == state.next_seq;
+    if (idle) {
+      // The shared_ptr keeps the state alive for any producer that already
+      // resolved it; the flag makes such a producer re-resolve instead of
+      // pushing into the orphan.
+      state.retired = true;
+      it = streams_.erase(it);
+      ++retired;
+    } else {
+      ++it;
+    }
+  }
+  return retired;
+}
+
+void ReconstructionEngine::worker_loop() {
+  // Workers parallelise across batches; pin the kernels under them to one
+  // thread so BLAS threading cannot nest and oversubscribe the machine.
+  numerics::set_blas_threads_this_thread(1);
+  while (std::optional<Job> job = queue_->pop()) {
+    run_job(*job);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      --jobs_in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+void ReconstructionEngine::run_job(Job& job) {
+  numerics::Matrix maps = reconstructor_.reconstruct_batch(job.frames);
+  const auto latency = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           job.enqueued_at)
+          .count());
+  frames_completed_.fetch_add(job.frames.rows(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches_completed;
+    stats_.total_batch_latency_ns += latency;
+    if (latency > stats_.max_batch_latency_ns) {
+      stats_.max_batch_latency_ns = latency;
+    }
+  }
+  if (job.has_promise) {
+    job.promise.set_value(std::move(maps));
+  } else {
+    deliver(job.stream, job.first_seq, std::move(maps));
+  }
+}
+
+void ReconstructionEngine::deliver(std::uint64_t stream,
+                                   std::uint64_t first_seq,
+                                   numerics::Matrix maps) {
+  // An in-flight batch keeps next_deliver_seq < next_seq, so the stream
+  // cannot have been retired: this resolves the same live state.
+  std::shared_ptr<StreamState> state = stream_state(stream);
+  // The lock is held across the callback so per-stream delivery order is
+  // the sequence order even when another worker completes the next batch
+  // mid-callback. Callbacks must therefore not call back into the engine.
+  std::lock_guard<std::mutex> lock(state->deliver_mutex);
+  state->ready.emplace(first_seq, std::move(maps));
+  while (!state->ready.empty() &&
+         state->ready.begin()->first == state->next_deliver_seq) {
+    auto it = state->ready.begin();
+    numerics::Matrix batch = std::move(it->second);
+    const std::uint64_t seq = it->first;
+    state->ready.erase(it);
+    state->next_deliver_seq = seq + batch.rows();
+    if (on_result_) on_result_(stream, seq, std::move(batch));
+  }
+}
+
+}  // namespace eigenmaps::runtime

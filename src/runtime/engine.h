@@ -1,0 +1,134 @@
+// Streaming batched reconstruction: many sensor-reading frames per second
+// through one shared Reconstructor, one blocked GEMM per batch.
+#ifndef EIGENMAPS_RUNTIME_ENGINE_H
+#define EIGENMAPS_RUNTIME_ENGINE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/reconstructor.h"
+#include "runtime/work_queue.h"
+
+namespace eigenmaps::runtime {
+
+struct EngineOptions {
+  /// Worker threads running the batched solves. 0 resolves from the
+  /// EIGENMAPS_THREADS environment variable, else hardware concurrency.
+  std::size_t worker_count = 0;
+  /// Frames accumulated per stream before a batch job is cut. Batches this
+  /// size amortise the QR solve and subspace GEMM (DESIGN.md §8).
+  std::size_t batch_size = 32;
+  /// Bound on queued batch jobs; producers block past it (back-pressure).
+  std::size_t queue_capacity = 64;
+};
+
+/// Monotonic per-engine counters; read with ReconstructionEngine::stats().
+struct EngineStats {
+  std::uint64_t frames_submitted = 0;
+  std::uint64_t frames_completed = 0;
+  std::uint64_t batches_completed = 0;
+  /// Sum / max of per-batch latency (enqueue to reconstruction done), ns.
+  std::uint64_t total_batch_latency_ns = 0;
+  std::uint64_t max_batch_latency_ns = 0;
+};
+
+/// Drives batches of sensor frames across a worker pool over a bounded
+/// queue. Two front doors:
+///
+///  - submit(frames): one-shot batch, result via std::future.
+///  - push_frame(stream, frame): streaming ingestion. Frames accumulate
+///    per stream into batch_size batches; completed batches are handed to
+///    the result callback exactly once and in submission order per stream,
+///    even when workers finish them out of order.
+///
+/// The result callback runs on worker threads and must not call back into
+/// the engine. Thread-safe for many concurrent producers.
+class ReconstructionEngine {
+ public:
+  /// stream id, sequence number of the first frame in the batch, maps
+  /// (one reconstructed row per frame, same order as pushed).
+  using ResultCallback = std::function<void(
+      std::uint64_t stream, std::uint64_t first_seq, numerics::Matrix maps)>;
+
+  /// `reconstructor` must outlive the engine.
+  ReconstructionEngine(const core::Reconstructor& reconstructor,
+                       EngineOptions options = {},
+                       ResultCallback on_result = nullptr);
+  ~ReconstructionEngine();
+
+  ReconstructionEngine(const ReconstructionEngine&) = delete;
+  ReconstructionEngine& operator=(const ReconstructionEngine&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// One-shot batch (frames x sensors); blocks while the queue is full.
+  std::future<numerics::Matrix> submit(numerics::Matrix frames);
+
+  /// Appends one frame to `stream`'s pending batch, cutting a job every
+  /// batch_size frames. Returns the frame's sequence number in the stream.
+  std::uint64_t push_frame(std::uint64_t stream,
+                           const numerics::Vector& frame);
+
+  /// Cuts a (possibly short) batch from `stream`'s pending frames.
+  void flush(std::uint64_t stream);
+
+  /// Flushes every stream and blocks until all queued work is delivered.
+  void drain();
+
+  /// Frees the per-stream state of every stream with nothing pending,
+  /// queued or undelivered; returns how many were retired. Long-running
+  /// servers handing out ephemeral stream ids call this periodically (e.g.
+  /// after drain()) so the stream table cannot grow without bound. A
+  /// retired id can be reused, but its sequence numbering restarts at 0.
+  std::size_t retire_idle_streams();
+
+  EngineStats stats() const;
+
+  /// EIGENMAPS_THREADS when set, else hardware concurrency (min 1).
+  static std::size_t default_worker_count();
+
+ private:
+  struct Job;
+  struct StreamState;
+
+  std::shared_ptr<StreamState> stream_state(std::uint64_t stream);
+  void enqueue(Job job);
+  void worker_loop();
+  void run_job(Job& job);
+  void deliver(std::uint64_t stream, std::uint64_t first_seq,
+               numerics::Matrix maps);
+
+  const core::Reconstructor& reconstructor_;
+  const EngineOptions options_;
+  const ResultCallback on_result_;
+
+  std::unique_ptr<BoundedWorkQueue<Job>> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex streams_mutex_;
+  // shared_ptr: retire_idle_streams() may erase an entry while a producer
+  // still holds a reference to the state; the state must outlive both.
+  std::map<std::uint64_t, std::shared_ptr<StreamState>> streams_;
+
+  // Hot-path counters are atomics so push_frame never takes a global lock.
+  std::atomic<std::uint64_t> frames_submitted_{0};
+  std::atomic<std::uint64_t> frames_completed_{0};
+
+  mutable std::mutex stats_mutex_;
+  EngineStats stats_;  // batch/latency counters (guarded by stats_mutex_)
+  std::size_t jobs_in_flight_ = 0;
+  std::condition_variable idle_;
+};
+
+}  // namespace eigenmaps::runtime
+
+#endif  // EIGENMAPS_RUNTIME_ENGINE_H

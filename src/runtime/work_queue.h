@@ -1,0 +1,77 @@
+// Bounded multi-producer multi-consumer queue for the streaming runtime.
+//
+// Deliberately a mutex + two condition variables: the queue hands out
+// whole frame batches, so a pop costs a GEMM on the consumer side and
+// lock-free cleverness would be noise. Bounding the queue is the point —
+// producers block once `capacity` batches are in flight, which is the
+// engine's back-pressure mechanism.
+#ifndef EIGENMAPS_RUNTIME_WORK_QUEUE_H
+#define EIGENMAPS_RUNTIME_WORK_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace eigenmaps::runtime {
+
+template <typename T>
+class BoundedWorkQueue {
+ public:
+  explicit BoundedWorkQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while the queue is full. Returns false (and drops the item)
+  /// if the queue was closed before space opened up.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns nullopt once the queue is
+  /// closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wakes every blocked producer and consumer; pops drain what remains.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace eigenmaps::runtime
+
+#endif  // EIGENMAPS_RUNTIME_WORK_QUEUE_H

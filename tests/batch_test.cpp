@@ -1,0 +1,103 @@
+// reconstruct_batch must be indistinguishable from per-frame reconstruct.
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.h"
+#include "core/dct_basis.h"
+#include "core/reconstructor.h"
+#include "numerics/rng.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+numerics::Matrix random_readings(std::size_t frames, std::size_t sensors,
+                                 std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  numerics::Matrix readings(frames, sensors);
+  for (std::size_t f = 0; f < frames; ++f) {
+    for (std::size_t s = 0; s < sensors; ++s) {
+      readings(f, s) = 50.0 + 5.0 * rng.normal();
+    }
+  }
+  return readings;
+}
+
+TEST(ReconstructBatch, MatchesPerFrameReconstruction) {
+  const core::DctBasis basis(20, 18, 12);
+  const numerics::Vector mean(basis.cell_count(), 48.0);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 12, 18);
+  const core::Reconstructor rec(basis, 12, sensors, mean);
+
+  const std::size_t frames = 37;  // deliberately not a multiple of anything
+  const numerics::Matrix readings =
+      random_readings(frames, sensors.size(), 101);
+  const numerics::Matrix batch = rec.reconstruct_batch(readings);
+  ASSERT_EQ(batch.rows(), frames);
+  ASSERT_EQ(batch.cols(), basis.cell_count());
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    const numerics::Vector single = rec.reconstruct(readings.row(f));
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_NEAR(batch(f, i), single[i], 1e-12)
+          << "frame " << f << " cell " << i;
+    }
+  }
+}
+
+TEST(ReconstructBatch, SquareSystemWhenOrderEqualsSensorCount) {
+  // k == M: the sampled basis is square and the least-squares solve is an
+  // exact linear solve.
+  const core::DctBasis basis(10, 10, 6);
+  const numerics::Vector mean(basis.cell_count(), 30.0);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 6, 6);
+  ASSERT_EQ(sensors.size(), 6u);
+  const core::Reconstructor rec(basis, 6, sensors, mean);
+
+  const numerics::Matrix readings = random_readings(9, 6, 202);
+  const numerics::Matrix batch = rec.reconstruct_batch(readings);
+  for (std::size_t f = 0; f < readings.rows(); ++f) {
+    const numerics::Vector single = rec.reconstruct(readings.row(f));
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_NEAR(batch(f, i), single[i], 1e-12);
+    }
+    // The square solve interpolates: resampling the estimate returns the
+    // readings themselves.
+    const numerics::Vector resampled = rec.sample(single);
+    for (std::size_t s = 0; s < sensors.size(); ++s) {
+      EXPECT_NEAR(resampled[s], readings(f, s), 1e-8);
+    }
+  }
+}
+
+TEST(ReconstructBatch, RankDeficientPlacementStillThrows) {
+  const core::DctBasis basis(8, 8, 6);
+  const numerics::Vector mean(basis.cell_count(), 0.0);
+  const core::SensorLocations degenerate = {5, 5, 5, 5, 5, 5};
+  EXPECT_THROW(core::Reconstructor(basis, 6, degenerate, mean),
+               std::invalid_argument);
+}
+
+TEST(ReconstructBatch, RejectsMisshapenBatches) {
+  const core::DctBasis basis(10, 10, 5);
+  const numerics::Vector mean(basis.cell_count(), 0.0);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 5, 9);
+  const core::Reconstructor rec(basis, 5, sensors, mean);
+  EXPECT_THROW(rec.reconstruct_batch(numerics::Matrix(4, sensors.size() + 1)),
+               std::invalid_argument);
+}
+
+TEST(ReconstructBatch, EmptyBatchYieldsEmptyResult) {
+  const core::DctBasis basis(10, 10, 5);
+  const numerics::Vector mean(basis.cell_count(), 0.0);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 5, 9);
+  const core::Reconstructor rec(basis, 5, sensors, mean);
+  const numerics::Matrix out =
+      rec.reconstruct_batch(numerics::Matrix(0, sensors.size()));
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), basis.cell_count());
+}
+
+}  // namespace

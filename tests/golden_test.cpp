@@ -1,0 +1,139 @@
+// Golden regression tests: small reference outputs serialized under
+// tests/golden/ and compared bit for bit. Numerics refactors (kernel
+// blocking, threading, reordering) must not shift the figure pipeline's
+// numbers; anything that legitimately changes them regenerates the files
+// with EIGENMAPS_REGOLD=1 and the diff shows up in review.
+//
+// All kernels accumulate in a thread-count-independent order (see
+// numerics/blas.h), so these comparisons are exact, not toleranced.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.h"
+#include "core/dct_basis.h"
+#include "core/metrics.h"
+#include "core/pca_basis.h"
+#include "core/reconstructor.h"
+#include "core/snapshot_set.h"
+#include "numerics/rng.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+#ifndef EIGENMAPS_GOLDEN_DIR
+#error "EIGENMAPS_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string golden_path(const std::string& name) {
+  return std::string(EIGENMAPS_GOLDEN_DIR) + "/" + name;
+}
+
+bool regold() { return std::getenv("EIGENMAPS_REGOLD") != nullptr; }
+
+std::string format_value(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+void write_golden(const std::string& name,
+                  const std::vector<std::string>& lines) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+  for (const std::string& line : lines) out << line << "\n";
+}
+
+std::vector<std::string> read_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  EXPECT_TRUE(in.good()) << "missing golden file " << golden_path(name)
+                         << " — regenerate with EIGENMAPS_REGOLD=1";
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Writes on EIGENMAPS_REGOLD=1, otherwise compares the serialized lines
+/// exactly: a one-ulp shift in any value is a test failure by design.
+void check_golden(const std::string& name,
+                  const std::vector<std::string>& actual) {
+  if (regold()) {
+    write_golden(name, actual);
+    return;
+  }
+  const std::vector<std::string> expected = read_golden(name);
+  ASSERT_EQ(expected.size(), actual.size()) << "line count drifted: " << name;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(expected[i], actual[i]) << name << " line " << i + 1;
+  }
+}
+
+/// Low-rank synthetic snapshot ensemble, fully determined by the seeds.
+core::SnapshotSet synthetic_snapshots(std::size_t t, std::size_t n) {
+  numerics::Rng coeff_rng(7);
+  numerics::Rng mode_rng(11);
+  const std::size_t rank = 8;
+  numerics::Matrix modes(rank, n);
+  for (std::size_t r = 0; r < rank; ++r) {
+    for (std::size_t i = 0; i < n; ++i) modes(r, i) = mode_rng.normal();
+  }
+  numerics::Matrix maps(t, n);
+  for (std::size_t j = 0; j < t; ++j) {
+    for (std::size_t r = 0; r < rank; ++r) {
+      const double c = coeff_rng.normal() * static_cast<double>(rank - r);
+      for (std::size_t i = 0; i < n; ++i) maps(j, i) += c * modes(r, i);
+    }
+  }
+  return core::SnapshotSet(std::move(maps));
+}
+
+TEST(Golden, PcaLeadingEigenvalues) {
+  const core::SnapshotSet set = synthetic_snapshots(48, 240);
+  core::PcaOptions options;
+  options.max_order = 12;
+  const core::PcaBasis basis(set, options);
+  ASSERT_GE(basis.eigenvalues().size(), 8u);
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < 8; ++i) {
+    lines.push_back(format_value(basis.eigenvalues()[i]));
+  }
+  check_golden("pca_eigenvalues.txt", lines);
+}
+
+TEST(Golden, GreedySensorPicks) {
+  const core::DctBasis basis(12, 10, 8);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 8, 14);
+  std::vector<std::string> lines;
+  for (const std::size_t s : sensors) lines.push_back(std::to_string(s));
+  check_golden("greedy_sensors.txt", lines);
+}
+
+TEST(Golden, ReconstructionErrorFixedSeed) {
+  const core::DctBasis basis(12, 10, 8);
+  const numerics::Vector mean(basis.cell_count(), 45.0);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 8, 14);
+  const core::Reconstructor rec(basis, 8, sensors, mean);
+
+  numerics::Rng rng(5);
+  numerics::Matrix maps(10, basis.cell_count());
+  for (std::size_t f = 0; f < maps.rows(); ++f) {
+    for (std::size_t i = 0; i < maps.cols(); ++i) {
+      maps(f, i) = 45.0 + 3.0 * rng.normal();
+    }
+  }
+  const core::ReconstructionErrors errors =
+      core::evaluate_reconstruction(rec, maps);
+  check_golden("reconstruction_error.txt",
+               {format_value(errors.mse), format_value(errors.max_sq)});
+}
+
+}  // namespace

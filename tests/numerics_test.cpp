@@ -1,4 +1,5 @@
 #include <cmath>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -36,6 +37,147 @@ TEST(Blas, MatmulMatchesHandComputed) {
   EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
   EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
   EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+// Reference kernel the blocked/threaded implementations are checked
+// against: the plain i-k-j triple loop.
+numerics::Matrix reference_matmul(const numerics::Matrix& a,
+                                  const numerics::Matrix& b) {
+  numerics::Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += a(i, k) * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+TEST(Blas, BlockedMatmulMatchesReferenceOnAwkwardSizes) {
+  // Sizes straddle the blocking factors (128/256) with ragged remainders.
+  // Tolerance, not bit-equality: the GEMM clones may fuse multiply-adds on
+  // FMA hardware (DESIGN.md §8) while this reference cannot.
+  const numerics::Matrix a = random_matrix(137, 261, 31);
+  const numerics::Matrix b = random_matrix(261, 130, 32);
+  const numerics::Matrix c = numerics::matmul(a, b);
+  const numerics::Matrix ref = reference_matmul(a, b);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      EXPECT_NEAR(c(i, j), ref(i, j), 1e-11 * (1.0 + std::fabs(ref(i, j))))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Blas, MatmulHandlesStructuralZeros) {
+  // Regression for the removed `aik == 0.0` fast path: zero entries must
+  // flow through the dense loop without perturbing anything.
+  numerics::Matrix a = random_matrix(9, 7, 33);
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, 3) = 0.0;
+  a(4, 0) = 0.0;
+  const numerics::Matrix b = random_matrix(7, 8, 34);
+  const numerics::Matrix c = numerics::matmul(a, b);
+  const numerics::Matrix ref = reference_matmul(a, b);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      EXPECT_NEAR(c(i, j), ref(i, j), 1e-12 * (1.0 + std::fabs(ref(i, j))));
+    }
+  }
+}
+
+TEST(Blas, ThreadedProductsAreBitIdenticalToSerial) {
+  const numerics::Matrix a = random_matrix(150, 140, 35);
+  const numerics::Matrix b = random_matrix(140, 145, 36);
+  numerics::set_blas_threads(1);
+  const numerics::Matrix serial = numerics::matmul(a, b);
+  const numerics::Matrix serial_gram = numerics::gram(a);
+  const numerics::Matrix serial_t = numerics::matmul_transposed(a, a);
+  numerics::set_blas_threads(3);
+  const numerics::Matrix threaded = numerics::matmul(a, b);
+  const numerics::Matrix threaded_gram = numerics::gram(a);
+  const numerics::Matrix threaded_t = numerics::matmul_transposed(a, a);
+  numerics::set_blas_threads(0);  // restore default resolution
+  for (std::size_t i = 0; i < serial.rows(); ++i) {
+    for (std::size_t j = 0; j < serial.cols(); ++j) {
+      EXPECT_EQ(serial(i, j), threaded(i, j));
+    }
+  }
+  for (std::size_t i = 0; i < serial_gram.rows(); ++i) {
+    for (std::size_t j = 0; j < serial_gram.cols(); ++j) {
+      EXPECT_EQ(serial_gram(i, j), threaded_gram(i, j));
+    }
+  }
+  // serial_t is rows x rows — larger than the gram — so it gets its own
+  // loop; the ragged last thread partition lives in the tail rows.
+  for (std::size_t i = 0; i < serial_t.rows(); ++i) {
+    for (std::size_t j = 0; j < serial_t.cols(); ++j) {
+      EXPECT_EQ(serial_t(i, j), threaded_t(i, j));
+    }
+  }
+}
+
+TEST(Blas, MatmulTransposedMatchesExplicitTranspose) {
+  const numerics::Matrix a = random_matrix(13, 6, 41);
+  const numerics::Matrix b = random_matrix(17, 6, 42);
+  numerics::Matrix bt(6, 17);
+  for (std::size_t i = 0; i < 17; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) bt(j, i) = b(i, j);
+  }
+  const numerics::Matrix c = numerics::matmul_transposed(a, b);
+  const numerics::Matrix ref = numerics::matmul(a, bt);
+  ASSERT_EQ(c.rows(), 13u);
+  ASSERT_EQ(c.cols(), 17u);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      EXPECT_NEAR(c(i, j), ref(i, j), 1e-12);
+    }
+  }
+  EXPECT_THROW(numerics::matmul_transposed(a, random_matrix(4, 5, 43)),
+               std::invalid_argument);
+}
+
+TEST(Blas, MatmulBiasMatchesProductPlusBroadcast) {
+  const numerics::Matrix a = random_matrix(7, 11, 51);
+  const numerics::Matrix b = random_matrix(11, 300, 52);
+  numerics::Rng rng(53);
+  const numerics::Vector bias = rng.normal_vector(300);
+  const numerics::Matrix c = numerics::matmul_bias(a, b, bias);
+  const numerics::Matrix product = numerics::matmul(a, b);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      EXPECT_NEAR(c(i, j), bias[j] + product(i, j),
+                  1e-12 * (1.0 + std::fabs(c(i, j))));
+    }
+  }
+  // Degenerate inner dimension: the result is the broadcast bias alone.
+  const numerics::Matrix empty_inner =
+      numerics::matmul_bias(numerics::Matrix(3, 0), numerics::Matrix(0, 300),
+                            bias);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 300; ++j) {
+      EXPECT_EQ(empty_inner(i, j), bias[j]);
+    }
+  }
+  EXPECT_THROW(numerics::matmul_bias(a, b, numerics::Vector(5, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Qr, SolveBatchMatchesPerRhsSolve) {
+  const numerics::Matrix a = random_matrix(24, 9, 44);
+  const numerics::HouseholderQr qr(a);
+  const numerics::Matrix rhs = random_matrix(7, 24, 45);
+  const numerics::Matrix x = qr.solve_batch(rhs);
+  ASSERT_EQ(x.rows(), 7u);
+  ASSERT_EQ(x.cols(), 9u);
+  for (std::size_t b = 0; b < rhs.rows(); ++b) {
+    const numerics::Vector single = qr.solve(rhs.row(b));
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(x(b, j), single[j]) << "rhs " << b << " component " << j;
+    }
+  }
+  EXPECT_THROW(qr.solve_batch(random_matrix(3, 23, 46)),
+               std::invalid_argument);
 }
 
 TEST(Blas, GramMatchesExplicitProduct) {
