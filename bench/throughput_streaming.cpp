@@ -1,7 +1,9 @@
 // Streaming reconstruction throughput at the paper-sized grid (60 x 56):
 // per-frame reconstruct() vs reconstruct_batch() at several batch sizes,
-// the ReconstructionEngine across worker counts, and the blocked matmul
-// against the seed triple loop on 512 x 512.
+// the ReconstructionEngine across worker counts, a sensor-dropout serving
+// scenario (random per-stream masks vs the fixed-mask baseline, with the
+// factor-cache hit rate), and the blocked matmul against the seed triple
+// loop on 512 x 512.
 //
 // Self-timed (std::chrono) so it runs everywhere google-benchmark is
 // absent; micro_kernels has the counterpart google-benchmark kernels.
@@ -136,6 +138,77 @@ int main() {
                 "engine", workers, stats.frames_completed / elapsed,
                 static_cast<unsigned long long>(stats.batches_completed),
                 mean_latency_ms, 1e-6 * stats.max_batch_latency_ns);
+  }
+
+  // --- sensor dropout: random per-stream masks vs the fixed-mask baseline -
+  {
+    constexpr std::size_t kStreams = 8;
+    constexpr std::size_t kDropped = kSensors / 4;  // 25% of sensors dead
+
+    // Each stream has its own dead-sensor pattern (a distinct mask), as if
+    // each were a deployed chip with its own failures; batches therefore
+    // alternate masks at the cache, which must keep hitting.
+    numerics::Rng mask_rng(17);
+    std::vector<core::SensorBitmask> masks;
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      std::vector<std::size_t> dead;
+      while (dead.size() < kDropped) {
+        const std::size_t slot =
+            static_cast<std::size_t>(mask_rng.uniform() * kSensors) %
+            kSensors;
+        if (std::find(dead.begin(), dead.end(), slot) == dead.end()) {
+          dead.push_back(slot);
+        }
+      }
+      masks.push_back(core::SensorBitmask::except(kSensors, dead));
+    }
+
+    const auto run_scenario = [&](bool dropout) {
+      // A fresh registry (hence factor cache) per scenario keeps the
+      // reported counters scenario-local.
+      runtime::ModelRegistry registry;
+      registry.register_model(1, rec.model());
+      runtime::EngineOptions options;
+      options.worker_count = 2;
+      options.batch_size = 32;
+      runtime::ReconstructionEngine engine(
+          registry, options,
+          [](std::uint64_t, std::uint64_t, numerics::Matrix maps) {
+            consume(maps);
+          });
+      const core::SensorBitmask full;
+      const auto start = Clock::now();
+      for (std::size_t f = 0; f < kFrames; ++f) {
+        const std::size_t stream = f % kStreams;
+        engine.push_frame(stream, readings.row(f), 1,
+                          dropout ? masks[stream] : full);
+      }
+      engine.drain();
+      const double elapsed = seconds_since(start);
+      const runtime::EngineStats stats = engine.stats();
+      const runtime::ModelStats& model = stats.models.at(1);
+      const double hit_rate =
+          model.cache_hits + model.cache_misses == 0
+              ? 0.0
+              : static_cast<double>(model.cache_hits) /
+                    static_cast<double>(model.cache_hits + model.cache_misses);
+      std::printf("%-26s %10.0f frames/s  (cache hit rate %.4f, "
+                  "%llu hits / %llu misses / %llu full-mask)\n",
+                  dropout ? "dropout 25%, random masks" : "fixed mask baseline",
+                  stats.frames_completed / elapsed, hit_rate,
+                  static_cast<unsigned long long>(model.cache_hits),
+                  static_cast<unsigned long long>(model.cache_misses),
+                  static_cast<unsigned long long>(
+                      model.cache_full_mask_batches));
+      return stats.frames_completed / elapsed;
+    };
+
+    std::printf("# dropout serving: %zu streams, %zu/%zu sensors dead per "
+                "stream\n", kStreams, kDropped, kSensors);
+    const double baseline_fps = run_scenario(false);
+    const double dropout_fps = run_scenario(true);
+    std::printf("%-26s %10.2fx of fixed-mask fps\n", "dropout throughput",
+                dropout_fps / baseline_fps);
   }
 
   // --- blocked GEMM vs the seed triple loop on 512 x 512 ------------------

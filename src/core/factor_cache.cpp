@@ -1,0 +1,326 @@
+#include "core/factor_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "numerics/svd.h"
+
+namespace eigenmaps::core {
+
+// ---- SensorBitmask -----------------------------------------------------
+
+SensorBitmask::SensorBitmask(std::size_t sensor_count, bool all_active)
+    : count_(sensor_count),
+      words_((sensor_count + 63) / 64,
+             all_active ? ~std::uint64_t{0} : std::uint64_t{0}) {
+  if (all_active && count_ % 64 != 0 && !words_.empty()) {
+    words_.back() >>= 64 - count_ % 64;  // clear bits past the sensor count
+  }
+}
+
+SensorBitmask SensorBitmask::except(std::size_t sensor_count,
+                                    const std::vector<std::size_t>& dropped) {
+  SensorBitmask mask(sensor_count);
+  for (const std::size_t slot : dropped) mask.set(slot, false);
+  return mask;
+}
+
+std::size_t SensorBitmask::active_count() const {
+  std::size_t count = 0;
+  for (std::uint64_t word : words_) {
+    while (word != 0) {
+      word &= word - 1;
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool SensorBitmask::active(std::size_t slot) const {
+  if (slot >= count_) {
+    throw std::out_of_range("SensorBitmask: slot out of range");
+  }
+  return (words_[slot / 64] >> (slot % 64)) & 1u;
+}
+
+void SensorBitmask::set(std::size_t slot, bool alive) {
+  if (slot >= count_) {
+    throw std::out_of_range("SensorBitmask: slot out of range");
+  }
+  const std::uint64_t bit = std::uint64_t{1} << (slot % 64);
+  if (alive) {
+    words_[slot / 64] |= bit;
+  } else {
+    words_[slot / 64] &= ~bit;
+  }
+}
+
+std::vector<std::size_t> SensorBitmask::active_slots() const {
+  std::vector<std::size_t> slots;
+  slots.reserve(count_);
+  for (std::size_t s = 0; s < count_; ++s) {
+    if ((words_[s / 64] >> (s % 64)) & 1u) slots.push_back(s);
+  }
+  return slots;
+}
+
+std::size_t SensorBitmask::hash() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(count_);
+  for (const std::uint64_t word : words_) mix(word);
+  return static_cast<std::size_t>(h);
+}
+
+// ---- MaskedFactor ------------------------------------------------------
+
+MaskedFactor::MaskedFactor(SensorBitmask mask, std::vector<std::size_t> active,
+                           double condition, numerics::HouseholderQr qr)
+    : mask_(std::move(mask)),
+      active_(std::move(active)),
+      condition_(condition),
+      method_(Method::kRefactored),
+      qr_(std::move(qr)) {}
+
+MaskedFactor::MaskedFactor(SensorBitmask mask, std::vector<std::size_t> active,
+                           double condition,
+                           numerics::SeminormalSolver seminormal)
+    : mask_(std::move(mask)),
+      active_(std::move(active)),
+      condition_(condition),
+      method_(Method::kDowndated),
+      seminormal_(std::move(seminormal)) {}
+
+MaskedFactor::MaskedFactor(SensorBitmask mask, std::vector<std::size_t> active,
+                           std::shared_ptr<const ReconstructionModel> model)
+    : mask_(std::move(mask)),
+      active_(std::move(active)),
+      condition_(model->condition_number()),
+      method_(Method::kFullFactor),
+      full_model_(std::move(model)) {}
+
+numerics::Matrix MaskedFactor::solve_batch(
+    const numerics::Matrix& centered) const {
+  if (full_model_) return full_model_->full_factor().solve_batch(centered);
+  return qr_ ? qr_->solve_batch(centered) : seminormal_->solve_batch(centered);
+}
+
+// ---- FactorCache -------------------------------------------------------
+
+FactorCache::FactorCache(std::shared_ptr<const ReconstructionModel> model,
+                         FactorCacheOptions options)
+    : model_(std::move(model)), options_([&options] {
+        options.capacity = std::max<std::size_t>(options.capacity, 1);
+        return options;
+      }()) {
+  if (!model_) {
+    throw std::invalid_argument("FactorCache: null model");
+  }
+  full_r_ = model_->full_factor().r();
+  // Borrows the model's own factor — bit-identical to the undegraded
+  // path, no duplicate factorization.
+  SensorBitmask all(model_->sensor_count());
+  std::vector<std::size_t> slots = all.active_slots();
+  full_factor_ = std::shared_ptr<const MaskedFactor>(
+      new MaskedFactor(std::move(all), std::move(slots), model_));
+}
+
+std::shared_ptr<const MaskedFactor> FactorCache::build(
+    const SensorBitmask& mask) const {
+  const std::size_t m = model_->sensor_count();
+  const std::size_t k = model_->order();
+  std::vector<std::size_t> active = mask.active_slots();
+  if (active.size() < k) {
+    // Theorem 1: fewer survivors than basis components cannot determine a
+    // unique estimate at this order, whatever the geometry.
+    throw std::invalid_argument(
+        "FactorCache: surviving sensors fewer than the model order");
+  }
+  const std::size_t dropped_count = m - active.size();
+  const numerics::Matrix& sampled = model_->sampled_basis();
+
+  numerics::Matrix surviving(active.size(), k);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const double* src = sampled.row_data(active[i]);
+    double* dst = surviving.row_data(i);
+    for (std::size_t j = 0; j < k; ++j) dst[j] = src[j];
+  }
+
+  if (dropped_count > 0 && dropped_count <= options_.downdate_limit) {
+    numerics::Matrix r = full_r_;
+    bool alive = true;
+    for (std::size_t s = 0; s < m && alive; ++s) {
+      if (!mask.active(s)) {
+        alive = numerics::downdate_r_row(r, sampled.row_data(s));
+      }
+    }
+    if (alive) {
+      // A chain of individually-healthy downdates can still degrade the
+      // factor; recheck conditioning before trusting it. The limit here
+      // is the CSNE accuracy bound, not the serving ceiling, and an
+      // estimate past it is NOT a rejection — the refactor path below
+      // re-judges with exact singular values.
+      const double condition = numerics::triangular_condition_1(r);
+      if (condition <= options_.downdate_condition_limit &&
+          condition <= options_.condition_ceiling) {
+        return std::shared_ptr<const MaskedFactor>(new MaskedFactor(
+            mask, std::move(active), condition,
+            numerics::SeminormalSolver(std::move(r), std::move(surviving))));
+      }
+    }
+    // Downdate hit (near-)rank loss or suspect conditioning: fall through
+    // and let the exact singular values of the surviving rows deliver the
+    // verdict.
+  }
+
+  const numerics::Vector sv = numerics::singular_values(surviving);
+  if (sv.empty() || sv.front() <= 0.0 ||
+      sv.back() < options_.rank_tolerance * sv.front()) {
+    throw std::invalid_argument(
+        "FactorCache: surviving sensors rank deficient (Theorem 1)");
+  }
+  const double condition = sv.front() / sv.back();
+  if (condition > options_.condition_ceiling) {
+    throw std::invalid_argument(
+        "FactorCache: mask conditioning past the ceiling");
+  }
+  return std::shared_ptr<const MaskedFactor>(
+      new MaskedFactor(mask, std::move(active), condition,
+                       numerics::HouseholderQr(std::move(surviving))));
+}
+
+std::shared_ptr<const MaskedFactor> FactorCache::factor(
+    const SensorBitmask& mask) {
+  return lookup_or_build(mask, /*count_hit=*/true);
+}
+
+void FactorCache::validate(const SensorBitmask& mask) {
+  lookup_or_build(mask, /*count_hit=*/false);
+}
+
+std::shared_ptr<const MaskedFactor> FactorCache::lookup_or_build(
+    const SensorBitmask& mask, bool count_hit) {
+  SensorBitmask full;
+  const SensorBitmask* key_ptr = &mask;
+  if (mask.size() == 0) {  // empty = all sensors
+    full = SensorBitmask(model_->sensor_count());
+    key_ptr = &full;
+  }
+  const SensorBitmask& key = *key_ptr;
+  if (key.size() != model_->sensor_count()) {
+    throw std::invalid_argument("FactorCache: mask width != sensor count");
+  }
+  if (key.all_active()) {
+    if (count_hit) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.hits;
+    }
+    return full_factor_;  // permanently resident, no LRU slot
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      if (count_hit) ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    if (rejected_.count(key) != 0) {
+      ++stats_.rejections;
+      throw std::invalid_argument(
+          "FactorCache: mask rejected (rank guard / condition ceiling)");
+    }
+    ++stats_.misses;
+  }
+  // Build outside the lock: the factors are small (k x k-ish) but a cold
+  // mask must not stall hits on other masks, the undegraded path, or the
+  // stats readers. Concurrent misses on the same mask may build twice;
+  // the first insert wins below.
+  std::shared_ptr<const MaskedFactor> built;
+  try {
+    built = build(key);
+  } catch (const std::invalid_argument&) {
+    // A genuine rejection (rank guard / ceiling): negatively cache it.
+    // The attempt is a rejection, not a miss — hit rate should measure
+    // the cache over servable masks, not the presence of bad ones.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --stats_.misses;
+    ++stats_.rejections;
+    if (rejected_.size() >= 1024) rejected_.clear();
+    rejected_.insert(key);
+    throw;
+  } catch (...) {
+    // Transient failure (e.g. allocation): retryable, never poison the
+    // mask.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --stats_.misses;
+    throw;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (built->method() == MaskedFactor::Method::kDowndated) {
+    ++stats_.downdates;
+  } else {
+    ++stats_.refactors;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Raced another builder; keep the resident factor.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(key, built);
+  index_[key] = lru_.begin();
+  if (lru_.size() > options_.capacity) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return built;
+}
+
+numerics::Matrix FactorCache::reconstruct_batch(
+    const numerics::Matrix& readings, const SensorBitmask& mask) {
+  if (readings.cols() != model_->sensor_count()) {
+    throw std::invalid_argument(
+        "FactorCache::reconstruct_batch: readings width != sensor count");
+  }
+  if (mask.size() == 0 || (mask.size() == model_->sensor_count() &&
+                           mask.all_active())) {
+    // Undegraded: the model's own path, bit for bit, no cache slot burned
+    // — and counted apart from hits so the hit rate measures the cache.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.full_mask_batches;
+    }
+    return model_->reconstruct_batch(readings);
+  }
+  const std::shared_ptr<const MaskedFactor> f = factor(mask);
+  const std::vector<std::size_t>& slots = f->active_slots();
+  const numerics::Vector& mean = model_->mean_at_sensors();
+  numerics::Matrix centered(readings.rows(), slots.size());
+  for (std::size_t row = 0; row < readings.rows(); ++row) {
+    const double* src = readings.row_data(row);
+    double* dst = centered.row_data(row);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      dst[i] = src[slots[i]] - mean[slots[i]];
+    }
+  }
+  return model_->expand(f->solve_batch(centered));
+}
+
+FactorCacheStats FactorCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t FactorCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace eigenmaps::core

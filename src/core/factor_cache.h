@@ -1,0 +1,213 @@
+// Degraded-mode reconstruction: an LRU of per-dropout-pattern QR factors.
+//
+// A production thermal-map service loses sensors at runtime. Theorem 1's
+// feasibility condition and the conditioning analysis (Fig. 5) are stated
+// for one fixed sensor set, so every distinct survivor set is a distinct
+// inverse problem with its own factor, rank guard, and condition number.
+// The cache keys factors by the active-sensor bitmask and builds each one
+// lazily — by Givens row-downdating the full-sensor R for small dropout
+// counts, by refactoring the surviving rows otherwise — re-enforcing the
+// rank guard and a condition-number ceiling per mask.
+#ifndef EIGENMAPS_CORE_FACTOR_CACHE_H
+#define EIGENMAPS_CORE_FACTOR_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/model.h"
+
+namespace eigenmaps::core {
+
+/// Which of a model's sensors are alive; bit s set = sensor slot s is
+/// reporting. A default-constructed (empty) mask means "all sensors".
+class SensorBitmask {
+ public:
+  SensorBitmask() = default;
+  /// All `sensor_count` sensors alive (or dead, with all_active = false).
+  explicit SensorBitmask(std::size_t sensor_count, bool all_active = true);
+  /// All alive except the listed slots.
+  static SensorBitmask except(std::size_t sensor_count,
+                              const std::vector<std::size_t>& dropped);
+
+  /// Sensor slots covered (0 for the default "all sensors" mask).
+  std::size_t size() const { return count_; }
+  std::size_t active_count() const;
+  bool active(std::size_t slot) const;
+  void set(std::size_t slot, bool alive);
+  bool all_active() const { return active_count() == count_; }
+  std::vector<std::size_t> active_slots() const;
+
+  bool operator==(const SensorBitmask& other) const {
+    return count_ == other.count_ && words_ == other.words_;
+  }
+  bool operator!=(const SensorBitmask& other) const {
+    return !(*this == other);
+  }
+  /// FNV-1a over the packed words; the cache's unordered_map key hash.
+  std::size_t hash() const;
+
+ private:
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct SensorBitmaskHash {
+  std::size_t operator()(const SensorBitmask& mask) const {
+    return mask.hash();
+  }
+};
+
+struct FactorCacheOptions {
+  /// LRU capacity in dropout patterns (the full-sensor pattern bypasses the
+  /// cache and costs no slot). Clamped to at least 1.
+  std::size_t capacity = 64;
+  /// A survivor set is rank deficient when sigma_min/sigma_max of its
+  /// sampled basis falls below this (Theorem 1's guard, same convention as
+  /// GreedyOptions::rank_tolerance).
+  double rank_tolerance = 1e-8;
+  /// Masks whose factor conditions worse than this are rejected: past the
+  /// ceiling the reconstruction amplifies sensor noise beyond use (Fig. 5)
+  /// and the caller should fall back (fewer orders, interpolation, ...).
+  double condition_ceiling = 1e8;
+  /// Dropout counts up to this build their factor by O(k^2)-per-row Givens
+  /// downdates of the full-sensor R; beyond it the surviving rows are
+  /// refactored from scratch (O(m k^2), exact).
+  std::size_t downdate_limit = 4;
+  /// A downdated factor is only trusted while its (1-norm) condition
+  /// estimate stays below this: corrected seminormal equations hold
+  /// QR-level accuracy only while cond^2 * eps << 1, well short of
+  /// condition_ceiling. Estimates past it (or rank loss mid-downdate)
+  /// fall back to the exact refactorization, which alone decides
+  /// acceptance — the inexact estimate never rejects a mask.
+  double downdate_condition_limit = 1e6;
+};
+
+/// Monotonic counters; read with FactorCache::stats().
+struct FactorCacheStats {
+  std::uint64_t hits = 0;       // factor served from the cache
+  std::uint64_t misses = 0;     // factor had to be built
+  std::uint64_t downdates = 0;  // ... by downdating the full-sensor R
+  std::uint64_t refactors = 0;  // ... by refactoring the surviving rows
+  std::uint64_t evictions = 0;  // LRU entries dropped at capacity
+  std::uint64_t rejections = 0; // masks refused: rank loss / past ceiling
+  /// Batches served on the undegraded full-sensor path, which bypasses
+  /// the cache entirely — kept out of hits so the hit rate measures the
+  /// cache, not the absence of dropout.
+  std::uint64_t full_mask_batches = 0;
+};
+
+/// One survivor set's solver, immutable once built: solve_batch maps
+/// centered compacted readings (frames x active) to coefficients
+/// (frames x k). Shared out of the cache by shared_ptr, so eviction never
+/// invalidates a factor a worker is mid-solve on.
+class MaskedFactor {
+ public:
+  enum class Method {
+    kFullFactor,  // all sensors alive: the model's own factor, borrowed
+    kRefactored,  // fresh Householder QR of the surviving rows
+    kDowndated,   // Givens-downdated R + corrected seminormal equations
+  };
+
+  const SensorBitmask& mask() const { return mask_; }
+  /// Surviving sensor slots, ascending; the reading-compaction map.
+  const std::vector<std::size_t>& active_slots() const { return active_; }
+  double condition() const { return condition_; }
+  Method method() const { return method_; }
+
+  numerics::Matrix solve_batch(const numerics::Matrix& centered) const;
+
+ private:
+  friend class FactorCache;
+  MaskedFactor(SensorBitmask mask, std::vector<std::size_t> active,
+               double condition, numerics::HouseholderQr qr);
+  MaskedFactor(SensorBitmask mask, std::vector<std::size_t> active,
+               double condition, numerics::SeminormalSolver seminormal);
+  /// Full-sensor variant: borrows (and keeps alive) the model's own
+  /// factor instead of recomputing it.
+  MaskedFactor(SensorBitmask mask, std::vector<std::size_t> active,
+               std::shared_ptr<const ReconstructionModel> model);
+
+  SensorBitmask mask_;
+  std::vector<std::size_t> active_;
+  double condition_;
+  Method method_;
+  std::optional<numerics::HouseholderQr> qr_;
+  std::optional<numerics::SeminormalSolver> seminormal_;
+  std::shared_ptr<const ReconstructionModel> full_model_;
+};
+
+/// Thread-safe mask-keyed LRU of MaskedFactors over one immutable model,
+/// plus the degraded-mode reconstruction entry point. Throws
+/// std::invalid_argument when a mask cannot be served: fewer survivors
+/// than the model order or a rank-deficient survivor set (Theorem 1), or
+/// conditioning past the ceiling.
+class FactorCache {
+ public:
+  explicit FactorCache(std::shared_ptr<const ReconstructionModel> model,
+                       FactorCacheOptions options = {});
+
+  const ReconstructionModel& model() const { return *model_; }
+  const FactorCacheOptions& options() const { return options_; }
+
+  /// The factor for `mask`, built on first use. An empty mask resolves to
+  /// the full-sensor pattern, which is permanently resident (no LRU slot,
+  /// never a miss). Masks the cache has already rejected fail again
+  /// immediately, without repeating the build.
+  std::shared_ptr<const MaskedFactor> factor(const SensorBitmask& mask);
+
+  /// factor() without the serving-side hit accounting: resolves (building
+  /// and caching if needed, counting the miss) but a resident factor does
+  /// not count as a hit. Producers validating a mask ahead of enqueueing
+  /// use this so warm-up lookups cannot inflate the reported hit rate.
+  void validate(const SensorBitmask& mask);
+
+  /// Batched degraded-mode reconstruction. `readings` stays full width
+  /// (frames x sensor_count) — dead sensors keep their slot and their
+  /// values are ignored — so producers never re-pack frames as sensors
+  /// come and go. The full-sensor mask takes the model's undegraded path
+  /// bit for bit.
+  numerics::Matrix reconstruct_batch(const numerics::Matrix& readings,
+                                     const SensorBitmask& mask);
+
+  FactorCacheStats stats() const;
+  /// Resident dropout patterns (full-sensor pattern excluded).
+  std::size_t size() const;
+
+ private:
+  std::shared_ptr<const MaskedFactor> lookup_or_build(
+      const SensorBitmask& mask, bool count_hit);
+  std::shared_ptr<const MaskedFactor> build(const SensorBitmask& mask) const;
+
+  const std::shared_ptr<const ReconstructionModel> model_;
+  const FactorCacheOptions options_;
+  numerics::Matrix full_r_;  // R of the full-sensor factor, downdate seed
+  // The full-sensor pattern, built once at construction: permanently
+  // resident so it can never evict a genuinely degraded mask.
+  std::shared_ptr<const MaskedFactor> full_factor_;
+
+  mutable std::mutex mutex_;
+  // Front = most recently used. The map indexes into the list.
+  using LruEntry =
+      std::pair<SensorBitmask, std::shared_ptr<const MaskedFactor>>;
+  std::list<LruEntry> lru_;
+  std::unordered_map<SensorBitmask, std::list<LruEntry>::iterator,
+                     SensorBitmaskHash>
+      index_;
+  // Negative cache: masks that failed the rank guard or the ceiling.
+  // Lookups of a known-bad mask count a rejection (never a miss) and
+  // throw without repeating the build. Cleared wholesale if it ever
+  // grows absurd, so adversarial mask streams cannot balloon it.
+  std::unordered_set<SensorBitmask, SensorBitmaskHash> rejected_;
+  FactorCacheStats stats_;
+};
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_FACTOR_CACHE_H

@@ -1,4 +1,4 @@
-#include "core/reconstructor.h"
+#include "core/model.h"
 
 #include <stdexcept>
 
@@ -11,20 +11,20 @@ namespace {
 
 constexpr double kRankTolerance = 1e-8;
 
-numerics::Matrix sampled_basis(const Basis& basis, std::size_t k,
-                               const SensorLocations& sensors) {
+numerics::Matrix sampled_basis_rows(const Basis& basis, std::size_t k,
+                                    const SensorLocations& sensors) {
   if (k == 0 || k > basis.max_order()) {
-    throw std::invalid_argument("Reconstructor: order out of range");
+    throw std::invalid_argument("ReconstructionModel: order out of range");
   }
   if (sensors.empty() || k > sensors.size()) {
     throw std::invalid_argument(
-        "Reconstructor: order exceeds the sensor count");
+        "ReconstructionModel: order exceeds the sensor count");
   }
   const numerics::Matrix& v = basis.vectors();
   numerics::Matrix sampled(sensors.size(), k);
   for (std::size_t s = 0; s < sensors.size(); ++s) {
     if (sensors[s] >= basis.cell_count()) {
-      throw std::invalid_argument("Reconstructor: sensor out of range");
+      throw std::invalid_argument("ReconstructionModel: sensor out of range");
     }
     const double* row = v.row_data(sensors[s]);
     for (std::size_t j = 0; j < k; ++j) sampled(s, j) = row[j];
@@ -34,29 +34,30 @@ numerics::Matrix sampled_basis(const Basis& basis, std::size_t k,
 
 }  // namespace
 
-Reconstructor::SampledFactor Reconstructor::factor_sampled(
+ReconstructionModel::SampledFactor ReconstructionModel::factor_sampled(
     const Basis& basis, std::size_t k, const SensorLocations& sensors) {
-  numerics::Matrix sampled = sampled_basis(basis, k, sensors);
+  numerics::Matrix sampled = sampled_basis_rows(basis, k, sensors);
   const numerics::Vector sv = numerics::singular_values(sampled);
   if (sv.empty() || sv.front() <= 0.0 ||
       sv.back() < kRankTolerance * sv.front()) {
     // Theorem 1: rank(Psi~_K) = K is required for a unique least-squares
     // estimate; the caller retries with a smaller order.
-    throw std::invalid_argument("Reconstructor: sampled basis rank deficient");
+    throw std::invalid_argument(
+        "ReconstructionModel: sampled basis rank deficient");
   }
-  return {numerics::HouseholderQr(std::move(sampled)),
-          sv.front() / sv.back()};
+  numerics::HouseholderQr solver(sampled);  // copy: Psi~ rows feed downdates
+  return {std::move(sampled), std::move(solver), sv.front() / sv.back()};
 }
 
-Reconstructor::Reconstructor(const Basis& basis, std::size_t k,
-                             SensorLocations sensors,
-                             numerics::Vector mean_map)
+ReconstructionModel::ReconstructionModel(const Basis& basis, std::size_t k,
+                                         SensorLocations sensors,
+                                         numerics::Vector mean_map)
     : k_(k),
       sensors_(std::move(sensors)),
       mean_map_(std::move(mean_map)),
       factor_(factor_sampled(basis, k, sensors_)) {
   if (mean_map_.size() != basis.cell_count()) {
-    throw std::invalid_argument("Reconstructor: mean map size mismatch");
+    throw std::invalid_argument("ReconstructionModel: mean map size mismatch");
   }
 
   mean_at_sensors_.resize(sensors_.size());
@@ -76,9 +77,11 @@ Reconstructor::Reconstructor(const Basis& basis, std::size_t k,
   }
 }
 
-numerics::Vector Reconstructor::sample(const numerics::Vector& map) const {
+numerics::Vector ReconstructionModel::sample(
+    const numerics::Vector& map) const {
   if (map.size() != mean_map_.size()) {
-    throw std::invalid_argument("Reconstructor::sample: map size mismatch");
+    throw std::invalid_argument(
+        "ReconstructionModel::sample: map size mismatch");
   }
   numerics::Vector readings(sensors_.size());
   for (std::size_t s = 0; s < sensors_.size(); ++s) {
@@ -87,11 +90,11 @@ numerics::Vector Reconstructor::sample(const numerics::Vector& map) const {
   return readings;
 }
 
-numerics::Vector Reconstructor::reconstruct(
+numerics::Vector ReconstructionModel::reconstruct(
     const numerics::Vector& readings) const {
   if (readings.size() != sensors_.size()) {
     throw std::invalid_argument(
-        "Reconstructor::reconstruct: readings size mismatch");
+        "ReconstructionModel::reconstruct: readings size mismatch");
   }
   numerics::Vector centered(readings.size());
   for (std::size_t s = 0; s < readings.size(); ++s) {
@@ -108,11 +111,11 @@ numerics::Vector Reconstructor::reconstruct(
   return map;
 }
 
-numerics::Matrix Reconstructor::reconstruct_batch(
+numerics::Matrix ReconstructionModel::reconstruct_batch(
     const numerics::Matrix& readings) const {
   if (readings.cols() != sensors_.size()) {
     throw std::invalid_argument(
-        "Reconstructor::reconstruct_batch: readings size mismatch");
+        "ReconstructionModel::reconstruct_batch: readings size mismatch");
   }
   const std::size_t frames = readings.rows();
   numerics::Matrix centered(frames, readings.cols());
@@ -124,10 +127,18 @@ numerics::Matrix Reconstructor::reconstruct_batch(
     }
   }
   // One multi-RHS solve against the cached QR factor, then one blocked
-  // GEMM expands all coefficient rows through the subspace at once, with
-  // the mean map seeded inside the kernel so the (large) output is
+  // GEMM expands all coefficient rows through the subspace at once.
+  return expand(factor_.solver.solve_batch(centered));
+}
+
+numerics::Matrix ReconstructionModel::expand(
+    const numerics::Matrix& alpha) const {
+  if (alpha.cols() != k_) {
+    throw std::invalid_argument(
+        "ReconstructionModel::expand: coefficient width mismatch");
+  }
+  // The mean map is seeded inside the kernel so the (large) output is
   // streamed exactly once.
-  const numerics::Matrix alpha = factor_.solver.solve_batch(centered);
   return numerics::matmul_bias(alpha, subspace_t_, mean_map_);
 }
 

@@ -1,0 +1,86 @@
+// The immutable half of the reconstruction stack: basis slice, mean map,
+// sensor set, and the full-sensor QR factor, shared read-only between the
+// serving engine, the per-mask factor cache, and any number of threads.
+#ifndef EIGENMAPS_CORE_MODEL_H
+#define EIGENMAPS_CORE_MODEL_H
+
+#include <cstddef>
+
+#include "core/allocation.h"
+#include "core/basis.h"
+#include "numerics/qr.h"
+
+namespace eigenmaps::core {
+
+/// Everything a trained reconstruction needs, frozen at construction: the
+/// order-k basis slice V_k (and its transpose for the batched GEMM), the
+/// mean map, the sensor locations, the sampled basis Psi~ (sensors x k)
+/// and its QR factor. Construction throws std::invalid_argument when Psi~
+/// is rank deficient (Theorem 1's feasibility condition) or k exceeds the
+/// sensor count. Immutable after construction, so it is safe to share
+/// across threads and to hot-swap behind a registry without draining
+/// in-flight work — old jobs keep their shared_ptr, new jobs resolve the
+/// replacement.
+class ReconstructionModel {
+ public:
+  ReconstructionModel(const Basis& basis, std::size_t k,
+                      SensorLocations sensors, numerics::Vector mean_map);
+
+  std::size_t order() const { return k_; }
+  std::size_t sensor_count() const { return sensors_.size(); }
+  std::size_t cell_count() const { return mean_map_.size(); }
+  const SensorLocations& sensors() const { return sensors_; }
+  const numerics::Vector& mean_map() const { return mean_map_; }
+  const numerics::Vector& mean_at_sensors() const { return mean_at_sensors_; }
+
+  /// The sampled basis Psi~ (sensors x k); the factor cache reads single
+  /// rows of it to downdate, and row subsets to refactor.
+  const numerics::Matrix& sampled_basis() const { return factor_.sampled; }
+
+  /// sigma_max / sigma_min of Psi~ with every sensor alive — the
+  /// conditioning of the undegraded inverse problem (Fig. 5).
+  double condition_number() const { return factor_.condition; }
+
+  /// QR of the full-sensor Psi~, shared by the no-dropout hot path.
+  const numerics::HouseholderQr& full_factor() const { return factor_.solver; }
+
+  /// Sensor readings for a full map (just the sampled entries).
+  numerics::Vector sample(const numerics::Vector& map) const;
+
+  /// Full-map estimate from readings: mean + V_k * lstsq(Psi~, y - mean~).
+  numerics::Vector reconstruct(const numerics::Vector& readings) const;
+
+  /// Batched reconstruction: row f of `readings` (frames x sensors) is one
+  /// sensor frame, row f of the result (frames x N) its full-map estimate.
+  /// One multi-RHS solve against the cached QR plus one blocked GEMM
+  /// (DESIGN.md §8).
+  numerics::Matrix reconstruct_batch(const numerics::Matrix& readings) const;
+
+  /// Expands coefficient rows (batch x k) through the subspace on top of
+  /// the mean map: mean + alpha V_k^T, one blocked GEMM. The tail of every
+  /// reconstruction, shared by the full and degraded (masked) paths.
+  numerics::Matrix expand(const numerics::Matrix& alpha) const;
+
+ private:
+  // Sampled basis, its QR, and its conditioning, built together so the
+  // sensor rows are extracted and rank-checked exactly once.
+  struct SampledFactor {
+    numerics::Matrix sampled;  // sensors x k sampled basis Psi~
+    numerics::HouseholderQr solver;
+    double condition;
+  };
+  static SampledFactor factor_sampled(const Basis& basis, std::size_t k,
+                                      const SensorLocations& sensors);
+
+  std::size_t k_;
+  SensorLocations sensors_;
+  numerics::Vector mean_map_;
+  numerics::Vector mean_at_sensors_;
+  numerics::Matrix subspace_;    // N x k copy of the leading basis columns
+  numerics::Matrix subspace_t_;  // k x N transpose, for the batched GEMM
+  SampledFactor factor_;
+};
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_MODEL_H

@@ -2,60 +2,59 @@
 #ifndef EIGENMAPS_CORE_RECONSTRUCTOR_H
 #define EIGENMAPS_CORE_RECONSTRUCTOR_H
 
-#include "core/allocation.h"
-#include "core/basis.h"
-#include "numerics/qr.h"
+#include <memory>
+
+#include "core/model.h"
 
 namespace eigenmaps::core {
 
-/// Holds the order-k sampled basis Psi~ (sensors x k) in factored form so
-/// one map reconstruction is a tiny QR solve plus an N x k product.
-/// Construction throws std::invalid_argument when Psi~ is rank deficient
-/// (Theorem 1's feasibility condition) or k exceeds the sensor count.
+/// The single-model convenience front end: owns an immutable
+/// ReconstructionModel and forwards to it. The figure harnesses and the
+/// design-time pipeline work at this level; the serving stack
+/// (runtime::ModelRegistry, core::FactorCache) shares the underlying
+/// model() directly so many engines, caches, and threads can reference
+/// one trained model without copying its N x k subspace.
 class Reconstructor {
  public:
   Reconstructor(const Basis& basis, std::size_t k, SensorLocations sensors,
-                numerics::Vector mean_map);
+                numerics::Vector mean_map)
+      : model_(std::make_shared<const ReconstructionModel>(
+            basis, k, std::move(sensors), std::move(mean_map))) {}
 
-  std::size_t order() const { return k_; }
-  const SensorLocations& sensors() const { return sensors_; }
+  /// The shared immutable model; register this with a ModelRegistry or
+  /// build a FactorCache on it for dropout-tolerant serving.
+  const std::shared_ptr<const ReconstructionModel>& model() const {
+    return model_;
+  }
+
+  std::size_t order() const { return model_->order(); }
+  const SensorLocations& sensors() const { return model_->sensors(); }
 
   /// sigma_max / sigma_min of the sampled basis Psi~ — the conditioning of
   /// the inverse problem (drives noise amplification, Fig. 5).
-  double condition_number() const { return factor_.condition; }
+  double condition_number() const { return model_->condition_number(); }
 
   /// Sensor readings for a full map (just the sampled entries).
-  numerics::Vector sample(const numerics::Vector& map) const;
+  numerics::Vector sample(const numerics::Vector& map) const {
+    return model_->sample(map);
+  }
 
   /// Full-map estimate from readings: mean + V_k * lstsq(Psi~, y - mean~).
-  numerics::Vector reconstruct(const numerics::Vector& readings) const;
+  numerics::Vector reconstruct(const numerics::Vector& readings) const {
+    return model_->reconstruct(readings);
+  }
 
   /// Batched reconstruction: row f of `readings` (frames x sensors) is one
   /// sensor frame, row f of the result (frames x N) its full-map estimate.
   /// Agrees with per-frame reconstruct() to ~1e-12 (the mean map seeds the
-  /// GEMM accumulator, so rounding differs in the last bits), but solves
-  /// the cached QR against all frames at once and expands coefficients
-  /// with one blocked GEMM, so the N x k subspace streams through cache
-  /// once per batch instead of once per frame.
-  numerics::Matrix reconstruct_batch(const numerics::Matrix& readings) const;
+  /// GEMM accumulator, so rounding differs in the last bits); see
+  /// ReconstructionModel::reconstruct_batch.
+  numerics::Matrix reconstruct_batch(const numerics::Matrix& readings) const {
+    return model_->reconstruct_batch(readings);
+  }
 
  private:
-  // QR of the sampled basis Psi~ plus its conditioning, built together so
-  // the sensor rows are extracted and rank-checked exactly once.
-  struct SampledFactor {
-    numerics::HouseholderQr solver;
-    double condition;
-  };
-  static SampledFactor factor_sampled(const Basis& basis, std::size_t k,
-                                      const SensorLocations& sensors);
-
-  std::size_t k_;
-  SensorLocations sensors_;
-  numerics::Vector mean_map_;
-  numerics::Vector mean_at_sensors_;
-  numerics::Matrix subspace_;    // N x k copy of the leading basis columns
-  numerics::Matrix subspace_t_;  // k x N transpose, for the batched GEMM
-  SampledFactor factor_;
+  std::shared_ptr<const ReconstructionModel> model_;
 };
 
 }  // namespace eigenmaps::core

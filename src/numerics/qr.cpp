@@ -1,6 +1,8 @@
 #include "numerics/qr.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace eigenmaps::numerics {
@@ -121,6 +123,164 @@ Matrix HouseholderQr::r() const {
 
 Vector solve_least_squares(const Matrix& a, const Vector& b) {
   return HouseholderQr(a).solve(b);
+}
+
+bool downdate_r_row(Matrix& r, const double* row) {
+  const std::size_t n = r.rows();
+  if (r.cols() != n) {
+    throw std::invalid_argument("downdate_r_row: R must be square");
+  }
+  // Leverage of the deleted row: solve R^T q = row by forward substitution.
+  Vector q(n);
+  double leverage = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = row[i];
+    for (std::size_t j = 0; j < i; ++j) s -= r(j, i) * q[j];
+    if (r(i, i) == 0.0) return false;
+    q[i] = s / r(i, i);
+    leverage += q[i] * q[i];
+  }
+  // Leverage 1 means the row is essential to the rank; near 1 the downdated
+  // factor would be garbage even if the arithmetic went through, so condemn
+  // a little early and let the caller refactor for the exact verdict.
+  constexpr double kLeverageGuard = 1e-12;
+  if (leverage >= 1.0 - kLeverageGuard) return false;
+  double alpha = std::sqrt(1.0 - leverage);
+  // Rotations J_{n-1}..J_0 carrying [q; alpha] to [0; 1], bottom up.
+  Vector c(n), s(n);
+  for (std::size_t i = n; i-- > 0;) {
+    const double scale = alpha + std::abs(q[i]);
+    const double ca = alpha / scale;
+    const double sa = q[i] / scale;
+    const double norm = std::sqrt(ca * ca + sa * sa);
+    c[i] = ca / norm;
+    s[i] = sa / norm;
+    alpha = scale * norm;
+  }
+  // Apply the same rotations to R, column by column, hyperbolically
+  // removing the deleted row's contribution.
+  for (std::size_t j = 0; j < n; ++j) {
+    double xx = 0.0;
+    for (std::size_t i = j + 1; i-- > 0;) {
+      const double t = c[i] * xx + s[i] * r(i, j);
+      r(i, j) = c[i] * r(i, j) - s[i] * xx;
+      xx = t;
+    }
+  }
+  return true;
+}
+
+double triangular_condition_1(const Matrix& r) {
+  const std::size_t n = r.rows();
+  if (r.cols() != n) {
+    throw std::invalid_argument("triangular_condition_1: R must be square");
+  }
+  if (n == 0) return 1.0;
+  double norm_r = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double col = 0.0;
+    for (std::size_t i = 0; i <= j; ++i) col += std::abs(r(i, j));
+    norm_r = std::max(norm_r, col);
+  }
+  // Explicit inverse, one unit-vector back substitution per column.
+  double norm_inv = 0.0;
+  Vector z(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double col = 0.0;
+    for (std::size_t i = j + 1; i-- > 0;) {
+      double s = (i == j) ? 1.0 : 0.0;
+      for (std::size_t k = i + 1; k <= j; ++k) s -= r(i, k) * z[k];
+      if (r(i, i) == 0.0) {
+        return std::numeric_limits<double>::infinity();
+      }
+      z[i] = s / r(i, i);
+      col += std::abs(z[i]);
+    }
+    norm_inv = std::max(norm_inv, col);
+  }
+  return norm_r * norm_inv;
+}
+
+SeminormalSolver::SeminormalSolver(Matrix r, Matrix a)
+    : r_(std::move(r)), a_(std::move(a)) {
+  if (r_.rows() != r_.cols() || r_.cols() != a_.cols()) {
+    throw std::invalid_argument("SeminormalSolver: R must be cols x cols");
+  }
+  if (a_.rows() < a_.cols()) {
+    throw std::invalid_argument("SeminormalSolver: need rows >= cols");
+  }
+  for (std::size_t i = 0; i < r_.rows(); ++i) {
+    if (r_(i, i) == 0.0) {
+      throw std::invalid_argument("SeminormalSolver: singular R factor");
+    }
+  }
+}
+
+void SeminormalSolver::solve_normal(double* x) const {
+  const std::size_t n = r_.cols();
+  // Forward substitution R^T y = x, then back substitution R x = y.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= r_(j, i) * x[j];
+    x[i] = s / r_(i, i);
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= r_(i, j) * x[j];
+    x[i] = s / r_(i, i);
+  }
+}
+
+void SeminormalSolver::solve_into(const double* b, double* residual,
+                                  double* x) const {
+  const std::size_t m = a_.rows();
+  const std::size_t n = a_.cols();
+  // x0 = (R^T R)^{-1} A^T b.
+  for (std::size_t j = 0; j < n; ++j) x[j] = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = a_.row_data(i);
+    for (std::size_t j = 0; j < n; ++j) x[j] += row[j] * b[i];
+  }
+  solve_normal(x);
+  // One corrected-seminormal refinement pass: dx = (R^T R)^{-1} A^T
+  // (b - A x0). Bjorck: this recovers QR-level accuracy when cond(R)^2 eps
+  // is still well below 1.
+  Vector correction(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = a_.row_data(i);
+    double ax = 0.0;
+    for (std::size_t j = 0; j < n; ++j) ax += row[j] * x[j];
+    residual[i] = b[i] - ax;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = a_.row_data(i);
+    for (std::size_t j = 0; j < n; ++j) correction[j] += row[j] * residual[i];
+  }
+  solve_normal(correction.data());
+  for (std::size_t j = 0; j < n; ++j) x[j] += correction[j];
+}
+
+Vector SeminormalSolver::solve(const Vector& b) const {
+  if (b.size() != a_.rows()) {
+    throw std::invalid_argument("SeminormalSolver::solve: rhs size mismatch");
+  }
+  Vector residual(a_.rows());
+  Vector x(a_.cols());
+  solve_into(b.data(), residual.data(), x.data());
+  return x;
+}
+
+Matrix SeminormalSolver::solve_batch(const Matrix& rhs_rows) const {
+  if (rhs_rows.cols() != a_.rows()) {
+    throw std::invalid_argument(
+        "SeminormalSolver::solve_batch: rhs size mismatch");
+  }
+  Matrix x(rhs_rows.rows(), a_.cols());
+  Vector residual(a_.rows());
+  for (std::size_t b = 0; b < rhs_rows.rows(); ++b) {
+    solve_into(rhs_rows.row_data(b), residual.data(), x.row_data(b));
+  }
+  return x;
 }
 
 }  // namespace eigenmaps::numerics

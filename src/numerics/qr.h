@@ -45,6 +45,54 @@ class HouseholderQr {
 /// One-shot least squares; factors and solves.
 Vector solve_least_squares(const Matrix& a, const Vector& b);
 
+/// In-place Givens downdate (LINPACK dchdd) of an upper-triangular n x n
+/// factor `r` after deleting one row `row` (n values) from the matrix it
+/// factors: on success R'^T R' = R^T R - row row^T. Returns false — and
+/// leaves `r` unspecified — when the deleted row is (numerically) essential
+/// to the rank, i.e. its leverage ||R^-T row||^2 reaches 1: the surviving
+/// rows no longer determine all n directions (Theorem 1's rank guard).
+/// O(n^2); the cheap path for small dropout counts, versus an O(m n^2)
+/// refactorization of the surviving rows.
+bool downdate_r_row(Matrix& r, const double* row);
+
+/// 1-norm condition number ||R||_1 ||R^-1||_1 of an upper-triangular R via
+/// the explicit inverse — O(n^3), fine for the k x k factors this library
+/// produces (k is tens). Returns +inf when a diagonal entry is zero. The
+/// conditioning recheck after a chain of downdates, which can degrade a
+/// factor without any single step failing.
+double triangular_condition_1(const Matrix& r);
+
+/// Least squares from an R factor alone (no Q), for factors produced by
+/// row-downdating: corrected seminormal equations. x0 solves
+/// R^T R x0 = A^T b, then one refinement pass x = x0 + (R^T R)^-1 A^T
+/// (b - A x0) recovers QR-level accuracy as long as cond(R) is controlled
+/// (which the factor cache's condition ceiling enforces).
+class SeminormalSolver {
+ public:
+  /// `r` is n x n upper triangular, `a` the m x n surviving rows it
+  /// (approximately) factors, kept for the A^T products and the
+  /// refinement residual.
+  SeminormalSolver(Matrix r, Matrix a);
+
+  std::size_t rows() const { return a_.rows(); }
+  std::size_t cols() const { return a_.cols(); }
+  const Matrix& r() const { return r_; }
+
+  /// Least-squares solution of A x = b (b has rows() entries).
+  Vector solve(const Vector& b) const;
+
+  /// Batched form: one right-hand side per ROW of `rhs_rows`
+  /// (batch x rows()); returns batch x cols(), matching solve() per row.
+  Matrix solve_batch(const Matrix& rhs_rows) const;
+
+ private:
+  void solve_into(const double* b, double* residual_m, double* x_out) const;
+  void solve_normal(double* x) const;  // x <- (R^T R)^{-1} x in place
+
+  Matrix r_;  // n x n upper triangular
+  Matrix a_;  // m x n surviving rows
+};
+
 }  // namespace eigenmaps::numerics
 
 #endif  // EIGENMAPS_NUMERICS_QR_H

@@ -9,12 +9,30 @@
 namespace eigenmaps::runtime {
 
 namespace {
+
 using Clock = std::chrono::steady_clock;
+
+// An empty mask and an explicit all-active mask mean the same thing: no
+// dropout. Canonicalising to the empty form keeps the two spellings from
+// comparing unequal in the stream binding (which would cut a batch on
+// every alternation) and routes both through the cache's full-sensor
+// bypass. Wrong-width masks still fail: bind() checks at batch
+// boundaries, and push_frame re-checks mid-batch.
+const core::SensorBitmask kNoDropout;
+
+const core::SensorBitmask& canonical_mask(const core::SensorBitmask& mask) {
+  return (mask.size() != 0 && mask.all_active()) ? kNoDropout : mask;
+}
+
 }  // namespace
 
 struct ReconstructionEngine::Job {
   numerics::Matrix frames;
   Clock::time_point enqueued_at;
+  // Model binding: the registered version current when the batch started,
+  // and the active-sensor mask its frames were produced under.
+  std::shared_ptr<const RegisteredModel> entry;
+  core::SensorBitmask mask;
   // One-shot path.
   bool has_promise = false;
   std::promise<numerics::Matrix> promise;
@@ -29,6 +47,12 @@ struct ReconstructionEngine::StreamState {
   std::vector<numerics::Vector> pending;
   std::uint64_t next_seq = 0;        // seq of the next pushed frame
   std::uint64_t batch_first_seq = 0; // seq of pending.front()
+  // Binding of the pending batch: model id + mask chosen when its first
+  // frame arrived, with the registry entry resolved at that moment (so a
+  // hot swap affects the next batch, not this one).
+  ModelId model = kDefaultModel;
+  core::SensorBitmask mask;
+  std::shared_ptr<const RegisteredModel> entry;
   // Set (under ingest_mutex) when retire_idle_streams() unlinks the state;
   // a producer that raced the retire re-resolves a fresh state instead of
   // writing into the orphan.
@@ -38,6 +62,23 @@ struct ReconstructionEngine::StreamState {
   std::mutex deliver_mutex;
   std::uint64_t next_deliver_seq = 0;
   std::map<std::uint64_t, numerics::Matrix> ready;
+
+  /// Moves the pending frames into a streaming job. Call under
+  /// ingest_mutex with pending non-empty.
+  Job cut(std::uint64_t stream) {
+    Job job;
+    job.frames = numerics::Matrix(pending.size(), pending.front().size());
+    for (std::size_t f = 0; f < pending.size(); ++f) {
+      job.frames.set_row(f, pending[f]);
+    }
+    job.entry = entry;
+    job.mask = mask;
+    job.stream = stream;
+    job.first_seq = batch_first_seq;
+    batch_first_seq = next_seq;
+    pending.clear();
+    return job;
+  }
 };
 
 std::size_t ReconstructionEngine::default_worker_count() {
@@ -45,10 +86,28 @@ std::size_t ReconstructionEngine::default_worker_count() {
   return numerics::blas_threads();
 }
 
+ReconstructionEngine::ReconstructionEngine(ModelRegistry& registry,
+                                           EngineOptions options,
+                                           ResultCallback on_result)
+    : ReconstructionEngine(nullptr, &registry, std::move(options),
+                           std::move(on_result)) {}
+
 ReconstructionEngine::ReconstructionEngine(
     const core::Reconstructor& reconstructor, EngineOptions options,
     ResultCallback on_result)
-    : reconstructor_(reconstructor),
+    : ReconstructionEngine(
+          [&reconstructor] {
+            auto registry = std::make_unique<ModelRegistry>();
+            registry->register_model(kDefaultModel, reconstructor.model());
+            return registry;
+          }(),
+          nullptr, std::move(options), std::move(on_result)) {}
+
+ReconstructionEngine::ReconstructionEngine(
+    std::unique_ptr<ModelRegistry> owned_registry, ModelRegistry* registry,
+    EngineOptions options, ResultCallback on_result)
+    : owned_registry_(std::move(owned_registry)),
+      registry_(owned_registry_ ? owned_registry_.get() : registry),
       options_(options),
       on_result_(std::move(on_result)) {
   if (options_.batch_size == 0) {
@@ -71,6 +130,29 @@ ReconstructionEngine::~ReconstructionEngine() {
   drain();
   queue_->close();
   for (std::thread& worker : workers_) worker.join();
+}
+
+std::shared_ptr<const RegisteredModel> ReconstructionEngine::bind(
+    ModelId model, const core::SensorBitmask& mask) const {
+  std::shared_ptr<const RegisteredModel> entry = registry_->resolve(model);
+  if (!entry) {
+    throw std::invalid_argument("ReconstructionEngine: unknown model id");
+  }
+  if (mask.size() != 0) {
+    if (mask.size() != entry->model->sensor_count()) {
+      // Checked before the all-active shortcut below: a wrong-width mask
+      // must fail here on the producer, never inside a worker.
+      throw std::invalid_argument(
+          "ReconstructionEngine: mask width != model sensor count");
+    }
+    if (!mask.all_active()) {
+      // Fail infeasible masks here too (rank guard, conditioning ceiling)
+      // and warm the factor cache for the workers in one stroke; validate()
+      // does not count as a serving-side cache hit.
+      entry->cache->validate(mask);
+    }
+  }
+  return entry;
 }
 
 std::shared_ptr<ReconstructionEngine::StreamState>
@@ -97,13 +179,15 @@ void ReconstructionEngine::enqueue(Job job) {
 }
 
 std::future<numerics::Matrix> ReconstructionEngine::submit(
-    numerics::Matrix frames) {
-  if (frames.cols() != reconstructor_.sensors().size()) {
-    throw std::invalid_argument(
-        "ReconstructionEngine::submit: frame width != sensor count");
-  }
+    numerics::Matrix frames, ModelId model, const core::SensorBitmask& mask) {
   Job job;
+  job.entry = bind(model, mask);
+  if (frames.cols() != job.entry->model->sensor_count()) {
+    throw std::invalid_argument(
+        "ReconstructionEngine::submit: frame width != model sensor count");
+  }
   job.frames = std::move(frames);
+  job.mask = canonical_mask(mask);
   job.has_promise = true;
   std::future<numerics::Matrix> result = job.promise.get_future();
   frames_submitted_.fetch_add(job.frames.rows(), std::memory_order_relaxed);
@@ -112,40 +196,72 @@ std::future<numerics::Matrix> ReconstructionEngine::submit(
 }
 
 std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
-                                               const numerics::Vector& frame) {
-  if (frame.size() != reconstructor_.sensors().size()) {
-    throw std::invalid_argument(
-        "ReconstructionEngine::push_frame: frame size != sensor count");
-  }
-  // Submission is counted at ingestion, not at batch-cut time, so
-  // `submitted - completed` reflects the true backlog mid-batch.
-  frames_submitted_.fetch_add(1, std::memory_order_relaxed);
-  Job job;
-  bool cut = false;
+                                               const numerics::Vector& frame,
+                                               ModelId model,
+                                               const core::SensorBitmask& mask) {
+  // Up to two jobs can come loose in one push: the old pending batch when
+  // the (model, mask) binding changes, plus this frame's batch filling up.
+  Job cut_jobs[2];
+  std::size_t cut_count = 0;
   std::uint64_t seq = 0;
+  // Bindings store and compare the canonical form; the raw mask still
+  // goes through bind() so wrong-width masks fail at a batch boundary.
+  const core::SensorBitmask& canon = canonical_mask(mask);
   for (;;) {
     std::shared_ptr<StreamState> state = stream_state(stream);
     std::lock_guard<std::mutex> lock(state->ingest_mutex);
     if (state->retired) continue;  // raced retire_idle_streams(); re-resolve
+    const bool rebind = state->pending.empty() || state->model != model ||
+                        state->mask != canon;
+    if (rebind) {
+      // A new batch starts under a fresh binding: resolve the registry's
+      // *current* version and validate mask and frame eagerly — throws
+      // surface here, on the producer, before any state is disturbed.
+      std::shared_ptr<const RegisteredModel> entry = bind(model, mask);
+      if (frame.size() != entry->model->sensor_count()) {
+        throw std::invalid_argument(
+            "ReconstructionEngine::push_frame: frame size != model sensor "
+            "count");
+      }
+      if (!state->pending.empty()) {
+        // Binding changed mid-batch: cut what is pending under the old
+        // binding so every job stays homogeneous.
+        cut_jobs[cut_count++] = state->cut(stream);
+      }
+      state->entry = std::move(entry);
+      state->model = model;
+      state->mask = canon;
+      state->batch_first_seq = state->next_seq;
+    } else {
+      if (frame.size() != state->entry->model->sensor_count()) {
+        throw std::invalid_argument(
+            "ReconstructionEngine::push_frame: frame size != model sensor "
+            "count");
+      }
+      if (mask.size() != 0 &&
+          mask.size() != state->entry->model->sensor_count()) {
+        // A wrong-width all-active mask canonicalises to "no dropout" and
+        // so compares equal to the live binding; it is still malformed and
+        // must fail mid-batch exactly as it does at a batch boundary.
+        throw std::invalid_argument(
+            "ReconstructionEngine::push_frame: mask width != model sensor "
+            "count");
+      }
+    }
+    // Submission is counted at ingestion, not at batch-cut time, so
+    // `submitted - completed` reflects the true backlog mid-batch.
+    frames_submitted_.fetch_add(1, std::memory_order_relaxed);
     seq = state->next_seq++;
     state->pending.push_back(frame);
     if (state->pending.size() >= options_.batch_size) {
-      job.frames = numerics::Matrix(state->pending.size(), frame.size());
-      for (std::size_t f = 0; f < state->pending.size(); ++f) {
-        job.frames.set_row(f, state->pending[f]);
-      }
-      job.stream = stream;
-      job.first_seq = state->batch_first_seq;
-      state->batch_first_seq = state->next_seq;
-      state->pending.clear();
-      cut = true;
+      cut_jobs[cut_count++] = state->cut(stream);
     }
     break;
   }
   // Enqueue outside the ingest lock: a full queue blocks this producer but
   // not the other producers of the stream; delivery order is restored from
   // sequence numbers.
-  if (cut) enqueue(std::move(job));
+  for (std::size_t j = 0; j < cut_count; ++j) enqueue(std::move(cut_jobs[j]));
   return seq;
 }
 
@@ -158,15 +274,7 @@ void ReconstructionEngine::flush(std::uint64_t stream) {
     // A retired state necessarily has nothing pending; falling through to
     // the empty check below is safe.
     if (!state->pending.empty()) {
-      job.frames = numerics::Matrix(state->pending.size(),
-                                    state->pending.front().size());
-      for (std::size_t f = 0; f < state->pending.size(); ++f) {
-        job.frames.set_row(f, state->pending[f]);
-      }
-      job.stream = stream;
-      job.first_seq = state->batch_first_seq;
-      state->batch_first_seq = state->next_seq;
-      state->pending.clear();
+      job = state->cut(stream);
       cut = true;
     }
   }
@@ -186,10 +294,26 @@ void ReconstructionEngine::drain() {
 }
 
 EngineStats ReconstructionEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  EngineStats out = stats_;
+  EngineStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
   out.frames_submitted = frames_submitted_.load(std::memory_order_relaxed);
   out.frames_completed = frames_completed_.load(std::memory_order_relaxed);
+  // Overlay the factor-cache counters of each model's currently registered
+  // version (a hot swap restarts them with its fresh cache).
+  for (auto& [id, model_stats] : out.models) {
+    if (const std::shared_ptr<const RegisteredModel> entry =
+            registry_->resolve(id)) {
+      const core::FactorCacheStats cache = entry->cache->stats();
+      model_stats.cache_hits = cache.hits;
+      model_stats.cache_misses = cache.misses;
+      model_stats.cache_full_mask_batches = cache.full_mask_batches;
+      model_stats.factor_downdates = cache.downdates;
+      model_stats.factor_refactors = cache.refactors;
+    }
+  }
   return out;
 }
 
@@ -231,7 +355,8 @@ void ReconstructionEngine::worker_loop() {
 }
 
 void ReconstructionEngine::run_job(Job& job) {
-  numerics::Matrix maps = reconstructor_.reconstruct_batch(job.frames);
+  numerics::Matrix maps =
+      job.entry->cache->reconstruct_batch(job.frames, job.mask);
   const auto latency = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            job.enqueued_at)
@@ -244,6 +369,9 @@ void ReconstructionEngine::run_job(Job& job) {
     if (latency > stats_.max_batch_latency_ns) {
       stats_.max_batch_latency_ns = latency;
     }
+    ModelStats& model_stats = stats_.models[job.entry->id];
+    model_stats.frames_completed += job.frames.rows();
+    ++model_stats.batches_completed;
   }
   if (job.has_promise) {
     job.promise.set_value(std::move(maps));

@@ -1,5 +1,6 @@
-// Streaming batched reconstruction: many sensor-reading frames per second
-// through one shared Reconstructor, one blocked GEMM per batch.
+// Streaming batched reconstruction: many sensor-reading frames per second,
+// many registered models, one blocked GEMM per batch, dropout-tolerant via
+// the per-model mask-keyed factor cache.
 #ifndef EIGENMAPS_RUNTIME_ENGINE_H
 #define EIGENMAPS_RUNTIME_ENGINE_H
 
@@ -15,7 +16,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/factor_cache.h"
 #include "core/reconstructor.h"
+#include "runtime/registry.h"
 #include "runtime/work_queue.h"
 
 namespace eigenmaps::runtime {
@@ -25,10 +28,26 @@ struct EngineOptions {
   /// EIGENMAPS_THREADS environment variable, else hardware concurrency.
   std::size_t worker_count = 0;
   /// Frames accumulated per stream before a batch job is cut. Batches this
-  /// size amortise the QR solve and subspace GEMM (DESIGN.md §8).
+  /// size amortise the QR solve and subspace GEMM (DESIGN.md §8). Must be
+  /// positive (the constructor throws std::invalid_argument otherwise).
   std::size_t batch_size = 32;
   /// Bound on queued batch jobs; producers block past it (back-pressure).
+  /// Must be positive (the constructor throws std::invalid_argument
+  /// otherwise — a zero-capacity queue could never cut a batch loose).
   std::size_t queue_capacity = 64;
+};
+
+/// Per-model monotonic counters inside EngineStats. The cache_* and
+/// factor_* fields are sampled from the FactorCache of the model's
+/// *currently registered* version; a hot swap starts them afresh.
+struct ModelStats {
+  std::uint64_t frames_completed = 0;
+  std::uint64_t batches_completed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_full_mask_batches = 0;
+  std::uint64_t factor_downdates = 0;
+  std::uint64_t factor_refactors = 0;
 };
 
 /// Monotonic per-engine counters; read with ReconstructionEngine::stats().
@@ -39,27 +58,50 @@ struct EngineStats {
   /// Sum / max of per-batch latency (enqueue to reconstruction done), ns.
   std::uint64_t total_batch_latency_ns = 0;
   std::uint64_t max_batch_latency_ns = 0;
+  /// Every model this engine has completed batches for.
+  std::map<ModelId, ModelStats> models;
 };
 
 /// Drives batches of sensor frames across a worker pool over a bounded
 /// queue. Two front doors:
 ///
-///  - submit(frames): one-shot batch, result via std::future.
-///  - push_frame(stream, frame): streaming ingestion. Frames accumulate
-///    per stream into batch_size batches; completed batches are handed to
-///    the result callback exactly once and in submission order per stream,
-///    even when workers finish them out of order.
+///  - submit(frames, model, mask): one-shot batch, result via std::future.
+///  - push_frame(stream, frame, model, mask): streaming ingestion. Frames
+///    accumulate per stream into batch_size batches; completed batches are
+///    handed to the result callback exactly once and in submission order
+///    per stream, even when workers finish them out of order.
+///
+/// Both carry a model id resolved against the ModelRegistry and an
+/// optional active-sensor mask (empty = all sensors alive); a stream that
+/// switches model or mask cuts its pending batch first, so every batch is
+/// homogeneous. Mask feasibility (Theorem 1 rank guard, conditioning
+/// ceiling) is validated eagerly at the producer call — infeasible masks
+/// throw std::invalid_argument there, never inside a worker. Models can be
+/// registered or hot-swapped while streams are live: each batch binds the
+/// version current when its first frame arrived, and in-flight batches
+/// keep theirs.
 ///
 /// The result callback runs on worker threads and must not call back into
 /// the engine. Thread-safe for many concurrent producers.
 class ReconstructionEngine {
  public:
+  /// The model id submit/push_frame use when none is given; the
+  /// single-reconstructor convenience constructor registers its model here.
+  static constexpr ModelId kDefaultModel = 0;
+
   /// stream id, sequence number of the first frame in the batch, maps
   /// (one reconstructed row per frame, same order as pushed).
   using ResultCallback = std::function<void(
       std::uint64_t stream, std::uint64_t first_seq, numerics::Matrix maps)>;
 
-  /// `reconstructor` must outlive the engine.
+  /// Serves every model in `registry` (which must outlive the engine).
+  ReconstructionEngine(ModelRegistry& registry, EngineOptions options = {},
+                       ResultCallback on_result = nullptr);
+
+  /// Single-model convenience: owns a private registry with
+  /// `reconstructor`'s model under kDefaultModel. The reconstructor's
+  /// model is shared, so `reconstructor` itself only needs to outlive
+  /// this call.
   ReconstructionEngine(const core::Reconstructor& reconstructor,
                        EngineOptions options = {},
                        ResultCallback on_result = nullptr);
@@ -70,13 +112,24 @@ class ReconstructionEngine {
 
   std::size_t worker_count() const { return workers_.size(); }
 
+  /// The registry this engine serves from (the private one for the
+  /// single-reconstructor constructor) — register/hot-swap models here.
+  ModelRegistry& registry() { return *registry_; }
+
   /// One-shot batch (frames x sensors); blocks while the queue is full.
-  std::future<numerics::Matrix> submit(numerics::Matrix frames);
+  /// Throws std::invalid_argument for an unknown model, a frame width not
+  /// matching the model, or an infeasible mask.
+  std::future<numerics::Matrix> submit(
+      numerics::Matrix frames, ModelId model = kDefaultModel,
+      const core::SensorBitmask& mask = core::SensorBitmask());
 
   /// Appends one frame to `stream`'s pending batch, cutting a job every
-  /// batch_size frames. Returns the frame's sequence number in the stream.
-  std::uint64_t push_frame(std::uint64_t stream,
-                           const numerics::Vector& frame);
+  /// batch_size frames (and whenever the stream's model/mask binding
+  /// changes). Returns the frame's sequence number in the stream.
+  std::uint64_t push_frame(
+      std::uint64_t stream, const numerics::Vector& frame,
+      ModelId model = kDefaultModel,
+      const core::SensorBitmask& mask = core::SensorBitmask());
 
   /// Cuts a (possibly short) batch from `stream`'s pending frames.
   void flush(std::uint64_t stream);
@@ -100,6 +153,15 @@ class ReconstructionEngine {
   struct Job;
   struct StreamState;
 
+  ReconstructionEngine(std::unique_ptr<ModelRegistry> owned_registry,
+                       ModelRegistry* registry, EngineOptions options,
+                       ResultCallback on_result);
+
+  /// Resolves `model` and validates `mask` against it (warming the factor
+  /// cache); throws std::invalid_argument when either is unusable.
+  std::shared_ptr<const RegisteredModel> bind(
+      ModelId model, const core::SensorBitmask& mask) const;
+
   std::shared_ptr<StreamState> stream_state(std::uint64_t stream);
   void enqueue(Job job);
   void worker_loop();
@@ -107,7 +169,8 @@ class ReconstructionEngine {
   void deliver(std::uint64_t stream, std::uint64_t first_seq,
                numerics::Matrix maps);
 
-  const core::Reconstructor& reconstructor_;
+  std::unique_ptr<ModelRegistry> owned_registry_;  // single-model ctor only
+  ModelRegistry* registry_;
   const EngineOptions options_;
   const ResultCallback on_result_;
 
@@ -124,7 +187,7 @@ class ReconstructionEngine {
   std::atomic<std::uint64_t> frames_completed_{0};
 
   mutable std::mutex stats_mutex_;
-  EngineStats stats_;  // batch/latency counters (guarded by stats_mutex_)
+  EngineStats stats_;  // batch/latency/model counters (guarded by stats_mutex_)
   std::size_t jobs_in_flight_ = 0;
   std::condition_variable idle_;
 };

@@ -1,0 +1,67 @@
+#include "runtime/registry.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace eigenmaps::runtime {
+
+std::uint64_t ModelRegistry::register_model(
+    ModelId id, std::shared_ptr<const core::ReconstructionModel> model) {
+  if (!model) {
+    throw std::invalid_argument("ModelRegistry::register_model: null model");
+  }
+  // Build the entry (and its cache's full-R seed) outside the lock.
+  auto entry = std::make_shared<RegisteredModel>();
+  entry->id = id;
+  entry->model = model;
+  entry->cache = std::make_shared<core::FactorCache>(std::move(model),
+                                                     cache_options_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  entry->version = ++versions_[id];
+  models_[id] = std::move(entry);
+  return versions_[id];
+}
+
+bool ModelRegistry::unregister_model(ModelId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.erase(id) > 0;
+}
+
+std::shared_ptr<const RegisteredModel> ModelRegistry::resolve(
+    ModelId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(id);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::vector<ModelId> ModelRegistry::ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ModelId> out;
+  out.reserve(models_.size());
+  for (const auto& entry : models_) out.push_back(entry.first);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+core::FactorCacheOptions ModelRegistry::default_cache_options() {
+  core::FactorCacheOptions options;
+  if (const char* env = std::getenv("EIGENMAPS_FACTOR_CACHE_CAPACITY")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) options.capacity = static_cast<std::size_t>(value);
+  }
+  if (const char* env = std::getenv("EIGENMAPS_CONDITION_CEILING")) {
+    const double value = std::strtod(env, nullptr);
+    if (value >= 1.0) options.condition_ceiling = value;
+  }
+  if (const char* env = std::getenv("EIGENMAPS_DOWNDATE_LIMIT")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 0) options.downdate_limit = static_cast<std::size_t>(value);
+  }
+  return options;
+}
+
+}  // namespace eigenmaps::runtime

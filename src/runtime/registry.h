@@ -1,0 +1,73 @@
+// Multi-model serving: model id -> versioned immutable model + its
+// per-dropout-pattern factor cache, hot-swappable without draining.
+#ifndef EIGENMAPS_RUNTIME_REGISTRY_H
+#define EIGENMAPS_RUNTIME_REGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/factor_cache.h"
+#include "core/model.h"
+
+namespace eigenmaps::runtime {
+
+/// Caller-chosen model identifier (one per chip / floorplan / basis).
+using ModelId = std::uint64_t;
+
+/// One registered (model, version): the immutable ReconstructionModel plus
+/// the FactorCache serving its dropout patterns. Handed out by shared_ptr,
+/// so a hot-swap never invalidates an entry an in-flight job still holds.
+struct RegisteredModel {
+  ModelId id = 0;
+  std::uint64_t version = 0;  // 1-based, monotonic per id
+  std::shared_ptr<const core::ReconstructionModel> model;
+  std::shared_ptr<core::FactorCache> cache;  // thread-safe
+};
+
+/// Thread-safe model table. register_model(id, model) on a live id is a
+/// hot swap: resolve() hands out the new version from that point on while
+/// jobs built against the old version finish on their own shared_ptr —
+/// no drain, no lock held during a solve.
+class ModelRegistry {
+ public:
+  /// `cache_options` seeds every registered model's FactorCache; defaults
+  /// come from default_cache_options() (environment-overridable).
+  explicit ModelRegistry(
+      core::FactorCacheOptions cache_options = default_cache_options())
+      : cache_options_(cache_options) {}
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers (or hot-swaps) `model` under `id`; returns the new version.
+  std::uint64_t register_model(
+      ModelId id, std::shared_ptr<const core::ReconstructionModel> model);
+
+  /// Drops `id` from the table (in-flight jobs keep their entry); returns
+  /// whether anything was registered.
+  bool unregister_model(ModelId id);
+
+  /// The current entry for `id`, or nullptr when unknown.
+  std::shared_ptr<const RegisteredModel> resolve(ModelId id) const;
+
+  std::vector<ModelId> ids() const;
+  std::size_t size() const;
+
+  /// FactorCacheOptions with environment overrides applied:
+  /// EIGENMAPS_FACTOR_CACHE_CAPACITY, EIGENMAPS_CONDITION_CEILING,
+  /// EIGENMAPS_DOWNDATE_LIMIT.
+  static core::FactorCacheOptions default_cache_options();
+
+ private:
+  const core::FactorCacheOptions cache_options_;
+  mutable std::mutex mutex_;
+  std::map<ModelId, std::shared_ptr<const RegisteredModel>> models_;
+  std::map<ModelId, std::uint64_t> versions_;
+};
+
+}  // namespace eigenmaps::runtime
+
+#endif  // EIGENMAPS_RUNTIME_REGISTRY_H

@@ -1,0 +1,156 @@
+// Degraded-mode accuracy at paper size (60 x 56 grid): reconstruction
+// error as sensors drop, for both the PCA (EigenMaps) and DCT bases. The
+// error must degrade gracefully while Theorem 1's per-mask rank guard
+// holds, and the guard must fire before the error can blow up — dropping
+// below `order` survivors throws instead of returning garbage.
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.h"
+#include "core/dct_basis.h"
+#include "core/factor_cache.h"
+#include "core/pca_basis.h"
+#include "core/reconstructor.h"
+#include "core/snapshot_set.h"
+#include "numerics/rng.h"
+#include "numerics/stats.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+constexpr std::size_t kWidth = 60;
+constexpr std::size_t kHeight = 56;
+constexpr std::size_t kOrder = 12;
+constexpr std::size_t kSensors = 20;
+
+/// Smooth synthetic thermal maps: a mean plus low-order DCT modes with
+/// decaying random coefficients — the spectral shape the paper's traces
+/// exhibit, cheap enough to train a paper-sized PCA basis in-process.
+numerics::Matrix smooth_maps(std::size_t count, std::uint64_t seed) {
+  const core::DctBasis modes(kWidth, kHeight, 24);
+  numerics::Rng rng(seed);
+  numerics::Matrix maps(count, modes.cell_count());
+  for (std::size_t t = 0; t < count; ++t) {
+    numerics::Vector coeff(24);
+    for (std::size_t j = 0; j < coeff.size(); ++j) {
+      coeff[j] = rng.normal() * 30.0 / static_cast<double>(1 + j);
+    }
+    double* row = maps.row_data(t);
+    for (std::size_t i = 0; i < modes.cell_count(); ++i) {
+      double v = 55.0;
+      const double* mode_row = modes.vectors().row_data(i);
+      for (std::size_t j = 0; j < coeff.size(); ++j) {
+        v += coeff[j] * mode_row[j];
+      }
+      row[i] = v;
+    }
+  }
+  return maps;
+}
+
+struct DegradedCurve {
+  std::vector<std::size_t> dropped;
+  std::vector<double> rmse;
+};
+
+/// RMSE of masked reconstruction over `eval` maps with `drop_count`
+/// sensors dead (deterministically chosen), readings carrying a little
+/// sensor noise so conditioning actually shows up in the error.
+DegradedCurve degraded_curve(const core::Basis& basis,
+                             const numerics::Matrix& eval,
+                             const numerics::Vector& mean,
+                             const std::vector<std::size_t>& drop_counts) {
+  const core::SensorLocations sensors =
+      core::allocate_greedy(basis, kOrder, kSensors);
+  const core::Reconstructor rec(basis, kOrder, sensors, mean);
+  core::FactorCache cache(rec.model());
+
+  numerics::Rng noise(1234);
+  numerics::Matrix readings(eval.rows(), sensors.size());
+  for (std::size_t f = 0; f < eval.rows(); ++f) {
+    const numerics::Vector clean = rec.sample(eval.row(f));
+    for (std::size_t s = 0; s < clean.size(); ++s) {
+      readings(f, s) = clean[s] + 0.05 * noise.normal();
+    }
+  }
+
+  DegradedCurve curve;
+  for (const std::size_t drop_count : drop_counts) {
+    std::vector<std::size_t> dead;
+    for (std::size_t i = 0; i < drop_count; ++i) {
+      // 7 is coprime with kSensors = 20, so the dead slots are distinct.
+      dead.push_back((3 + 7 * i) % kSensors);
+    }
+    const core::SensorBitmask mask =
+        core::SensorBitmask::except(kSensors, dead);
+    const numerics::Matrix maps = cache.reconstruct_batch(readings, mask);
+    double sq = 0.0;
+    for (std::size_t f = 0; f < maps.rows(); ++f) {
+      sq += numerics::mean_squared_error(maps.row(f), eval.row(f));
+    }
+    curve.dropped.push_back(drop_count);
+    curve.rmse.push_back(std::sqrt(sq / static_cast<double>(maps.rows())));
+  }
+  return curve;
+}
+
+void expect_graceful(const DegradedCurve& curve) {
+  // Losing sensors costs accuracy but never catastrophically while the
+  // rank guard holds: the worst feasible dropout (8 of 20 dead, 60% of
+  // the budget margin gone) stays within a small factor of the full
+  // sensor set's error.
+  const double baseline = curve.rmse.front();
+  ASSERT_GT(baseline, 0.0);
+  for (std::size_t i = 1; i < curve.rmse.size(); ++i) {
+    EXPECT_LT(curve.rmse[i], 25.0 * baseline)
+        << curve.dropped[i] << " dropped sensors";
+  }
+}
+
+TEST(DegradedMode, DctErrorDegradesGracefullyUntilTheRankGuardFires) {
+  const core::DctBasis basis(kWidth, kHeight, kOrder);
+  const numerics::Matrix eval = smooth_maps(8, 11);
+  const numerics::Vector mean(basis.cell_count(), 55.0);
+  const DegradedCurve curve =
+      degraded_curve(basis, eval, mean, {0, 2, 4, 6, 8});
+  expect_graceful(curve);
+
+  // Past the feasibility boundary (fewer than kOrder survivors) the rank
+  // guard must throw — before the estimate can blow up.
+  const core::SensorLocations sensors =
+      core::allocate_greedy(basis, kOrder, kSensors);
+  const core::Reconstructor rec(basis, kOrder, sensors, mean);
+  core::FactorCache cache(rec.model());
+  std::vector<std::size_t> dead;
+  for (std::size_t i = 0; i < kSensors - kOrder + 1; ++i) dead.push_back(i);
+  EXPECT_THROW(cache.factor(core::SensorBitmask::except(kSensors, dead)),
+               std::invalid_argument);
+}
+
+TEST(DegradedMode, PcaErrorDegradesGracefullyUntilTheRankGuardFires) {
+  const core::SnapshotSet training(smooth_maps(120, 7));
+  core::PcaOptions options;
+  options.max_order = 24;
+  const core::PcaBasis basis(training, options);
+  ASSERT_GE(basis.max_order(), kOrder);
+
+  const numerics::Matrix eval = smooth_maps(8, 13);
+  const DegradedCurve curve =
+      degraded_curve(basis, eval, training.mean(), {0, 2, 4, 6, 8});
+  expect_graceful(curve);
+
+  const core::SensorLocations sensors =
+      core::allocate_greedy(basis, kOrder, kSensors);
+  const core::Reconstructor rec(basis, kOrder, sensors, training.mean());
+  core::FactorCache cache(rec.model());
+  std::vector<std::size_t> dead;
+  for (std::size_t i = 0; i < kSensors - kOrder + 1; ++i) dead.push_back(i);
+  EXPECT_THROW(cache.factor(core::SensorBitmask::except(kSensors, dead)),
+               std::invalid_argument);
+}
+
+}  // namespace

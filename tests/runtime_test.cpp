@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -265,12 +266,318 @@ TEST(ReconstructionEngine, RejectsBadConfigAndBadFrames) {
   zero_batch.batch_size = 0;
   EXPECT_THROW(runtime::ReconstructionEngine(fx.rec, zero_batch),
                std::invalid_argument);
+  runtime::EngineOptions zero_queue;
+  zero_queue.queue_capacity = 0;
+  EXPECT_THROW(runtime::ReconstructionEngine(fx.rec, zero_queue),
+               std::invalid_argument);
 
   runtime::ReconstructionEngine engine(fx.rec);
   EXPECT_THROW(engine.push_frame(0, numerics::Vector(3, 0.0)),
                std::invalid_argument);
   EXPECT_THROW(engine.submit(numerics::Matrix(2, fx.sensors.size() + 2)),
                std::invalid_argument);
+  // Unknown model ids and infeasible masks fail on the producer too.
+  EXPECT_THROW(engine.push_frame(0, fx.frame(0, 0), 42), std::invalid_argument);
+  EXPECT_THROW(
+      engine.push_frame(0, fx.frame(0, 0), runtime::ReconstructionEngine::
+                            kDefaultModel,
+                        core::SensorBitmask(fx.sensors.size(), false)),
+      std::invalid_argument);
+  // A wrong-width mask must fail at the producer even when all-active
+  // (the shortcut that skips cache validation must not skip this check).
+  EXPECT_THROW(
+      engine.push_frame(0, fx.frame(0, 0),
+                        runtime::ReconstructionEngine::kDefaultModel,
+                        core::SensorBitmask(fx.sensors.size() + 1)),
+      std::invalid_argument);
+  // ... and also mid-batch, where it canonicalises to the live "no
+  // dropout" binding and could otherwise slip past bind().
+  engine.push_frame(0, fx.frame(0, 0));  // opens a pending batch
+  EXPECT_THROW(
+      engine.push_frame(0, fx.frame(0, 1),
+                        runtime::ReconstructionEngine::kDefaultModel,
+                        core::SensorBitmask(fx.sensors.size() + 1)),
+      std::invalid_argument);
+  engine.drain();
+}
+
+TEST(ReconstructionEngine, AllActiveMaskSpellingsShareOneBinding) {
+  // An empty mask and an explicit all-active mask both mean "no dropout";
+  // alternating the spellings on one stream must not cut a batch per
+  // frame (the binding comparison canonicalises them).
+  const Fixture fx;
+  std::atomic<std::uint64_t> batches{0};
+  runtime::EngineOptions options;
+  options.worker_count = 2;
+  options.batch_size = 8;
+  runtime::ReconstructionEngine engine(
+      fx.rec, options,
+      [&](std::uint64_t, std::uint64_t, numerics::Matrix) { ++batches; });
+
+  const core::SensorBitmask empty;
+  const core::SensorBitmask full(fx.sensors.size());
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    engine.push_frame(0, fx.frame(0, i), 0, (i % 2 == 0) ? empty : full);
+  }
+  engine.drain();
+  EXPECT_EQ(batches.load(), 1u);  // one full batch, not eight singletons
+  EXPECT_EQ(engine.stats().batches_completed, 1u);
+}
+
+TEST(ReconstructionEngine, RetiredThenReusedStreamIdRestartsAtZero) {
+  // Regression pin for the documented retire_idle_streams() contract: a
+  // retired id is usable again, but its sequence numbering restarts at 0 —
+  // including via flush(), which must not resurrect retired state.
+  const Fixture fx;
+  std::mutex delivered_mutex;
+  std::vector<std::uint64_t> delivered_seqs;
+
+  runtime::EngineOptions options;
+  options.worker_count = 2;
+  options.batch_size = 2;
+  runtime::ReconstructionEngine engine(
+      fx.rec, options,
+      [&](std::uint64_t stream, std::uint64_t first_seq, numerics::Matrix) {
+        EXPECT_EQ(stream, 5u);
+        std::lock_guard<std::mutex> lock(delivered_mutex);
+        delivered_seqs.push_back(first_seq);
+      });
+
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(engine.push_frame(5, fx.frame(5, i)), i);
+  }
+  engine.flush(5);  // tail frame
+  engine.drain();
+  ASSERT_EQ(engine.retire_idle_streams(), 1u);
+
+  // flush() on the retired id is a no-op and must not break the restart.
+  engine.flush(5);
+  engine.drain();
+
+  // The reused id numbers from 0 again, at push and at delivery.
+  EXPECT_EQ(engine.push_frame(5, fx.frame(5, 0)), 0u);
+  EXPECT_EQ(engine.push_frame(5, fx.frame(5, 1)), 1u);
+  engine.drain();
+
+  std::lock_guard<std::mutex> lock(delivered_mutex);
+  ASSERT_EQ(delivered_seqs.size(), 4u);
+  EXPECT_EQ(delivered_seqs[0], 0u);  // first life: 0, 2, 4
+  EXPECT_EQ(delivered_seqs[1], 2u);
+  EXPECT_EQ(delivered_seqs[2], 4u);
+  EXPECT_EQ(delivered_seqs[3], 0u);  // second life restarts at 0
+}
+
+TEST(ReconstructionEngine, ServesTwoRegisteredModelsConcurrently) {
+  // Two genuinely different models (different grids, orders, and sensor
+  // counts) behind one engine; every stream must get its own model's maps.
+  const core::DctBasis basis_a(12, 12, 8);
+  const numerics::Vector mean_a(basis_a.cell_count(), 40.0);
+  const core::SensorLocations sensors_a = core::allocate_greedy(basis_a, 8, 12);
+  const core::Reconstructor rec_a(basis_a, 8, sensors_a, mean_a);
+
+  const core::DctBasis basis_b(10, 8, 6);
+  const numerics::Vector mean_b(basis_b.cell_count(), 60.0);
+  const core::SensorLocations sensors_b = core::allocate_greedy(basis_b, 6, 10);
+  const core::Reconstructor rec_b(basis_b, 6, sensors_b, mean_b);
+
+  runtime::ModelRegistry registry;
+  EXPECT_EQ(registry.register_model(1, rec_a.model()), 1u);
+  EXPECT_EQ(registry.register_model(2, rec_b.model()), 1u);
+
+  std::mutex delivered_mutex;
+  std::map<std::uint64_t, std::vector<numerics::Matrix>> delivered;
+  runtime::EngineOptions options;
+  options.worker_count = 3;
+  options.batch_size = 4;
+  runtime::ReconstructionEngine engine(
+      registry, options,
+      [&](std::uint64_t stream, std::uint64_t, numerics::Matrix maps) {
+        std::lock_guard<std::mutex> lock(delivered_mutex);
+        delivered[stream].push_back(std::move(maps));
+      });
+
+  constexpr std::uint64_t kFrames = 10;  // full batches + a tail each
+  numerics::Rng rng(99);
+  numerics::Matrix frames_a(kFrames, sensors_a.size());
+  numerics::Matrix frames_b(kFrames, sensors_b.size());
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    for (std::size_t s = 0; s < sensors_a.size(); ++s) {
+      frames_a(f, s) = 40.0 + rng.normal();
+    }
+    for (std::size_t s = 0; s < sensors_b.size(); ++s) {
+      frames_b(f, s) = 60.0 + rng.normal();
+    }
+  }
+  // Interleave the two models' streams from two producers.
+  std::thread producer_a([&] {
+    for (std::size_t f = 0; f < kFrames; ++f) {
+      engine.push_frame(100, frames_a.row(f), 1);
+    }
+  });
+  std::thread producer_b([&] {
+    for (std::size_t f = 0; f < kFrames; ++f) {
+      engine.push_frame(200, frames_b.row(f), 2);
+    }
+  });
+  producer_a.join();
+  producer_b.join();
+  engine.drain();
+
+  const numerics::Matrix expect_a = rec_a.reconstruct_batch(frames_a);
+  const numerics::Matrix expect_b = rec_b.reconstruct_batch(frames_b);
+  std::lock_guard<std::mutex> lock(delivered_mutex);
+  for (const auto& [stream, expect] :
+       std::map<std::uint64_t, const numerics::Matrix*>{
+           {100, &expect_a}, {200, &expect_b}}) {
+    std::size_t row = 0;
+    for (const numerics::Matrix& batch : delivered[stream]) {
+      ASSERT_EQ(batch.cols(), expect->cols()) << "stream " << stream;
+      for (std::size_t r = 0; r < batch.rows(); ++r, ++row) {
+        for (std::size_t i = 0; i < batch.cols(); ++i) {
+          EXPECT_NEAR(batch(r, i), (*expect)(row, i), 1e-12);
+        }
+      }
+    }
+    EXPECT_EQ(row, kFrames) << "stream " << stream;
+  }
+
+  const runtime::EngineStats stats = engine.stats();
+  ASSERT_EQ(stats.models.size(), 2u);
+  EXPECT_EQ(stats.models.at(1).frames_completed, kFrames);
+  EXPECT_EQ(stats.models.at(2).frames_completed, kFrames);
+  EXPECT_GE(stats.models.at(1).batches_completed, 3u);
+}
+
+TEST(ReconstructionEngine, DegradedStreamMatchesFromScratchReconstructor) {
+  // A stream with 25% of its sensors dead keeps reconstructing, matching a
+  // from-scratch Reconstructor built on the survivors to 1e-10, and the
+  // factor cache reports hits for every batch after the first.
+  const core::DctBasis basis(14, 12, 10);
+  const numerics::Vector mean(basis.cell_count(), 50.0);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 9, 16);
+  const core::Reconstructor rec(basis, 9, sensors, mean);
+
+  const std::vector<std::size_t> dead = {2, 7, 11, 14};  // 4 of 16 = 25%
+  const core::SensorBitmask mask = core::SensorBitmask::except(16, dead);
+
+  core::SensorLocations surviving;
+  for (std::size_t s = 0; s < sensors.size(); ++s) {
+    if (mask.active(s)) surviving.push_back(sensors[s]);
+  }
+  const core::Reconstructor fresh(basis, 9, surviving, mean);
+
+  std::mutex delivered_mutex;
+  std::vector<numerics::Matrix> delivered;
+  runtime::EngineOptions options;
+  options.worker_count = 2;
+  options.batch_size = 4;
+  runtime::ReconstructionEngine engine(
+      rec, options,
+      [&](std::uint64_t, std::uint64_t, numerics::Matrix maps) {
+        std::lock_guard<std::mutex> lock(delivered_mutex);
+        delivered.push_back(std::move(maps));
+      });
+
+  constexpr std::size_t kFrames = 20;
+  numerics::Rng rng(5);
+  numerics::Matrix full(kFrames, sensors.size());
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    for (std::size_t s = 0; s < sensors.size(); ++s) {
+      full(f, s) = 50.0 + rng.normal();
+    }
+    numerics::Vector frame = full.row(f);
+    for (const std::size_t s : dead) frame[s] = -273.15;  // dead slots
+    engine.push_frame(0, frame, runtime::ReconstructionEngine::kDefaultModel,
+                      mask);
+  }
+  engine.drain();
+
+  numerics::Matrix compact(kFrames, surviving.size());
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    std::size_t i = 0;
+    for (std::size_t s = 0; s < sensors.size(); ++s) {
+      if (mask.active(s)) compact(f, i++) = full(f, s);
+    }
+  }
+  const numerics::Matrix expect = fresh.reconstruct_batch(compact);
+
+  std::lock_guard<std::mutex> lock(delivered_mutex);
+  std::size_t row = 0;
+  for (const numerics::Matrix& batch : delivered) {
+    for (std::size_t r = 0; r < batch.rows(); ++r, ++row) {
+      for (std::size_t i = 0; i < batch.cols(); ++i) {
+        EXPECT_NEAR(batch(r, i), expect(row, i), 1e-10);
+      }
+    }
+  }
+  EXPECT_EQ(row, kFrames);
+
+  // 5 batches solved the same mask: 1 miss (built at the first bind's
+  // validate), one hit per worker solve; producer-side validates after
+  // that are silent, so the hit count is exactly the batch count.
+  const runtime::EngineStats stats = engine.stats();
+  const runtime::ModelStats& model_stats =
+      stats.models.at(runtime::ReconstructionEngine::kDefaultModel);
+  EXPECT_EQ(model_stats.cache_misses, 1u);
+  EXPECT_EQ(model_stats.cache_hits, 5u);
+  EXPECT_EQ(model_stats.frames_completed, kFrames);
+}
+
+TEST(ReconstructionEngine, HotSwapTakesEffectAtTheNextBatchWithoutDrain) {
+  // Swap the model behind a live stream between batches: batches bound
+  // before the swap keep the old version, later ones pick up the new one,
+  // and nothing needs draining in between.
+  const core::DctBasis basis(12, 12, 8);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 8, 12);
+  const numerics::Vector mean_v1(basis.cell_count(), 40.0);
+  const numerics::Vector mean_v2(basis.cell_count(), 70.0);
+  const core::Reconstructor rec_v1(basis, 8, sensors, mean_v1);
+  const core::Reconstructor rec_v2(basis, 8, sensors, mean_v2);
+
+  runtime::ModelRegistry registry;
+  EXPECT_EQ(registry.register_model(3, rec_v1.model()), 1u);
+
+  std::mutex delivered_mutex;
+  std::map<std::uint64_t, numerics::Matrix> delivered;  // first_seq -> maps
+  runtime::EngineOptions options;
+  options.worker_count = 2;
+  options.batch_size = 4;
+  runtime::ReconstructionEngine engine(
+      registry, options,
+      [&](std::uint64_t, std::uint64_t first_seq, numerics::Matrix maps) {
+        std::lock_guard<std::mutex> lock(delivered_mutex);
+        delivered.emplace(first_seq, std::move(maps));
+      });
+
+  numerics::Rng rng(31);
+  numerics::Matrix frames(8, sensors.size());
+  for (std::size_t f = 0; f < 8; ++f) {
+    for (std::size_t s = 0; s < sensors.size(); ++s) {
+      frames(f, s) = 40.0 + rng.normal();
+    }
+  }
+  for (std::size_t f = 0; f < 4; ++f) engine.push_frame(1, frames.row(f), 3);
+  EXPECT_EQ(registry.register_model(3, rec_v2.model()), 2u);  // hot swap
+  for (std::size_t f = 4; f < 8; ++f) engine.push_frame(1, frames.row(f), 3);
+  engine.drain();
+
+  numerics::Matrix first_half(4, sensors.size());
+  numerics::Matrix second_half(4, sensors.size());
+  for (std::size_t f = 0; f < 4; ++f) {
+    first_half.set_row(f, frames.row(f));
+    second_half.set_row(f, frames.row(f + 4));
+  }
+  const numerics::Matrix expect_v1 = rec_v1.reconstruct_batch(first_half);
+  const numerics::Matrix expect_v2 = rec_v2.reconstruct_batch(second_half);
+
+  std::lock_guard<std::mutex> lock(delivered_mutex);
+  ASSERT_EQ(delivered.size(), 2u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t i = 0; i < expect_v1.cols(); ++i) {
+      EXPECT_DOUBLE_EQ(delivered.at(0)(r, i), expect_v1(r, i));
+      EXPECT_DOUBLE_EQ(delivered.at(4)(r, i), expect_v2(r, i));
+    }
+  }
 }
 
 }  // namespace
