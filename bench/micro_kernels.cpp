@@ -7,11 +7,13 @@
 // greedy allocation against one reconstruction.
 #include <benchmark/benchmark.h>
 
+#include "alloc_counter.h"
 #include "core/allocation.h"
 #include "core/dct_basis.h"
 #include "core/pca_basis.h"
 #include "core/reconstructor.h"
 #include "core/snapshot_set.h"
+#include "core/workspace.h"
 #include "floorplan/floorplan.h"
 #include "floorplan/grid.h"
 #include "numerics/blas.h"
@@ -77,6 +79,18 @@ void BM_DenseMatmulSeedTripleLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseMatmulSeedTripleLoop)->Arg(256)->Arg(512);
 
+/// Heap allocations per reconstructed frame across the timed loop; the
+/// headline number of the value-returning vs `_into` comparison.
+void set_alloc_per_frame_counter(benchmark::State& state,
+                                 std::uint64_t alloc_before,
+                                 std::size_t batch) {
+  const auto allocs = static_cast<double>(eigenmaps::testhook::allocation_count() -
+                                          alloc_before);
+  const double frames =
+      static_cast<double>(state.iterations()) * static_cast<double>(batch);
+  state.counters["allocs/frame"] = frames == 0.0 ? 0.0 : allocs / frames;
+}
+
 void BM_ReconstructBatch(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   const core::DctBasis basis(56, 60, 16);
@@ -84,13 +98,39 @@ void BM_ReconstructBatch(benchmark::State& state) {
   const numerics::Vector mean(basis.cell_count(), 50.0);
   const core::Reconstructor rec(basis, 16, sensors, mean);
   const numerics::Matrix readings = random_matrix(batch, sensors.size(), 12);
+  const std::uint64_t alloc_before = eigenmaps::testhook::allocation_count();
   for (auto _ : state) {
     benchmark::DoNotOptimize(rec.reconstruct_batch(readings));
   }
+  set_alloc_per_frame_counter(state, alloc_before, batch);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_ReconstructBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+/// The zero-allocation serving path: same solve + GEMM as
+/// BM_ReconstructBatch but into a caller-owned output through a warmed
+/// Workspace — allocs/frame must read 0 and fps at least match.
+void BM_ReconstructBatchInto(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const core::DctBasis basis(56, 60, 16);
+  const core::SensorLocations sensors = core::allocate_greedy(basis, 16, 24);
+  const numerics::Vector mean(basis.cell_count(), 50.0);
+  const core::Reconstructor rec(basis, 16, sensors, mean);
+  const numerics::Matrix readings = random_matrix(batch, sensors.size(), 12);
+  core::Workspace workspace;
+  numerics::Matrix out(batch, basis.cell_count());
+  rec.reconstruct_batch_into(readings, out.view(), workspace);  // warm
+  const std::uint64_t alloc_before = eigenmaps::testhook::allocation_count();
+  for (auto _ : state) {
+    rec.reconstruct_batch_into(readings, out.view(), workspace);
+    benchmark::DoNotOptimize(out.storage().data());
+  }
+  set_alloc_per_frame_counter(state, alloc_before, batch);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ReconstructBatchInto)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_QrLeastSquares(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
@@ -193,11 +233,35 @@ void BM_Reconstruct(benchmark::State& state) {
   const core::Reconstructor rec(basis, 16, sensors, mean);
   numerics::Rng rng(12);
   const numerics::Vector readings = rng.normal_vector(sensors.size());
+  const std::uint64_t alloc_before = eigenmaps::testhook::allocation_count();
   for (auto _ : state) {
     benchmark::DoNotOptimize(rec.reconstruct(readings));
   }
+  set_alloc_per_frame_counter(state, alloc_before, 1);
 }
 BENCHMARK(BM_Reconstruct)->Arg(32)->Arg(56)->Arg(80);
+
+/// Single-frame zero-allocation path; allocs/frame must read 0.
+void BM_ReconstructInto(benchmark::State& state) {
+  const auto n_side = static_cast<std::size_t>(state.range(0));
+  const core::DctBasis basis(n_side, n_side, 16);
+  const core::SensorLocations sensors =
+      core::allocate_greedy(basis, 16, 24);
+  const numerics::Vector mean(n_side * n_side, 50.0);
+  const core::Reconstructor rec(basis, 16, sensors, mean);
+  numerics::Rng rng(12);
+  const numerics::Vector readings = rng.normal_vector(sensors.size());
+  core::Workspace workspace;
+  numerics::Vector out(basis.cell_count());
+  rec.reconstruct_into(readings, out, workspace);  // warm
+  const std::uint64_t alloc_before = eigenmaps::testhook::allocation_count();
+  for (auto _ : state) {
+    rec.reconstruct_into(readings, out, workspace);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_alloc_per_frame_counter(state, alloc_before, 1);
+}
+BENCHMARK(BM_ReconstructInto)->Arg(32)->Arg(56)->Arg(80);
 
 }  // namespace
 

@@ -60,6 +60,10 @@ void consume(const numerics::Matrix& m) {
   if (!m.empty()) g_sink += m(0, 0);
 }
 
+void consume(numerics::ConstMatrixView m) {
+  if (!m.empty()) g_sink += m(0, 0);
+}
+
 }  // namespace
 
 int main() {
@@ -84,7 +88,7 @@ int main() {
   {
     const double elapsed = timed_best([&] {
       for (std::size_t f = 0; f < kFrames; ++f) {
-        const numerics::Vector map = rec.reconstruct(readings.row(f));
+        const numerics::Vector map = rec.reconstruct(readings.row_view(f));
         g_sink += map[0];
       }
     });
@@ -100,7 +104,7 @@ int main() {
         const std::size_t size = std::min(batch, kFrames - f);
         numerics::Matrix chunk(size, kSensors);
         for (std::size_t r = 0; r < size; ++r) {
-          chunk.set_row(r, readings.row(f + r));
+          chunk.set_row(r, readings.row_view(f + r));
         }
         consume(rec.reconstruct_batch(chunk));
       }
@@ -118,12 +122,12 @@ int main() {
     options.batch_size = 32;
     runtime::ReconstructionEngine engine(
         rec, options,
-        [](std::uint64_t, std::uint64_t, numerics::Matrix maps) {
+        [](std::uint64_t, std::uint64_t, numerics::ConstMatrixView maps) {
           consume(maps);
         });
     const auto start = Clock::now();
     for (std::size_t f = 0; f < kFrames; ++f) {
-      engine.push_frame(0, readings.row(f));
+      engine.push_frame(0, readings.row_view(f));
     }
     engine.drain();
     const double elapsed = seconds_since(start);
@@ -173,14 +177,14 @@ int main() {
       options.batch_size = 32;
       runtime::ReconstructionEngine engine(
           registry, options,
-          [](std::uint64_t, std::uint64_t, numerics::Matrix maps) {
+          [](std::uint64_t, std::uint64_t, numerics::ConstMatrixView maps) {
             consume(maps);
           });
       const core::SensorBitmask full;
       const auto start = Clock::now();
       for (std::size_t f = 0; f < kFrames; ++f) {
         const std::size_t stream = f % kStreams;
-        engine.push_frame(stream, readings.row(f), 1,
+        engine.push_frame(stream, readings.row_view(f), 1,
                           dropout ? masks[stream] : full);
       }
       engine.drain();

@@ -10,11 +10,17 @@ namespace eigenmaps::core {
 // ---- SensorBitmask -----------------------------------------------------
 
 SensorBitmask::SensorBitmask(std::size_t sensor_count, bool all_active)
-    : count_(sensor_count),
-      words_((sensor_count + 63) / 64,
-             all_active ? ~std::uint64_t{0} : std::uint64_t{0}) {
-  if (all_active && count_ % 64 != 0 && !words_.empty()) {
-    words_.back() >>= 64 - count_ % 64;  // clear bits past the sensor count
+    : count_(sensor_count) {
+  const std::size_t words = word_count();
+  if (words > kInlineWords) {
+    overflow_.assign(words, 0);
+  }
+  if (all_active) {
+    std::uint64_t* w = this->words();
+    for (std::size_t i = 0; i < words; ++i) w[i] = ~std::uint64_t{0};
+    if (count_ % 64 != 0 && words != 0) {
+      w[words - 1] >>= 64 - count_ % 64;  // clear bits past the sensor count
+    }
   }
 }
 
@@ -26,8 +32,10 @@ SensorBitmask SensorBitmask::except(std::size_t sensor_count,
 }
 
 std::size_t SensorBitmask::active_count() const {
+  const std::uint64_t* w = words();
   std::size_t count = 0;
-  for (std::uint64_t word : words_) {
+  for (std::size_t i = 0; i < word_count(); ++i) {
+    std::uint64_t word = w[i];
     while (word != 0) {
       word &= word - 1;
       ++count;
@@ -40,7 +48,7 @@ bool SensorBitmask::active(std::size_t slot) const {
   if (slot >= count_) {
     throw std::out_of_range("SensorBitmask: slot out of range");
   }
-  return (words_[slot / 64] >> (slot % 64)) & 1u;
+  return (words()[slot / 64] >> (slot % 64)) & 1u;
 }
 
 void SensorBitmask::set(std::size_t slot, bool alive) {
@@ -49,19 +57,30 @@ void SensorBitmask::set(std::size_t slot, bool alive) {
   }
   const std::uint64_t bit = std::uint64_t{1} << (slot % 64);
   if (alive) {
-    words_[slot / 64] |= bit;
+    words()[slot / 64] |= bit;
   } else {
-    words_[slot / 64] &= ~bit;
+    words()[slot / 64] &= ~bit;
   }
 }
 
 std::vector<std::size_t> SensorBitmask::active_slots() const {
+  const std::uint64_t* w = words();
   std::vector<std::size_t> slots;
   slots.reserve(count_);
   for (std::size_t s = 0; s < count_; ++s) {
-    if ((words_[s / 64] >> (s % 64)) & 1u) slots.push_back(s);
+    if ((w[s / 64] >> (s % 64)) & 1u) slots.push_back(s);
   }
   return slots;
+}
+
+bool SensorBitmask::operator==(const SensorBitmask& other) const {
+  if (count_ != other.count_) return false;
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = other.words();
+  for (std::size_t i = 0; i < word_count(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
 }
 
 std::size_t SensorBitmask::hash() const {
@@ -73,7 +92,8 @@ std::size_t SensorBitmask::hash() const {
     }
   };
   mix(count_);
-  for (const std::uint64_t word : words_) mix(word);
+  const std::uint64_t* w = words();
+  for (std::size_t i = 0; i < word_count(); ++i) mix(w[i]);
   return static_cast<std::size_t>(h);
 }
 
@@ -104,8 +124,25 @@ MaskedFactor::MaskedFactor(SensorBitmask mask, std::vector<std::size_t> active,
       method_(Method::kFullFactor),
       full_model_(std::move(model)) {}
 
+std::size_t MaskedFactor::solve_scratch_doubles() const {
+  if (full_model_) return full_model_->full_factor().scratch_doubles();
+  return qr_ ? qr_->scratch_doubles() : seminormal_->scratch_doubles();
+}
+
+void MaskedFactor::solve_batch_into(numerics::ConstMatrixView centered,
+                                    numerics::MatrixView alpha,
+                                    numerics::VectorView scratch) const {
+  if (full_model_) {
+    full_model_->full_factor().solve_batch_into(centered, alpha, scratch);
+  } else if (qr_) {
+    qr_->solve_batch_into(centered, alpha, scratch);
+  } else {
+    seminormal_->solve_batch_into(centered, alpha, scratch);
+  }
+}
+
 numerics::Matrix MaskedFactor::solve_batch(
-    const numerics::Matrix& centered) const {
+    numerics::ConstMatrixView centered) const {
   if (full_model_) return full_model_->full_factor().solve_batch(centered);
   return qr_ ? qr_->solve_batch(centered) : seminormal_->solve_batch(centered);
 }
@@ -153,10 +190,12 @@ std::shared_ptr<const MaskedFactor> FactorCache::build(
 
   if (dropped_count > 0 && dropped_count <= options_.downdate_limit) {
     numerics::Matrix r = full_r_;
+    numerics::Vector scratch(3 * k);
     bool alive = true;
     for (std::size_t s = 0; s < m && alive; ++s) {
       if (!mask.active(s)) {
-        alive = numerics::downdate_r_row(r, sampled.row_data(s));
+        alive = numerics::downdate_r_row(r.view(), sampled.row_data(s),
+                                         scratch);
       }
     }
     if (alive) {
@@ -283,8 +322,10 @@ std::shared_ptr<const MaskedFactor> FactorCache::lookup_or_build(
   return built;
 }
 
-numerics::Matrix FactorCache::reconstruct_batch(
-    const numerics::Matrix& readings, const SensorBitmask& mask) {
+void FactorCache::reconstruct_batch_into(numerics::ConstMatrixView readings,
+                                         const SensorBitmask& mask,
+                                         numerics::MatrixView out,
+                                         Workspace& workspace) {
   if (readings.cols() != model_->sensor_count()) {
     throw std::invalid_argument(
         "FactorCache::reconstruct_batch: readings width != sensor count");
@@ -297,20 +338,45 @@ numerics::Matrix FactorCache::reconstruct_batch(
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.full_mask_batches;
     }
-    return model_->reconstruct_batch(readings);
+    model_->reconstruct_batch_into(readings, out, workspace);
+    return;
+  }
+  const std::size_t frames = readings.rows();
+  if (out.rows() != frames || out.cols() != model_->cell_count()) {
+    throw std::invalid_argument(
+        "FactorCache::reconstruct_batch: output shape mismatch");
   }
   const std::shared_ptr<const MaskedFactor> f = factor(mask);
   const std::vector<std::size_t>& slots = f->active_slots();
   const numerics::Vector& mean = model_->mean_at_sensors();
-  numerics::Matrix centered(readings.rows(), slots.size());
-  for (std::size_t row = 0; row < readings.rows(); ++row) {
+  const std::size_t k = model_->order();
+  // Same layout as the undegraded path, so the model's sizing bound
+  // (workspace_doubles) covers every mask and a warm workspace never
+  // grows on a mask change.
+  workspace.begin(Workspace::padded(frames * slots.size()) +
+                  Workspace::padded(frames * k) +
+                  Workspace::padded(f->solve_scratch_doubles()));
+  numerics::MatrixView centered =
+      workspace.alloc_matrix(frames, slots.size());
+  numerics::MatrixView alpha = workspace.alloc_matrix(frames, k);
+  numerics::VectorView scratch =
+      workspace.alloc_vector(f->solve_scratch_doubles());
+  for (std::size_t row = 0; row < frames; ++row) {
     const double* src = readings.row_data(row);
     double* dst = centered.row_data(row);
     for (std::size_t i = 0; i < slots.size(); ++i) {
       dst[i] = src[slots[i]] - mean[slots[i]];
     }
   }
-  return model_->expand(f->solve_batch(centered));
+  f->solve_batch_into(centered, alpha, scratch);
+  model_->expand_into(alpha, out);
+}
+
+numerics::Matrix FactorCache::reconstruct_batch(
+    numerics::ConstMatrixView readings, const SensorBitmask& mask) {
+  numerics::Matrix out(readings.rows(), model_->cell_count());
+  reconstruct_batch_into(readings, mask, out.view(), wrapper_workspace());
+  return out;
 }
 
 FactorCacheStats FactorCache::stats() const {

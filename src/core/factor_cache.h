@@ -11,6 +11,7 @@
 #ifndef EIGENMAPS_CORE_FACTOR_CACHE_H
 #define EIGENMAPS_CORE_FACTOR_CACHE_H
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -22,13 +23,22 @@
 #include <vector>
 
 #include "core/model.h"
+#include "core/workspace.h"
 
 namespace eigenmaps::core {
 
 /// Which of a model's sensors are alive; bit s set = sensor slot s is
 /// reporting. A default-constructed (empty) mask means "all sensors".
+///
+/// Masks up to kInlineSensors sensors live entirely inline (no heap), so
+/// the serving path can copy one into every batch job without allocating —
+/// part of the zero-allocation steady-state invariant (DESIGN.md §10).
 class SensorBitmask {
  public:
+  /// Sensor slots held without heap storage (4 x 64). Wider masks spill to
+  /// a heap vector and still work; they just cost an allocation per copy.
+  static constexpr std::size_t kInlineSensors = 256;
+
   SensorBitmask() = default;
   /// All `sensor_count` sensors alive (or dead, with all_active = false).
   explicit SensorBitmask(std::size_t sensor_count, bool all_active = true);
@@ -44,9 +54,7 @@ class SensorBitmask {
   bool all_active() const { return active_count() == count_; }
   std::vector<std::size_t> active_slots() const;
 
-  bool operator==(const SensorBitmask& other) const {
-    return count_ == other.count_ && words_ == other.words_;
-  }
+  bool operator==(const SensorBitmask& other) const;
   bool operator!=(const SensorBitmask& other) const {
     return !(*this == other);
   }
@@ -54,8 +62,19 @@ class SensorBitmask {
   std::size_t hash() const;
 
  private:
+  static constexpr std::size_t kInlineWords = kInlineSensors / 64;
+
+  std::size_t word_count() const { return (count_ + 63) / 64; }
+  const std::uint64_t* words() const {
+    return overflow_.empty() ? inline_.data() : overflow_.data();
+  }
+  std::uint64_t* words() {
+    return overflow_.empty() ? inline_.data() : overflow_.data();
+  }
+
   std::size_t count_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::array<std::uint64_t, kInlineWords> inline_ = {};
+  std::vector<std::uint64_t> overflow_;  // used only past kInlineSensors
 };
 
 struct SensorBitmaskHash {
@@ -121,7 +140,16 @@ class MaskedFactor {
   double condition() const { return condition_; }
   Method method() const { return method_; }
 
-  numerics::Matrix solve_batch(const numerics::Matrix& centered) const;
+  /// Scratch doubles solve_batch_into needs (independent of batch size);
+  /// always within ReconstructionModel::workspace_doubles' scratch term.
+  std::size_t solve_scratch_doubles() const;
+
+  /// Coefficients for centered compacted readings (frames x active) into
+  /// `alpha` (frames x k), allocation-free given `scratch`.
+  void solve_batch_into(numerics::ConstMatrixView centered,
+                        numerics::MatrixView alpha,
+                        numerics::VectorView scratch) const;
+  numerics::Matrix solve_batch(numerics::ConstMatrixView centered) const;
 
  private:
   friend class FactorCache;
@@ -168,12 +196,18 @@ class FactorCache {
   /// use this so warm-up lookups cannot inflate the reported hit rate.
   void validate(const SensorBitmask& mask);
 
-  /// Batched degraded-mode reconstruction. `readings` stays full width
-  /// (frames x sensor_count) — dead sensors keep their slot and their
-  /// values are ignored — so producers never re-pack frames as sensors
-  /// come and go. The full-sensor mask takes the model's undegraded path
-  /// bit for bit.
-  numerics::Matrix reconstruct_batch(const numerics::Matrix& readings,
+  /// Batched degraded-mode reconstruction into `out` (frames x N).
+  /// `readings` stays full width (frames x sensor_count) — dead sensors
+  /// keep their slot and their values are ignored — so producers never
+  /// re-pack frames as sensors come and go. The full-sensor mask takes the
+  /// model's undegraded path bit for bit. Allocation-free once `workspace`
+  /// is warm and the mask's factor is resident (the engine's steady
+  /// state); model_->workspace_doubles(frames) bounds the reservation for
+  /// every mask.
+  void reconstruct_batch_into(numerics::ConstMatrixView readings,
+                              const SensorBitmask& mask,
+                              numerics::MatrixView out, Workspace& workspace);
+  numerics::Matrix reconstruct_batch(numerics::ConstMatrixView readings,
                                      const SensorBitmask& mask);
 
   FactorCacheStats stats() const;

@@ -13,7 +13,8 @@ ReconstructionErrors evaluate_reconstruction(const Reconstructor& rec,
   }
   ReconstructionErrors errors;
   for (std::size_t t = 0; t < maps.rows(); ++t) {
-    const numerics::Vector original = maps.row(t);
+    // Read-only access: a view, not a copied row.
+    const numerics::ConstVectorView original = maps.row_view(t);
     numerics::Vector readings = rec.sample(original);
     if (noise != nullptr) noise->perturb(readings);
     const numerics::Vector estimate = rec.reconstruct(readings);

@@ -26,7 +26,7 @@ numerics::Matrix sampled_basis_rows(const Basis& basis, std::size_t k,
     if (sensors[s] >= basis.cell_count()) {
       throw std::invalid_argument("ReconstructionModel: sensor out of range");
     }
-    const double* row = v.row_data(sensors[s]);
+    const numerics::ConstVectorView row = v.row_view(sensors[s]);
     for (std::size_t j = 0; j < k; ++j) sampled(s, j) = row[j];
   }
   return sampled;
@@ -77,69 +77,133 @@ ReconstructionModel::ReconstructionModel(const Basis& basis, std::size_t k,
   }
 }
 
-numerics::Vector ReconstructionModel::sample(
-    const numerics::Vector& map) const {
+std::size_t ReconstructionModel::workspace_doubles(std::size_t frames) const {
+  const std::size_t m = sensors_.size();
+  // Centered readings + coefficients + solver scratch. The scratch term
+  // (m + k) covers the full-sensor QR (m) and every masked solver a
+  // FactorCache can build on this model (QR of fewer rows, or the
+  // seminormal pair active + k <= m + k).
+  return Workspace::padded(frames * m) + Workspace::padded(frames * k_) +
+         Workspace::padded(m + k_);
+}
+
+void ReconstructionModel::sample_into(numerics::ConstVectorView map,
+                                      numerics::VectorView readings) const {
   if (map.size() != mean_map_.size()) {
     throw std::invalid_argument(
         "ReconstructionModel::sample: map size mismatch");
   }
-  numerics::Vector readings(sensors_.size());
+  if (readings.size() != sensors_.size()) {
+    throw std::invalid_argument(
+        "ReconstructionModel::sample: readings size mismatch");
+  }
   for (std::size_t s = 0; s < sensors_.size(); ++s) {
     readings[s] = map[sensors_[s]];
   }
+}
+
+numerics::Vector ReconstructionModel::sample(
+    numerics::ConstVectorView map) const {
+  numerics::Vector readings(sensors_.size());
+  sample_into(map, readings);
   return readings;
 }
 
-numerics::Vector ReconstructionModel::reconstruct(
-    const numerics::Vector& readings) const {
+void ReconstructionModel::reconstruct_into(numerics::ConstVectorView readings,
+                                           numerics::VectorView out,
+                                           Workspace& workspace) const {
   if (readings.size() != sensors_.size()) {
     throw std::invalid_argument(
         "ReconstructionModel::reconstruct: readings size mismatch");
   }
-  numerics::Vector centered(readings.size());
-  for (std::size_t s = 0; s < readings.size(); ++s) {
+  if (out.size() != mean_map_.size()) {
+    throw std::invalid_argument(
+        "ReconstructionModel::reconstruct: output size mismatch");
+  }
+  const std::size_t m = sensors_.size();
+  workspace.begin(workspace_doubles(1));
+  numerics::VectorView centered = workspace.alloc_vector(m);
+  numerics::VectorView alpha = workspace.alloc_vector(k_);
+  numerics::VectorView scratch = workspace.alloc_vector(m);
+  for (std::size_t s = 0; s < m; ++s) {
     centered[s] = readings[s] - mean_at_sensors_[s];
   }
-  const numerics::Vector alpha = factor_.solver.solve(centered);
-  numerics::Vector map(mean_map_);
-  for (std::size_t i = 0; i < map.size(); ++i) {
+  factor_.solver.solve_into(centered, alpha, scratch);
+  // Per-cell dot products rather than the blocked GEMM: a single map is
+  // far below the kernel's threading threshold, and this accumulation
+  // order is the historical (golden) one.
+  for (std::size_t i = 0; i < out.size(); ++i) {
     const double* row = subspace_.row_data(i);
     double s = 0.0;
     for (std::size_t j = 0; j < k_; ++j) s += row[j] * alpha[j];
-    map[i] += s;
+    out[i] = mean_map_[i] + s;
   }
+}
+
+numerics::Vector ReconstructionModel::reconstruct(
+    numerics::ConstVectorView readings) const {
+  numerics::Vector map(mean_map_.size());
+  reconstruct_into(readings, map, wrapper_workspace());
   return map;
 }
 
-numerics::Matrix ReconstructionModel::reconstruct_batch(
-    const numerics::Matrix& readings) const {
+void ReconstructionModel::reconstruct_batch_into(
+    numerics::ConstMatrixView readings, numerics::MatrixView out,
+    Workspace& workspace) const {
   if (readings.cols() != sensors_.size()) {
     throw std::invalid_argument(
         "ReconstructionModel::reconstruct_batch: readings size mismatch");
   }
   const std::size_t frames = readings.rows();
-  numerics::Matrix centered(frames, readings.cols());
+  if (out.rows() != frames || out.cols() != mean_map_.size()) {
+    throw std::invalid_argument(
+        "ReconstructionModel::reconstruct_batch: output shape mismatch");
+  }
+  const std::size_t m = sensors_.size();
+  workspace.begin(workspace_doubles(frames));
+  numerics::MatrixView centered = workspace.alloc_matrix(frames, m);
+  numerics::MatrixView alpha = workspace.alloc_matrix(frames, k_);
+  numerics::VectorView scratch = workspace.alloc_vector(m);
   for (std::size_t f = 0; f < frames; ++f) {
     const double* src = readings.row_data(f);
     double* dst = centered.row_data(f);
-    for (std::size_t s = 0; s < readings.cols(); ++s) {
+    for (std::size_t s = 0; s < m; ++s) {
       dst[s] = src[s] - mean_at_sensors_[s];
     }
   }
   // One multi-RHS solve against the cached QR factor, then one blocked
   // GEMM expands all coefficient rows through the subspace at once.
-  return expand(factor_.solver.solve_batch(centered));
+  factor_.solver.solve_batch_into(centered, alpha, scratch);
+  expand_into(alpha, out);
 }
 
-numerics::Matrix ReconstructionModel::expand(
-    const numerics::Matrix& alpha) const {
+numerics::Matrix ReconstructionModel::reconstruct_batch(
+    numerics::ConstMatrixView readings) const {
+  numerics::Matrix maps(readings.rows(), mean_map_.size());
+  reconstruct_batch_into(readings, maps.view(), wrapper_workspace());
+  return maps;
+}
+
+void ReconstructionModel::expand_into(numerics::ConstMatrixView alpha,
+                                      numerics::MatrixView out) const {
   if (alpha.cols() != k_) {
     throw std::invalid_argument(
         "ReconstructionModel::expand: coefficient width mismatch");
   }
+  if (out.rows() != alpha.rows() || out.cols() != mean_map_.size()) {
+    throw std::invalid_argument(
+        "ReconstructionModel::expand: output shape mismatch");
+  }
   // The mean map is seeded inside the kernel so the (large) output is
   // streamed exactly once.
-  return numerics::matmul_bias(alpha, subspace_t_, mean_map_);
+  numerics::matmul_bias_into(alpha, subspace_t_, mean_map_, out);
+}
+
+numerics::Matrix ReconstructionModel::expand(
+    numerics::ConstMatrixView alpha) const {
+  numerics::Matrix out(alpha.rows(), mean_map_.size());
+  expand_into(alpha, out.view());
+  return out;
 }
 
 }  // namespace eigenmaps::core

@@ -8,6 +8,7 @@
 
 #include "core/allocation.h"
 #include "core/basis.h"
+#include "core/workspace.h"
 #include "numerics/qr.h"
 
 namespace eigenmaps::core {
@@ -21,6 +22,11 @@ namespace eigenmaps::core {
 /// across threads and to hot-swap behind a registry without draining
 /// in-flight work — old jobs keep their shared_ptr, new jobs resolve the
 /// replacement.
+///
+/// The `_into` methods are the steady-state serving path: caller-provided
+/// outputs plus a reusable Workspace mean zero heap allocations per frame
+/// once the workspace is warm (DESIGN.md §10). The value-returning forms
+/// delegate to them through a thread-local workspace.
 class ReconstructionModel {
  public:
   ReconstructionModel(const Basis& basis, std::size_t k,
@@ -44,22 +50,39 @@ class ReconstructionModel {
   /// QR of the full-sensor Psi~, shared by the no-dropout hot path.
   const numerics::HouseholderQr& full_factor() const { return factor_.solver; }
 
-  /// Sensor readings for a full map (just the sampled entries).
-  numerics::Vector sample(const numerics::Vector& map) const;
+  /// Workspace doubles reconstruct_into / reconstruct_batch_into need for
+  /// up to `frames` frames. Also covers the masked paths a FactorCache
+  /// built on this model drives through the same workspace, so one
+  /// reservation serves a worker whatever masks arrive.
+  std::size_t workspace_doubles(std::size_t frames) const;
 
-  /// Full-map estimate from readings: mean + V_k * lstsq(Psi~, y - mean~).
-  numerics::Vector reconstruct(const numerics::Vector& readings) const;
+  /// Sensor readings for a full map (just the sampled entries).
+  void sample_into(numerics::ConstVectorView map,
+                   numerics::VectorView readings) const;
+  numerics::Vector sample(numerics::ConstVectorView map) const;
+
+  /// Full-map estimate from readings: mean + V_k * lstsq(Psi~, y - mean~),
+  /// written into `out` (cell_count() entries). Bit-identical to
+  /// reconstruct().
+  void reconstruct_into(numerics::ConstVectorView readings,
+                        numerics::VectorView out, Workspace& workspace) const;
+  numerics::Vector reconstruct(numerics::ConstVectorView readings) const;
 
   /// Batched reconstruction: row f of `readings` (frames x sensors) is one
-  /// sensor frame, row f of the result (frames x N) its full-map estimate.
+  /// sensor frame, row f of `out` (frames x N) its full-map estimate.
   /// One multi-RHS solve against the cached QR plus one blocked GEMM
-  /// (DESIGN.md §8).
-  numerics::Matrix reconstruct_batch(const numerics::Matrix& readings) const;
+  /// (DESIGN.md §8). Bit-identical to reconstruct_batch().
+  void reconstruct_batch_into(numerics::ConstMatrixView readings,
+                              numerics::MatrixView out,
+                              Workspace& workspace) const;
+  numerics::Matrix reconstruct_batch(numerics::ConstMatrixView readings) const;
 
   /// Expands coefficient rows (batch x k) through the subspace on top of
   /// the mean map: mean + alpha V_k^T, one blocked GEMM. The tail of every
   /// reconstruction, shared by the full and degraded (masked) paths.
-  numerics::Matrix expand(const numerics::Matrix& alpha) const;
+  void expand_into(numerics::ConstMatrixView alpha,
+                   numerics::MatrixView out) const;
+  numerics::Matrix expand(numerics::ConstMatrixView alpha) const;
 
  private:
   // Sampled basis, its QR, and its conditioning, built together so the

@@ -35,13 +35,25 @@ class Reconstructor {
   double condition_number() const { return model_->condition_number(); }
 
   /// Sensor readings for a full map (just the sampled entries).
-  numerics::Vector sample(const numerics::Vector& map) const {
+  numerics::Vector sample(numerics::ConstVectorView map) const {
     return model_->sample(map);
   }
 
   /// Full-map estimate from readings: mean + V_k * lstsq(Psi~, y - mean~).
-  numerics::Vector reconstruct(const numerics::Vector& readings) const {
+  numerics::Vector reconstruct(numerics::ConstVectorView readings) const {
     return model_->reconstruct(readings);
+  }
+
+  /// Allocation-free forms: caller-provided output and Workspace (see
+  /// ReconstructionModel; bit-identical to the value-returning forms).
+  void reconstruct_into(numerics::ConstVectorView readings,
+                        numerics::VectorView out, Workspace& workspace) const {
+    model_->reconstruct_into(readings, out, workspace);
+  }
+  void reconstruct_batch_into(numerics::ConstMatrixView readings,
+                              numerics::MatrixView out,
+                              Workspace& workspace) const {
+    model_->reconstruct_batch_into(readings, out, workspace);
   }
 
   /// Batched reconstruction: row f of `readings` (frames x sensors) is one
@@ -49,7 +61,8 @@ class Reconstructor {
   /// Agrees with per-frame reconstruct() to ~1e-12 (the mean map seeds the
   /// GEMM accumulator, so rounding differs in the last bits); see
   /// ReconstructionModel::reconstruct_batch.
-  numerics::Matrix reconstruct_batch(const numerics::Matrix& readings) const {
+  numerics::Matrix reconstruct_batch(
+      numerics::ConstMatrixView readings) const {
     return model_->reconstruct_batch(readings);
   }
 

@@ -18,6 +18,10 @@ class SnapshotSet {
   std::size_t cell_count() const { return maps_.cols(); }
   const numerics::Matrix& data() const { return maps_; }
   numerics::Vector map(std::size_t t) const { return maps_.row(t); }
+  /// Non-copying form of map(); prefer it wherever the caller only reads.
+  numerics::ConstVectorView map_view(std::size_t t) const {
+    return maps_.row_view(t);
+  }
   const numerics::Vector& mean() const { return mean_; }
 
   /// Every stride-th map, starting at the first.

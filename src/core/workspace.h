@@ -1,0 +1,123 @@
+// Reusable scratch arena for the zero-allocation reconstruction path.
+//
+// A Workspace is a single 64-byte-aligned backing buffer handed out as
+// bump-allocated blocks. The `_into` entry points (ReconstructionModel,
+// FactorCache) begin() it with their exact need and carve centered
+// readings, coefficients and solver scratch out of it; begin() grows the
+// backing only when the need exceeds everything seen before, so a warmed
+// workspace serves every subsequent frame and batch without touching the
+// heap (DESIGN.md §10). Growth is counted, which is how the engine's
+// steady-state allocation counter proves the invariant.
+//
+// Not thread-safe: one Workspace per thread (the engine keeps one per
+// worker). Blocks are 64-byte aligned so AVX-512 loads on workspace
+// slices never straddle a cache line.
+#ifndef EIGENMAPS_CORE_WORKSPACE_H
+#define EIGENMAPS_CORE_WORKSPACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::core {
+
+class Workspace {
+ public:
+  /// Alignment of the backing buffer and of every block, in bytes.
+  static constexpr std::size_t kAlignment = 64;
+  static constexpr std::size_t kAlignDoubles = kAlignment / sizeof(double);
+
+  /// Doubles `count` occupies inside a workspace (rounded up to the block
+  /// alignment); sizing helpers sum this over their blocks.
+  static constexpr std::size_t padded(std::size_t count) {
+    return (count + kAlignDoubles - 1) & ~(kAlignDoubles - 1);
+  }
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&& other) noexcept { swap(other); }
+  Workspace& operator=(Workspace&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~Workspace() {
+    if (data_ != nullptr) {
+      ::operator delete[](data_, std::align_val_t{kAlignment});
+    }
+  }
+
+  /// Starts a fresh carve of `doubles` doubles (in padded() units),
+  /// discarding all previously handed-out blocks. Grows the backing buffer
+  /// only when `doubles` exceeds the current capacity; returns true when
+  /// it grew (i.e. heap-allocated).
+  bool begin(std::size_t doubles) {
+    used_ = 0;
+    if (doubles <= capacity_) return false;
+    if (data_ != nullptr) {
+      ::operator delete[](data_, std::align_val_t{kAlignment});
+      data_ = nullptr;
+      capacity_ = 0;
+    }
+    data_ = static_cast<double*>(::operator new[](
+        doubles * sizeof(double), std::align_val_t{kAlignment}));
+    capacity_ = doubles;
+    ++growths_;
+    return true;
+  }
+
+  /// The next `count` doubles (64-byte aligned). Only valid until the next
+  /// begin(). Exceeding the begin() reservation is a sizing bug, not a
+  /// runtime condition, hence logic_error.
+  double* alloc(std::size_t count) {
+    const std::size_t take = padded(count);
+    if (used_ + take > capacity_) {
+      throw std::logic_error("Workspace: block exceeds begin() reservation");
+    }
+    double* block = data_ + used_;
+    used_ += take;
+    return block;
+  }
+
+  numerics::VectorView alloc_vector(std::size_t size) {
+    return numerics::VectorView(alloc(size), size);
+  }
+  numerics::MatrixView alloc_matrix(std::size_t rows, std::size_t cols) {
+    return numerics::MatrixView(alloc(rows * cols), rows, cols, cols);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  /// Times begin() had to heap-allocate; flat once the workspace is warm.
+  std::uint64_t growths() const { return growths_; }
+
+ private:
+  void swap(Workspace& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(capacity_, other.capacity_);
+    std::swap(used_, other.used_);
+    std::swap(growths_, other.growths_);
+  }
+
+  double* data_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::uint64_t growths_ = 0;
+};
+
+/// Delegation arena for the value-returning convenience wrappers
+/// (ReconstructionModel::reconstruct, FactorCache::reconstruct_batch, ...):
+/// one warmed arena per thread, shared by every wrapper on it, so the
+/// wrappers stay allocation-light without the caller owning a Workspace.
+/// The serving engine does not use this — its workers pass their own.
+inline Workspace& wrapper_workspace() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+}  // namespace eigenmaps::core
+
+#endif  // EIGENMAPS_CORE_WORKSPACE_H

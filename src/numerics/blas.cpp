@@ -47,7 +47,8 @@ std::size_t default_blas_threads() {
 /// sample loop innermost per tile; contributions accumulate with r
 /// ascending for every g(i, j), matching the naive rank-1 update order.
 EIGENMAPS_KERNEL_CLONES
-void gram_rows(const Matrix& a, Matrix& g, std::size_t i0, std::size_t i1) {
+void gram_rows(ConstMatrixView a, MatrixView g, std::size_t i0,
+               std::size_t i1) {
   const std::size_t rows = a.rows();
   const std::size_t n = a.cols();
   constexpr std::size_t kTile = 64;
@@ -105,17 +106,20 @@ void set_blas_threads_this_thread(std::size_t threads) {
   t_thread_override = threads;
 }
 
-double dot(const Vector& a, const Vector& b) {
+double dot(ConstVectorView a, ConstVectorView b) {
   double s = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;
 }
 
-double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+double norm2(ConstVectorView a) { return std::sqrt(dot(a, a)); }
 
-Matrix gram(const Matrix& a) {
+void gram_into(ConstMatrixView a, MatrixView g) {
   const std::size_t n = a.cols();
-  Matrix g(n, n);
+  if (g.rows() != n || g.cols() != n) {
+    throw std::invalid_argument("gram_into: output shape mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) g.row_view(i).fill(0.0);
   const std::size_t threads = std::min(threads_for(a.rows() * n * n / 2), n);
   parallel_bounded(triangle_bounds(n, std::max<std::size_t>(threads, 1)),
                    [&](std::size_t i0, std::size_t i1) {
@@ -124,37 +128,59 @@ Matrix gram(const Matrix& a) {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
   }
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  gram_into(a, g.view());
   return g;
 }
 
-Vector matvec(const Matrix& a, const Vector& x) {
+void matvec_into(ConstMatrixView a, ConstVectorView x, VectorView y) {
   if (a.cols() != x.size()) {
-    throw std::invalid_argument("matvec: dimension mismatch");
+    throw std::invalid_argument("matvec_into: dimension mismatch");
   }
-  Vector y(a.rows());
+  if (y.size() != a.rows()) {
+    throw std::invalid_argument("matvec_into: output size mismatch");
+  }
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* row = a.row_data(i);
     double s = 0.0;
     for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
     y[i] = s;
   }
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  Vector y(a.rows());
+  matvec_into(a, x, y);
   return y;
 }
 
-Vector matvec_transpose(const Matrix& a, const Vector& x) {
+void matvec_transpose_into(ConstMatrixView a, ConstVectorView x,
+                           VectorView y) {
   if (a.rows() != x.size()) {
-    throw std::invalid_argument("matvec_transpose: dimension mismatch");
+    throw std::invalid_argument("matvec_transpose_into: dimension mismatch");
   }
-  Vector y(a.cols(), 0.0);
+  if (y.size() != a.cols()) {
+    throw std::invalid_argument(
+        "matvec_transpose_into: output size mismatch");
+  }
+  y.fill(0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
     const double* row = a.row_data(i);
     for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
   }
+}
+
+Vector matvec_transpose(const Matrix& a, const Vector& x) {
+  Vector y(a.cols());
+  matvec_transpose_into(a, x, y);
   return y;
 }
 
-std::size_t orthonormalize_columns(Matrix& a, double tolerance) {
+std::size_t orthonormalize_columns(MatrixView a, double tolerance) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
   std::size_t rank = 0;

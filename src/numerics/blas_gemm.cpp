@@ -1,5 +1,5 @@
 // The GEMM family: matmul / matmul_accumulate / matmul_bias /
-// matmul_transposed.
+// matmul_transposed, in both view (`_into`) and owning forms.
 //
 // This translation unit is compiled with -ffp-contract=fast (see
 // CMakeLists): the AVX2/AVX-512 clones fuse multiply-adds, roughly
@@ -10,9 +10,10 @@
 // contraction-free translation units and stays bit-identical across
 // machines. Within one machine the GEMMs are still fully deterministic:
 // accumulation order is fixed (ascending k, left-associated) and the
-// thread partition depends only on the shapes, so thread count and
-// blocking never change bits anywhere.
+// thread partition depends only on the shapes, so thread count, blocking
+// and row strides never change bits anywhere.
 #include <stdexcept>
+#include <string>
 
 #include "numerics/blas.h"
 #include "numerics/blas_internal.h"
@@ -44,7 +45,7 @@ constexpr std::size_t kBlockJ = 256;
 /// shapes (16 broadcasts) spill the 16 architectural registers and halve
 /// throughput.
 EIGENMAPS_KERNEL_CLONES
-void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c,
+void matmul_rows(ConstMatrixView a, ConstMatrixView b, MatrixView c,
                  const double* bias, std::size_t i0, std::size_t i1) {
   const std::size_t inner = a.cols();
   const std::size_t n = b.cols();
@@ -123,8 +124,8 @@ void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c,
 /// Rows [i0, i1) of C = A * B^T: c(i, j) = <a_row_i, b_row_j>. B's rows are
 /// tiled so a small panel stays L1-resident while the i-loop reuses it.
 EIGENMAPS_KERNEL_CLONES
-void matmul_transposed_rows(const Matrix& a, const Matrix& b, Matrix& c,
-                            std::size_t i0, std::size_t i1) {
+void matmul_transposed_rows(ConstMatrixView a, ConstMatrixView b,
+                            MatrixView c, std::size_t i0, std::size_t i1) {
   const std::size_t inner = a.cols();
   const std::size_t n = b.rows();
   constexpr std::size_t kPanelRows = 64;
@@ -143,24 +144,37 @@ void matmul_transposed_rows(const Matrix& a, const Matrix& b, Matrix& c,
   }
 }
 
+void check_product_shapes(const char* name, ConstMatrixView a,
+                          ConstMatrixView b, ConstMatrixView c) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument(std::string(name) +
+                                ": inner dimension mismatch");
+  }
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(name) +
+                                ": output shape mismatch");
+  }
+}
+
 }  // namespace
+
+void matmul_into(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  check_product_shapes("matmul_into", a, b, c);
+  for (std::size_t i = 0; i < c.rows(); ++i) c.row_view(i).fill(0.0);
+  matmul_accumulate(a, b, c);
+}
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("matmul: inner dimension mismatch");
   }
   Matrix c(a.rows(), b.cols());
-  matmul_accumulate(a, b, c);
+  matmul_accumulate(a, b, c.view());
   return c;
 }
 
-void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
-  if (a.cols() != b.rows()) {
-    throw std::invalid_argument("matmul_accumulate: inner dimension mismatch");
-  }
-  if (c.rows() != a.rows() || c.cols() != b.cols()) {
-    throw std::invalid_argument("matmul_accumulate: output shape mismatch");
-  }
+void matmul_accumulate(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  check_product_shapes("matmul_accumulate", a, b, c);
   const std::size_t threads = threads_for(a.rows() * a.cols() * b.cols());
   parallel_ranges(a.rows(), threads,
                   [&](std::size_t i0, std::size_t i1) {
@@ -168,38 +182,52 @@ void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
                   });
 }
 
-Matrix matmul_bias(const Matrix& a, const Matrix& b, const Vector& bias) {
-  if (a.cols() != b.rows()) {
-    throw std::invalid_argument("matmul_bias: inner dimension mismatch");
-  }
+void matmul_bias_into(ConstMatrixView a, ConstMatrixView b,
+                      ConstVectorView bias, MatrixView c) {
+  check_product_shapes("matmul_bias_into", a, b, c);
   if (bias.size() != b.cols()) {
-    throw std::invalid_argument("matmul_bias: bias size mismatch");
+    throw std::invalid_argument("matmul_bias_into: bias size mismatch");
   }
-  Matrix c(a.rows(), b.cols());
   if (a.cols() == 0) {  // no k-panel runs; seed the bias directly
     for (std::size_t i = 0; i < c.rows(); ++i) {
-      for (std::size_t j = 0; j < c.cols(); ++j) c(i, j) = bias[j];
+      double* crow = c.row_data(i);
+      for (std::size_t j = 0; j < c.cols(); ++j) crow[j] = bias[j];
     }
-    return c;
+    return;
   }
   const std::size_t threads = threads_for(a.rows() * a.cols() * b.cols());
   parallel_ranges(a.rows(), threads,
                   [&](std::size_t i0, std::size_t i1) {
                     matmul_rows(a, b, c, bias.data(), i0, i1);
                   });
+}
+
+Matrix matmul_bias(const Matrix& a, const Matrix& b, const Vector& bias) {
+  Matrix c(a.rows(), b.cols());
+  matmul_bias_into(a, b, bias, c.view());
   return c;
 }
 
-Matrix matmul_transposed(const Matrix& a, const Matrix& b) {
+void matmul_transposed_into(ConstMatrixView a, ConstMatrixView b,
+                            MatrixView c) {
   if (a.cols() != b.cols()) {
-    throw std::invalid_argument("matmul_transposed: inner dimension mismatch");
+    throw std::invalid_argument(
+        "matmul_transposed_into: inner dimension mismatch");
   }
-  Matrix c(a.rows(), b.rows());
+  if (c.rows() != a.rows() || c.cols() != b.rows()) {
+    throw std::invalid_argument(
+        "matmul_transposed_into: output shape mismatch");
+  }
   const std::size_t threads = threads_for(a.rows() * a.cols() * b.rows());
   parallel_ranges(a.rows(), threads,
                   [&](std::size_t i0, std::size_t i1) {
                     matmul_transposed_rows(a, b, c, i0, i1);
                   });
+}
+
+Matrix matmul_transposed(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  matmul_transposed_into(a, b, c.view());
   return c;
 }
 

@@ -1,19 +1,145 @@
-// Dense row-major matrix and the library-wide Vector alias.
+// Dense row-major matrix, the library-wide Vector alias, and the
+// non-owning view types the hot kernels operate on.
 //
 // Sizes in this library are small enough (thousands of cells, tens of basis
 // components) that a plain contiguous double buffer beats anything fancier;
-// the hot kernels live in blas.h and operate on raw rows.
+// the hot kernels live in blas.h and operate on views (pointer + dims +
+// row stride), so the serving path can run entirely over caller-owned
+// workspaces without per-frame heap traffic (DESIGN.md §10).
 #ifndef EIGENMAPS_NUMERICS_MATRIX_H
 #define EIGENMAPS_NUMERICS_MATRIX_H
 
 #include <cstddef>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace eigenmaps::numerics {
 
-/// Column/row/map values; all APIs take and return plain double vectors.
+/// Column/row/map values; owning APIs take and return plain double vectors.
 using Vector = std::vector<double>;
+
+/// Read-only span over `size` contiguous doubles. Non-owning: the caller
+/// keeps the backing storage alive for the view's lifetime.
+class ConstVectorView {
+ public:
+  ConstVectorView() = default;
+  ConstVectorView(const double* data, std::size_t size)
+      : data_(data), size_(size) {}
+  ConstVectorView(const Vector& v)  // NOLINT: implicit by design
+      : data_(v.data()), size_(v.size()) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const double* data() const { return data_; }
+  const double& operator[](std::size_t i) const { return data_[i]; }
+  const double* begin() const { return data_; }
+  const double* end() const { return data_ + size_; }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Mutable span over `size` contiguous doubles; converts to the const form.
+class VectorView {
+ public:
+  VectorView() = default;
+  VectorView(double* data, std::size_t size) : data_(data), size_(size) {}
+  VectorView(Vector& v)  // NOLINT: implicit by design
+      : data_(v.data()), size_(v.size()) {}
+
+  operator ConstVectorView() const {  // NOLINT: implicit by design
+    return ConstVectorView(data_, size_);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double* data() const { return data_; }
+  double& operator[](std::size_t i) const { return data_[i]; }
+  double* begin() const { return data_; }
+  double* end() const { return data_ + size_; }
+
+  void fill(double value) const {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Read-only rows x cols view with an explicit row stride (row i starts at
+/// data + i * stride, stride >= cols), so sub-blocks of a larger buffer —
+/// a batch prefix, an interior tile, a workspace slice — feed the kernels
+/// without being copied contiguous first.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, std::size_t rows, std::size_t cols,
+                  std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool contiguous() const { return stride_ == cols_; }
+
+  const double* row_data(std::size_t i) const { return data_ + i * stride_; }
+  const double& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * stride_ + j];
+  }
+  ConstVectorView row_view(std::size_t i) const {
+    return ConstVectorView(row_data(i), cols_);
+  }
+  /// Rows [first, first + count), same stride.
+  ConstMatrixView rows_view(std::size_t first, std::size_t count) const {
+    return ConstMatrixView(row_data(first), count, cols_, stride_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Mutable counterpart of ConstMatrixView; converts to the const form.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, std::size_t rows, std::size_t cols,
+             std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {}
+
+  operator ConstMatrixView() const {  // NOLINT: implicit by design
+    return ConstMatrixView(data_, rows_, cols_, stride_);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool contiguous() const { return stride_ == cols_; }
+
+  double* row_data(std::size_t i) const { return data_ + i * stride_; }
+  double& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * stride_ + j];
+  }
+  VectorView row_view(std::size_t i) const {
+    return VectorView(row_data(i), cols_);
+  }
+  MatrixView rows_view(std::size_t first, std::size_t count) const {
+    return MatrixView(row_data(first), count, cols_, stride_);
+  }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
 
 /// Dense row-major matrix. Zero-initialised on construction.
 class Matrix {
@@ -21,6 +147,23 @@ class Matrix {
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Adopts `storage` (rows * cols doubles, row-major) without copying —
+  /// the bridge from a pooled buffer to an owning result.
+  Matrix(std::size_t rows, std::size_t cols, Vector storage)
+      : rows_(rows), cols_(cols), data_(std::move(storage)) {
+    if (data_.size() != rows_ * cols_) {
+      throw std::invalid_argument("Matrix: storage size != rows * cols");
+    }
+  }
+  /// Deep copy of a (possibly strided) view into fresh contiguous storage.
+  explicit Matrix(ConstMatrixView view)
+      : rows_(view.rows()), cols_(view.cols()), data_(rows_ * cols_) {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const double* src = view.row_data(i);
+      double* dst = data_.data() + i * cols_;
+      for (std::size_t j = 0; j < cols_; ++j) dst[j] = src[j];
+    }
+  }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -38,6 +181,24 @@ class Matrix {
     return data_.data() + i * cols_;
   }
 
+  operator ConstMatrixView() const {  // NOLINT: implicit by design
+    return ConstMatrixView(data_.data(), rows_, cols_, cols_);
+  }
+
+  MatrixView view() { return MatrixView(data_.data(), rows_, cols_, cols_); }
+  ConstMatrixView view() const {
+    return ConstMatrixView(data_.data(), rows_, cols_, cols_);
+  }
+
+  /// Non-copying row access; prefer these over row()/col() wherever the
+  /// caller only reads.
+  VectorView row_view(std::size_t i) {
+    return VectorView(row_data(i), cols_);
+  }
+  ConstVectorView row_view(std::size_t i) const {
+    return ConstVectorView(row_data(i), cols_);
+  }
+
   Vector row(std::size_t i) const {
     return Vector(row_data(i), row_data(i) + cols_);
   }
@@ -47,12 +208,17 @@ class Matrix {
     return out;
   }
 
-  void set_row(std::size_t i, const Vector& values) {
+  void set_row(std::size_t i, ConstVectorView values) {
     if (values.size() != cols_) {
       throw std::invalid_argument("Matrix::set_row: size mismatch");
     }
     double* dst = row_data(i);
     for (std::size_t j = 0; j < cols_; ++j) dst[j] = values[j];
+  }
+  // Keeps brace-enclosed lists working (a braced list cannot reach
+  // ConstVectorView through the Vector conversion in one step).
+  void set_row(std::size_t i, const Vector& values) {
+    set_row(i, ConstVectorView(values));
   }
 
   const std::vector<double>& storage() const { return data_; }

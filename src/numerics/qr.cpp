@@ -43,7 +43,8 @@ HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
   }
 }
 
-void HouseholderQr::solve_into(const double* b, double* y, double* x) const {
+void HouseholderQr::solve_unchecked(const double* b, double* y,
+                                    double* x) const {
   const std::size_t m = qr_.rows();
   const std::size_t n = qr_.cols();
   for (std::size_t i = 0; i < m; ++i) y[i] = b[i];
@@ -68,26 +69,52 @@ void HouseholderQr::solve_into(const double* b, double* y, double* x) const {
   }
 }
 
-Vector HouseholderQr::solve(const Vector& b) const {
+void HouseholderQr::solve_into(ConstVectorView b, VectorView x,
+                               VectorView scratch) const {
   if (b.size() != qr_.rows()) {
-    throw std::invalid_argument("HouseholderQr::solve: rhs size mismatch");
+    throw std::invalid_argument("HouseholderQr::solve_into: rhs size mismatch");
   }
+  if (x.size() != qr_.cols()) {
+    throw std::invalid_argument(
+        "HouseholderQr::solve_into: output size mismatch");
+  }
+  if (scratch.size() < scratch_doubles()) {
+    throw std::invalid_argument(
+        "HouseholderQr::solve_into: scratch too small");
+  }
+  solve_unchecked(b.data(), scratch.data(), x.data());
+}
+
+Vector HouseholderQr::solve(ConstVectorView b) const {
   Vector scratch(qr_.rows());
   Vector x(qr_.cols());
-  solve_into(b.data(), scratch.data(), x.data());
+  solve_into(b, x, scratch);
   return x;
 }
 
-Matrix HouseholderQr::solve_batch(const Matrix& rhs_rows) const {
+void HouseholderQr::solve_batch_into(ConstMatrixView rhs_rows, MatrixView x,
+                                     VectorView scratch) const {
   if (rhs_rows.cols() != qr_.rows()) {
     throw std::invalid_argument(
-        "HouseholderQr::solve_batch: rhs size mismatch");
+        "HouseholderQr::solve_batch_into: rhs size mismatch");
   }
+  if (x.rows() != rhs_rows.rows() || x.cols() != qr_.cols()) {
+    throw std::invalid_argument(
+        "HouseholderQr::solve_batch_into: output shape mismatch");
+  }
+  if (scratch.size() < scratch_doubles()) {
+    throw std::invalid_argument(
+        "HouseholderQr::solve_batch_into: scratch too small");
+  }
+  for (std::size_t b = 0; b < rhs_rows.rows(); ++b) {
+    solve_unchecked(rhs_rows.row_data(b), scratch.data(), x.row_data(b));
+  }
+}
+
+Matrix HouseholderQr::solve_batch(ConstMatrixView rhs_rows) const {
   Matrix x(rhs_rows.rows(), qr_.cols());
   Vector scratch(qr_.rows());
-  for (std::size_t b = 0; b < rhs_rows.rows(); ++b) {
-    solve_into(rhs_rows.row_data(b), scratch.data(), x.row_data(b));
-  }
+  solve_batch_into(rhs_rows, x.view(), scratch);
   return x;
 }
 
@@ -125,13 +152,16 @@ Vector solve_least_squares(const Matrix& a, const Vector& b) {
   return HouseholderQr(a).solve(b);
 }
 
-bool downdate_r_row(Matrix& r, const double* row) {
+bool downdate_r_row(MatrixView r, const double* row, VectorView scratch) {
   const std::size_t n = r.rows();
   if (r.cols() != n) {
     throw std::invalid_argument("downdate_r_row: R must be square");
   }
+  if (scratch.size() < 3 * n) {
+    throw std::invalid_argument("downdate_r_row: scratch too small");
+  }
   // Leverage of the deleted row: solve R^T q = row by forward substitution.
-  Vector q(n);
+  double* q = scratch.data();
   double leverage = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     double s = row[i];
@@ -147,7 +177,8 @@ bool downdate_r_row(Matrix& r, const double* row) {
   if (leverage >= 1.0 - kLeverageGuard) return false;
   double alpha = std::sqrt(1.0 - leverage);
   // Rotations J_{n-1}..J_0 carrying [q; alpha] to [0; 1], bottom up.
-  Vector c(n), s(n);
+  double* c = scratch.data() + n;
+  double* s = scratch.data() + 2 * n;
   for (std::size_t i = n; i-- > 0;) {
     const double scale = alpha + std::abs(q[i]);
     const double ca = alpha / scale;
@@ -168,6 +199,11 @@ bool downdate_r_row(Matrix& r, const double* row) {
     }
   }
   return true;
+}
+
+bool downdate_r_row(Matrix& r, const double* row) {
+  Vector scratch(3 * r.rows());
+  return downdate_r_row(r.view(), row, scratch);
 }
 
 double triangular_condition_1(const Matrix& r) {
@@ -231,8 +267,8 @@ void SeminormalSolver::solve_normal(double* x) const {
   }
 }
 
-void SeminormalSolver::solve_into(const double* b, double* residual,
-                                  double* x) const {
+void SeminormalSolver::solve_unchecked(const double* b, double* residual,
+                                       double* correction, double* x) const {
   const std::size_t m = a_.rows();
   const std::size_t n = a_.cols();
   // x0 = (R^T R)^{-1} A^T b.
@@ -245,7 +281,7 @@ void SeminormalSolver::solve_into(const double* b, double* residual,
   // One corrected-seminormal refinement pass: dx = (R^T R)^{-1} A^T
   // (b - A x0). Bjorck: this recovers QR-level accuracy when cond(R)^2 eps
   // is still well below 1.
-  Vector correction(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) correction[j] = 0.0;
   for (std::size_t i = 0; i < m; ++i) {
     const double* row = a_.row_data(i);
     double ax = 0.0;
@@ -256,30 +292,60 @@ void SeminormalSolver::solve_into(const double* b, double* residual,
     const double* row = a_.row_data(i);
     for (std::size_t j = 0; j < n; ++j) correction[j] += row[j] * residual[i];
   }
-  solve_normal(correction.data());
+  solve_normal(correction);
   for (std::size_t j = 0; j < n; ++j) x[j] += correction[j];
 }
 
-Vector SeminormalSolver::solve(const Vector& b) const {
+void SeminormalSolver::solve_into(ConstVectorView b, VectorView x,
+                                  VectorView scratch) const {
   if (b.size() != a_.rows()) {
-    throw std::invalid_argument("SeminormalSolver::solve: rhs size mismatch");
+    throw std::invalid_argument(
+        "SeminormalSolver::solve_into: rhs size mismatch");
   }
-  Vector residual(a_.rows());
+  if (x.size() != a_.cols()) {
+    throw std::invalid_argument(
+        "SeminormalSolver::solve_into: output size mismatch");
+  }
+  if (scratch.size() < scratch_doubles()) {
+    throw std::invalid_argument(
+        "SeminormalSolver::solve_into: scratch too small");
+  }
+  solve_unchecked(b.data(), scratch.data(), scratch.data() + a_.rows(),
+                  x.data());
+}
+
+Vector SeminormalSolver::solve(ConstVectorView b) const {
+  Vector scratch(scratch_doubles());
   Vector x(a_.cols());
-  solve_into(b.data(), residual.data(), x.data());
+  solve_into(b, x, scratch);
   return x;
 }
 
-Matrix SeminormalSolver::solve_batch(const Matrix& rhs_rows) const {
+void SeminormalSolver::solve_batch_into(ConstMatrixView rhs_rows,
+                                        MatrixView x,
+                                        VectorView scratch) const {
   if (rhs_rows.cols() != a_.rows()) {
     throw std::invalid_argument(
-        "SeminormalSolver::solve_batch: rhs size mismatch");
+        "SeminormalSolver::solve_batch_into: rhs size mismatch");
   }
-  Matrix x(rhs_rows.rows(), a_.cols());
-  Vector residual(a_.rows());
+  if (x.rows() != rhs_rows.rows() || x.cols() != a_.cols()) {
+    throw std::invalid_argument(
+        "SeminormalSolver::solve_batch_into: output shape mismatch");
+  }
+  if (scratch.size() < scratch_doubles()) {
+    throw std::invalid_argument(
+        "SeminormalSolver::solve_batch_into: scratch too small");
+  }
   for (std::size_t b = 0; b < rhs_rows.rows(); ++b) {
-    solve_into(rhs_rows.row_data(b), residual.data(), x.row_data(b));
+    solve_unchecked(rhs_rows.row_data(b), scratch.data(),
+                    scratch.data() + a_.rows(), x.row_data(b));
   }
+}
+
+Matrix SeminormalSolver::solve_batch(ConstMatrixView rhs_rows) const {
+  Matrix x(rhs_rows.rows(), a_.cols());
+  Vector scratch(scratch_doubles());
+  solve_batch_into(rhs_rows, x.view(), scratch);
   return x;
 }
 

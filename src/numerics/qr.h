@@ -1,4 +1,11 @@
 // Householder QR for tall-thin systems and least squares.
+//
+// Every solver here has two forms: a view-based `_into` form writing a
+// caller-provided output through caller-provided scratch (the
+// zero-allocation serving path, DESIGN.md §10) and an owning convenience
+// wrapper that allocates and delegates. The `_into` forms throw
+// std::invalid_argument on any size mismatch, and outputs/scratch must not
+// alias the inputs.
 #ifndef EIGENMAPS_NUMERICS_QR_H
 #define EIGENMAPS_NUMERICS_QR_H
 
@@ -18,15 +25,26 @@ class HouseholderQr {
   std::size_t rows() const { return qr_.rows(); }
   std::size_t cols() const { return qr_.cols(); }
 
-  /// Least-squares solution of A x = b (minimises ||Ax - b||_2).
-  Vector solve(const Vector& b) const;
+  /// Doubles of scratch solve_into / solve_batch_into need.
+  std::size_t scratch_doubles() const { return qr_.rows(); }
 
-  /// Least-squares solutions for a batch of right-hand sides, one per ROW
-  /// of `rhs_rows` (batch x m); returns batch x n with the matching
-  /// solution in each row. Row i is bit-identical to solve(row i) — the
-  /// batch form exists to reuse the factor across a whole frame batch
-  /// without per-frame vector allocations.
-  Matrix solve_batch(const Matrix& rhs_rows) const;
+  /// Least-squares solution of A x = b (minimises ||Ax - b||_2) into `x`
+  /// (cols() entries), using `scratch` (scratch_doubles() entries).
+  void solve_into(ConstVectorView b, VectorView x, VectorView scratch) const;
+
+  /// Least-squares solution of A x = b (minimises ||Ax - b||_2).
+  Vector solve(ConstVectorView b) const;
+
+  /// Batched solve_into: one right-hand side per ROW of `rhs_rows`
+  /// (batch x m), the matching solution in each row of `x` (batch x n).
+  /// Row i is bit-identical to solve(row i) — the batch form exists to
+  /// reuse the factor across a whole frame batch without per-frame
+  /// allocations.
+  void solve_batch_into(ConstMatrixView rhs_rows, MatrixView x,
+                        VectorView scratch) const;
+
+  /// Owning solve_batch_into; returns batch x n.
+  Matrix solve_batch(ConstMatrixView rhs_rows) const;
 
   /// Thin Q factor (m x n, orthonormal columns).
   Matrix thin_q() const;
@@ -35,7 +53,8 @@ class HouseholderQr {
   Matrix r() const;
 
  private:
-  void solve_into(const double* b, double* scratch_m, double* x_out) const;
+  void solve_unchecked(const double* b, double* scratch_m,
+                       double* x_out) const;
 
   Matrix qr_;       // Householder vectors below the diagonal, R on and above.
   Vector tau_;      // Householder scalars.
@@ -52,7 +71,9 @@ Vector solve_least_squares(const Matrix& a, const Vector& b);
 /// to the rank, i.e. its leverage ||R^-T row||^2 reaches 1: the surviving
 /// rows no longer determine all n directions (Theorem 1's rank guard).
 /// O(n^2); the cheap path for small dropout counts, versus an O(m n^2)
-/// refactorization of the surviving rows.
+/// refactorization of the surviving rows. The view form takes 3n doubles
+/// of caller scratch; the owning form allocates them.
+bool downdate_r_row(MatrixView r, const double* row, VectorView scratch);
 bool downdate_r_row(Matrix& r, const double* row);
 
 /// 1-norm condition number ||R||_1 ||R^-1||_1 of an upper-triangular R via
@@ -78,15 +99,29 @@ class SeminormalSolver {
   std::size_t cols() const { return a_.cols(); }
   const Matrix& r() const { return r_; }
 
-  /// Least-squares solution of A x = b (b has rows() entries).
-  Vector solve(const Vector& b) const;
+  /// Doubles of scratch solve_into / solve_batch_into need
+  /// (rows() residual + cols() correction).
+  std::size_t scratch_doubles() const { return a_.rows() + a_.cols(); }
 
-  /// Batched form: one right-hand side per ROW of `rhs_rows`
-  /// (batch x rows()); returns batch x cols(), matching solve() per row.
-  Matrix solve_batch(const Matrix& rhs_rows) const;
+  /// Least-squares solution of A x = b into `x` (cols() entries), using
+  /// `scratch` (scratch_doubles() entries).
+  void solve_into(ConstVectorView b, VectorView x, VectorView scratch) const;
+
+  /// Least-squares solution of A x = b (b has rows() entries).
+  Vector solve(ConstVectorView b) const;
+
+  /// Batched solve_into: one right-hand side per ROW of `rhs_rows`
+  /// (batch x rows()), solutions in the rows of `x` (batch x cols()),
+  /// matching solve_into per row.
+  void solve_batch_into(ConstMatrixView rhs_rows, MatrixView x,
+                        VectorView scratch) const;
+
+  /// Owning solve_batch_into; returns batch x cols().
+  Matrix solve_batch(ConstMatrixView rhs_rows) const;
 
  private:
-  void solve_into(const double* b, double* residual_m, double* x_out) const;
+  void solve_unchecked(const double* b, double* residual_m,
+                       double* correction_n, double* x_out) const;
   void solve_normal(double* x) const;  // x <- (R^T R)^{-1} x in place
 
   Matrix r_;  // n x n upper triangular

@@ -1,6 +1,8 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -27,26 +29,34 @@ const core::SensorBitmask& canonical_mask(const core::SensorBitmask& mask) {
 }  // namespace
 
 struct ReconstructionEngine::Job {
-  numerics::Matrix frames;
+  // The batch's frames, row-major frame_count x width in a pooled buffer
+  // (only the first frame_count rows are meaningful; short batches leave
+  // the tail of the buffer untouched).
+  numerics::Vector frames;
+  std::size_t frame_count = 0;
+  std::size_t width = 0;
   Clock::time_point enqueued_at;
   // Model binding: the registered version current when the batch started,
   // and the active-sensor mask its frames were produced under.
   std::shared_ptr<const RegisteredModel> entry;
   core::SensorBitmask mask;
-  // One-shot path.
-  bool has_promise = false;
-  std::promise<numerics::Matrix> promise;
+  // One-shot path; disengaged for streaming jobs (a default-constructed
+  // std::promise would heap-allocate its shared state on every batch).
+  std::optional<std::promise<numerics::Matrix>> promise;
   // Streaming path.
   std::uint64_t stream = 0;
   std::uint64_t first_seq = 0;
 };
 
 struct ReconstructionEngine::StreamState {
-  // Ingestion side: frames waiting for the batch to fill.
+  // Ingestion side: frames filling a pooled batch buffer
+  // (batch_size x width doubles; pending_frames rows are valid).
   std::mutex ingest_mutex;
-  std::vector<numerics::Vector> pending;
+  numerics::Vector pending;
+  std::size_t pending_frames = 0;
+  std::size_t width = 0;
   std::uint64_t next_seq = 0;        // seq of the next pushed frame
-  std::uint64_t batch_first_seq = 0; // seq of pending.front()
+  std::uint64_t batch_first_seq = 0; // seq of the pending batch's first frame
   // Binding of the pending batch: model id + mask chosen when its first
   // frame arrived, with the registry entry resolved at that moment (so a
   // hot swap affects the next batch, not this one).
@@ -58,28 +68,72 @@ struct ReconstructionEngine::StreamState {
   // writing into the orphan.
   bool retired = false;
 
-  // Delivery side: completed batches held until their turn.
+  // Delivery side: completed batches held until their turn, sorted by
+  // first_seq in a small vector whose capacity is reused (at most
+  // queue_capacity batches can be in flight, typically far fewer).
   std::mutex deliver_mutex;
   std::uint64_t next_deliver_seq = 0;
-  std::map<std::uint64_t, numerics::Matrix> ready;
+  struct Ready {
+    std::uint64_t first_seq = 0;
+    numerics::Vector maps;  // pooled, frames x width row-major
+    std::size_t frames = 0;
+    std::size_t width = 0;
+  };
+  std::vector<Ready> ready;
 
-  /// Moves the pending frames into a streaming job. Call under
-  /// ingest_mutex with pending non-empty.
-  Job cut(std::uint64_t stream) {
+  /// Moves the pending frames (buffer and all) into a streaming job. Call
+  /// under ingest_mutex with pending_frames > 0.
+  Job cut(std::uint64_t stream_id) {
     Job job;
-    job.frames = numerics::Matrix(pending.size(), pending.front().size());
-    for (std::size_t f = 0; f < pending.size(); ++f) {
-      job.frames.set_row(f, pending[f]);
-    }
+    job.frames = std::move(pending);
+    job.frame_count = pending_frames;
+    job.width = width;
     job.entry = entry;
     job.mask = mask;
-    job.stream = stream;
+    job.stream = stream_id;
     job.first_seq = batch_first_seq;
+    pending_frames = 0;
     batch_first_seq = next_seq;
-    pending.clear();
     return job;
   }
 };
+
+// ---- BufferPool --------------------------------------------------------
+
+numerics::Vector ReconstructionEngine::BufferPool::acquire(
+    std::size_t doubles, bool& minted) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Smallest free buffer whose capacity fits, so mixed batch and map
+    // sizes don't burn large buffers on small asks.
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].capacity() < doubles) continue;
+      if (best == free_.size() ||
+          free_[i].capacity() < free_[best].capacity()) {
+        best = i;
+      }
+    }
+    if (best != free_.size()) {
+      numerics::Vector buffer = std::move(free_[best]);
+      free_[best] = std::move(free_.back());
+      free_.pop_back();
+      buffer.resize(doubles);  // within capacity: no allocation
+      minted = false;
+      return buffer;
+    }
+  }
+  minted = true;
+  return numerics::Vector(doubles);
+}
+
+void ReconstructionEngine::BufferPool::release(numerics::Vector buffer) {
+  if (buffer.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(buffer));
+}
+
+// ---- ReconstructionEngine ----------------------------------------------
 
 std::size_t ReconstructionEngine::default_worker_count() {
   // Same knob as the dense kernels: EIGENMAPS_THREADS, else the hardware.
@@ -163,6 +217,13 @@ ReconstructionEngine::stream_state(std::uint64_t stream) {
   return slot;
 }
 
+void ReconstructionEngine::count_serving_allocations(ModelId model,
+                                                     std::uint64_t count) {
+  if (count == 0) return;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.models[model].steady_state_allocations += count;
+}
+
 void ReconstructionEngine::enqueue(Job job) {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -186,17 +247,19 @@ std::future<numerics::Matrix> ReconstructionEngine::submit(
     throw std::invalid_argument(
         "ReconstructionEngine::submit: frame width != model sensor count");
   }
-  job.frames = std::move(frames);
+  job.frame_count = frames.rows();
+  job.width = frames.cols();
+  job.frames = std::move(frames.storage());  // adopt the caller's storage
   job.mask = canonical_mask(mask);
-  job.has_promise = true;
-  std::future<numerics::Matrix> result = job.promise.get_future();
-  frames_submitted_.fetch_add(job.frames.rows(), std::memory_order_relaxed);
+  job.promise.emplace();
+  std::future<numerics::Matrix> result = job.promise->get_future();
+  frames_submitted_.fetch_add(job.frame_count, std::memory_order_relaxed);
   enqueue(std::move(job));
   return result;
 }
 
 std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
-                                               const numerics::Vector& frame,
+                                               numerics::ConstVectorView frame,
                                                ModelId model,
                                                const core::SensorBitmask& mask) {
   // Up to two jobs can come loose in one push: the old pending batch when
@@ -211,8 +274,8 @@ std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
     std::shared_ptr<StreamState> state = stream_state(stream);
     std::lock_guard<std::mutex> lock(state->ingest_mutex);
     if (state->retired) continue;  // raced retire_idle_streams(); re-resolve
-    const bool rebind = state->pending.empty() || state->model != model ||
-                        state->mask != canon;
+    const bool rebind = state->pending_frames == 0 ||
+                        state->model != model || state->mask != canon;
     if (rebind) {
       // A new batch starts under a fresh binding: resolve the registry's
       // *current* version and validate mask and frame eagerly — throws
@@ -223,7 +286,7 @@ std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
             "ReconstructionEngine::push_frame: frame size != model sensor "
             "count");
       }
-      if (!state->pending.empty()) {
+      if (state->pending_frames > 0) {
         // Binding changed mid-batch: cut what is pending under the old
         // binding so every job stays homogeneous.
         cut_jobs[cut_count++] = state->cut(stream);
@@ -231,7 +294,15 @@ std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
       state->entry = std::move(entry);
       state->model = model;
       state->mask = canon;
+      state->width = state->entry->model->sensor_count();
       state->batch_first_seq = state->next_seq;
+      // A fresh batch needs a buffer — `pending` is always empty here (it
+      // left with the previous cut(), including the mid-batch cut above).
+      // Pool recycling makes this allocation-free once the engine is warm.
+      bool minted = false;
+      state->pending =
+          pool_.acquire(options_.batch_size * state->width, minted);
+      if (minted) count_serving_allocations(model, 1);
     } else {
       if (frame.size() != state->entry->model->sensor_count()) {
         throw std::invalid_argument(
@@ -252,8 +323,10 @@ std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
     // `submitted - completed` reflects the true backlog mid-batch.
     frames_submitted_.fetch_add(1, std::memory_order_relaxed);
     seq = state->next_seq++;
-    state->pending.push_back(frame);
-    if (state->pending.size() >= options_.batch_size) {
+    double* dst = state->pending.data() + state->pending_frames * state->width;
+    for (std::size_t s = 0; s < state->width; ++s) dst[s] = frame[s];
+    ++state->pending_frames;
+    if (state->pending_frames >= options_.batch_size) {
       cut_jobs[cut_count++] = state->cut(stream);
     }
     break;
@@ -273,7 +346,7 @@ void ReconstructionEngine::flush(std::uint64_t stream) {
     std::lock_guard<std::mutex> lock(state->ingest_mutex);
     // A retired state necessarily has nothing pending; falling through to
     // the empty check below is safe.
-    if (!state->pending.empty()) {
+    if (state->pending_frames > 0) {
       job = state->cut(stream);
       cut = true;
     }
@@ -324,7 +397,7 @@ std::size_t ReconstructionEngine::retire_idle_streams() {
     StreamState& state = *it->second;
     std::lock_guard<std::mutex> ingest(state.ingest_mutex);
     std::lock_guard<std::mutex> deliver(state.deliver_mutex);
-    const bool idle = state.pending.empty() && state.ready.empty() &&
+    const bool idle = state.pending_frames == 0 && state.ready.empty() &&
                       state.next_deliver_seq == state.next_seq;
     if (idle) {
       // The shared_ptr keeps the state alive for any producer that already
@@ -344,8 +417,11 @@ void ReconstructionEngine::worker_loop() {
   // Workers parallelise across batches; pin the kernels under them to one
   // thread so BLAS threading cannot nest and oversubscribe the machine.
   numerics::set_blas_threads_this_thread(1);
+  // One warmed scratch arena per worker: after the first few batches its
+  // capacity covers every model it serves and begin() never allocates.
+  core::Workspace workspace;
   while (std::optional<Job> job = queue_->pop()) {
-    run_job(*job);
+    run_job(*job, workspace);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       --jobs_in_flight_;
@@ -354,14 +430,34 @@ void ReconstructionEngine::worker_loop() {
   }
 }
 
-void ReconstructionEngine::run_job(Job& job) {
-  numerics::Matrix maps =
-      job.entry->cache->reconstruct_batch(job.frames, job.mask);
+void ReconstructionEngine::run_job(Job& job, core::Workspace& workspace) {
+  const std::size_t cells = job.entry->model->cell_count();
+  const numerics::ConstMatrixView frames(job.frames.data(), job.frame_count,
+                                         job.width, job.width);
+  const std::uint64_t growths_before = workspace.growths();
+  std::uint64_t minted_buffers = 0;
+
+  numerics::Matrix owned_maps;       // one-shot result (escapes to caller)
+  numerics::Vector pooled_maps;      // streaming result (recycled)
+  if (job.promise) {
+    owned_maps = numerics::Matrix(job.frame_count, cells);
+    job.entry->cache->reconstruct_batch_into(frames, job.mask,
+                                             owned_maps.view(), workspace);
+  } else {
+    bool minted = false;
+    pooled_maps = pool_.acquire(job.frame_count * cells, minted);
+    if (minted) ++minted_buffers;
+    numerics::MatrixView out(pooled_maps.data(), job.frame_count, cells,
+                             cells);
+    job.entry->cache->reconstruct_batch_into(frames, job.mask, out,
+                                             workspace);
+  }
+
   const auto latency = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            job.enqueued_at)
           .count());
-  frames_completed_.fetch_add(job.frames.rows(), std::memory_order_relaxed);
+  frames_completed_.fetch_add(job.frame_count, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.batches_completed;
@@ -370,19 +466,29 @@ void ReconstructionEngine::run_job(Job& job) {
       stats_.max_batch_latency_ns = latency;
     }
     ModelStats& model_stats = stats_.models[job.entry->id];
-    model_stats.frames_completed += job.frames.rows();
+    model_stats.frames_completed += job.frame_count;
     ++model_stats.batches_completed;
+    // Workspace growths + pool misses; the one-shot result Matrix is not
+    // counted (it escapes to the caller by design). Flat once warm.
+    model_stats.steady_state_allocations +=
+        minted_buffers + (workspace.growths() - growths_before);
   }
-  if (job.has_promise) {
-    job.promise.set_value(std::move(maps));
+  if (job.promise) {
+    job.promise->set_value(std::move(owned_maps));
+    // The adopted one-shot input dies here rather than joining the pool:
+    // the one-shot path never acquires, so recycling its buffers would
+    // grow the free list by one per submit() without bound.
   } else {
-    deliver(job.stream, job.first_seq, std::move(maps));
+    deliver(job.stream, job.first_seq, std::move(pooled_maps),
+            job.frame_count, cells);
+    pool_.release(std::move(job.frames));
   }
 }
 
 void ReconstructionEngine::deliver(std::uint64_t stream,
                                    std::uint64_t first_seq,
-                                   numerics::Matrix maps) {
+                                   numerics::Vector maps, std::size_t frames,
+                                   std::size_t width) {
   // An in-flight batch keeps next_deliver_seq < next_seq, so the stream
   // cannot have been retired: this resolves the same live state.
   std::shared_ptr<StreamState> state = stream_state(stream);
@@ -390,15 +496,25 @@ void ReconstructionEngine::deliver(std::uint64_t stream,
   // the sequence order even when another worker completes the next batch
   // mid-callback. Callbacks must therefore not call back into the engine.
   std::lock_guard<std::mutex> lock(state->deliver_mutex);
-  state->ready.emplace(first_seq, std::move(maps));
+  auto pos = state->ready.begin();
+  while (pos != state->ready.end() && pos->first_seq < first_seq) ++pos;
+  StreamState::Ready incoming;
+  incoming.first_seq = first_seq;
+  incoming.maps = std::move(maps);
+  incoming.frames = frames;
+  incoming.width = width;
+  state->ready.insert(pos, std::move(incoming));
   while (!state->ready.empty() &&
-         state->ready.begin()->first == state->next_deliver_seq) {
-    auto it = state->ready.begin();
-    numerics::Matrix batch = std::move(it->second);
-    const std::uint64_t seq = it->first;
-    state->ready.erase(it);
-    state->next_deliver_seq = seq + batch.rows();
-    if (on_result_) on_result_(stream, seq, std::move(batch));
+         state->ready.front().first_seq == state->next_deliver_seq) {
+    StreamState::Ready batch = std::move(state->ready.front());
+    state->ready.erase(state->ready.begin());
+    state->next_deliver_seq = batch.first_seq + batch.frames;
+    if (on_result_) {
+      on_result_(stream, batch.first_seq,
+                 numerics::ConstMatrixView(batch.maps.data(), batch.frames,
+                                           batch.width, batch.width));
+    }
+    pool_.release(std::move(batch.maps));
   }
 }
 

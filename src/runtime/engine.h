@@ -1,6 +1,9 @@
 // Streaming batched reconstruction: many sensor-reading frames per second,
 // many registered models, one blocked GEMM per batch, dropout-tolerant via
-// the per-model mask-keyed factor cache.
+// the per-model mask-keyed factor cache — with a zero-allocation steady
+// state: pooled frame/output buffers, per-worker workspaces, and a ring
+// work queue mean a warmed engine serves frames without touching the heap
+// (DESIGN.md §10).
 #ifndef EIGENMAPS_RUNTIME_ENGINE_H
 #define EIGENMAPS_RUNTIME_ENGINE_H
 
@@ -18,6 +21,7 @@
 
 #include "core/factor_cache.h"
 #include "core/reconstructor.h"
+#include "core/workspace.h"
 #include "runtime/registry.h"
 #include "runtime/work_queue.h"
 
@@ -48,6 +52,12 @@ struct ModelStats {
   std::uint64_t cache_full_mask_batches = 0;
   std::uint64_t factor_downdates = 0;
   std::uint64_t factor_refactors = 0;
+  /// Heap allocations the serving path made for this model's frames and
+  /// batches: buffer-pool misses (ingest and output) plus per-worker
+  /// workspace growths. Warm-up pays a handful; a warmed engine holds
+  /// this flat — the zero-allocation steady-state invariant, pinned by
+  /// the allocation-counter regression test.
+  std::uint64_t steady_state_allocations = 0;
 };
 
 /// Monotonic per-engine counters; read with ReconstructionEngine::stats().
@@ -66,10 +76,14 @@ struct EngineStats {
 /// queue. Two front doors:
 ///
 ///  - submit(frames, model, mask): one-shot batch, result via std::future.
+///    Convenience path: the returned Matrix is freshly allocated (it
+///    escapes to the caller), so one-shot batches are not allocation-free.
 ///  - push_frame(stream, frame, model, mask): streaming ingestion. Frames
 ///    accumulate per stream into batch_size batches; completed batches are
 ///    handed to the result callback exactly once and in submission order
-///    per stream, even when workers finish them out of order.
+///    per stream, even when workers finish them out of order. Frames land
+///    in pooled batch buffers and results in pooled output buffers, so a
+///    warmed stream ingests and delivers without heap allocations.
 ///
 /// Both carry a model id resolved against the ModelRegistry and an
 /// optional active-sensor mask (empty = all sensors alive); a stream that
@@ -82,7 +96,10 @@ struct EngineStats {
 /// keep theirs.
 ///
 /// The result callback runs on worker threads and must not call back into
-/// the engine. Thread-safe for many concurrent producers.
+/// the engine. The maps view it receives is only valid for the duration of
+/// the callback — the engine recycles the buffer afterwards; copy
+/// (e.g. numerics::Matrix(maps)) to keep the data. Thread-safe for many
+/// concurrent producers.
 class ReconstructionEngine {
  public:
   /// The model id submit/push_frame use when none is given; the
@@ -90,9 +107,11 @@ class ReconstructionEngine {
   static constexpr ModelId kDefaultModel = 0;
 
   /// stream id, sequence number of the first frame in the batch, maps
-  /// (one reconstructed row per frame, same order as pushed).
-  using ResultCallback = std::function<void(
-      std::uint64_t stream, std::uint64_t first_seq, numerics::Matrix maps)>;
+  /// (one reconstructed row per frame, same order as pushed; valid only
+  /// during the callback).
+  using ResultCallback =
+      std::function<void(std::uint64_t stream, std::uint64_t first_seq,
+                         numerics::ConstMatrixView maps)>;
 
   /// Serves every model in `registry` (which must outlive the engine).
   ReconstructionEngine(ModelRegistry& registry, EngineOptions options = {},
@@ -127,7 +146,7 @@ class ReconstructionEngine {
   /// batch_size frames (and whenever the stream's model/mask binding
   /// changes). Returns the frame's sequence number in the stream.
   std::uint64_t push_frame(
-      std::uint64_t stream, const numerics::Vector& frame,
+      std::uint64_t stream, numerics::ConstVectorView frame,
       ModelId model = kDefaultModel,
       const core::SensorBitmask& mask = core::SensorBitmask());
 
@@ -153,6 +172,22 @@ class ReconstructionEngine {
   struct Job;
   struct StreamState;
 
+  /// Recycles double buffers (frame batches in, reconstructed maps out).
+  /// acquire() resizes a free buffer whose capacity fits — no allocation —
+  /// and only mints a new one (reporting it, for the steady-state
+  /// counters) when none does.
+  class BufferPool {
+   public:
+    /// A buffer with size() == doubles. Sets `minted` when it had to heap-
+    /// allocate (pool miss or capacity shortfall).
+    numerics::Vector acquire(std::size_t doubles, bool& minted);
+    void release(numerics::Vector buffer);
+
+   private:
+    std::mutex mutex_;
+    std::vector<numerics::Vector> free_;
+  };
+
   ReconstructionEngine(std::unique_ptr<ModelRegistry> owned_registry,
                        ModelRegistry* registry, EngineOptions options,
                        ResultCallback on_result);
@@ -165,15 +200,17 @@ class ReconstructionEngine {
   std::shared_ptr<StreamState> stream_state(std::uint64_t stream);
   void enqueue(Job job);
   void worker_loop();
-  void run_job(Job& job);
+  void run_job(Job& job, core::Workspace& workspace);
   void deliver(std::uint64_t stream, std::uint64_t first_seq,
-               numerics::Matrix maps);
+               numerics::Vector maps, std::size_t frames, std::size_t width);
+  void count_serving_allocations(ModelId model, std::uint64_t count);
 
   std::unique_ptr<ModelRegistry> owned_registry_;  // single-model ctor only
   ModelRegistry* registry_;
   const EngineOptions options_;
   const ResultCallback on_result_;
 
+  BufferPool pool_;
   std::unique_ptr<BoundedWorkQueue<Job>> queue_;
   std::vector<std::thread> workers_;
 

@@ -5,31 +5,40 @@
 // lock-free cleverness would be noise. Bounding the queue is the point —
 // producers block once `capacity` batches are in flight, which is the
 // engine's back-pressure mechanism.
+//
+// Storage is a fixed ring of `capacity` slots allocated once at
+// construction: push move-assigns into a slot, pop moves out, and the
+// queue itself never touches the heap again — part of the engine's
+// zero-allocation steady state (DESIGN.md §10). T must be default-
+// constructible and move-assignable; a popped slot is reset to T{} so
+// resources held by the item (model references, pooled buffers) are not
+// pinned until the ring wraps back around.
 #ifndef EIGENMAPS_RUNTIME_WORK_QUEUE_H
 #define EIGENMAPS_RUNTIME_WORK_QUEUE_H
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace eigenmaps::runtime {
 
 template <typename T>
 class BoundedWorkQueue {
  public:
-  explicit BoundedWorkQueue(std::size_t capacity) : capacity_(capacity) {}
+  explicit BoundedWorkQueue(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {}
 
   /// Blocks while the queue is full. Returns false (and drops the item)
   /// if the queue was closed before space opened up.
   bool push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    not_full_.wait(lock, [this] { return closed_ || count_ < capacity_; });
     if (closed_) return false;
-    items_.push_back(std::move(item));
+    slots_[(head_ + count_) % capacity_] = std::move(item);
+    ++count_;
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -39,10 +48,12 @@ class BoundedWorkQueue {
   /// closed and drained.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    not_empty_.wait(lock, [this] { return closed_ || count_ != 0; });
+    if (count_ == 0) return std::nullopt;
+    T item = std::move(slots_[head_]);
+    slots_[head_] = T{};  // drop moved-from payload (e.g. model refs) now
+    head_ = (head_ + 1) % capacity_;
+    --count_;
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -60,7 +71,7 @@ class BoundedWorkQueue {
 
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return items_.size();
+    return count_;
   }
 
  private:
@@ -68,7 +79,9 @@ class BoundedWorkQueue {
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,21 @@
+// Opt-in global heap-allocation counter for regression tests and benches.
+//
+// Linking alloc_counter.cpp into a binary replaces the global operator
+// new/delete family with counting versions (malloc-backed, so sanitizers
+// still see every allocation). allocation_count() then reports how many
+// heap allocations the whole process has made so far, across all threads;
+// tests snapshot it around a region that must be allocation-free and
+// assert a zero delta. Binaries that do not link the .cpp are unaffected.
+#ifndef EIGENMAPS_TESTS_ALLOC_COUNTER_H
+#define EIGENMAPS_TESTS_ALLOC_COUNTER_H
+
+#include <cstdint>
+
+namespace eigenmaps::testhook {
+
+/// Total heap allocations (operator new family) this process has made.
+std::uint64_t allocation_count();
+
+}  // namespace eigenmaps::testhook
+
+#endif  // EIGENMAPS_TESTS_ALLOC_COUNTER_H

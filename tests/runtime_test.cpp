@@ -73,11 +73,12 @@ TEST(ReconstructionEngine, SingleStreamResultsMatchPerFrameReconstruct) {
     runtime::ReconstructionEngine engine(
         fx.rec, options,
         [&](std::uint64_t stream, std::uint64_t first_seq,
-            numerics::Matrix maps) {
+            numerics::ConstMatrixView maps) {
           EXPECT_EQ(stream, 9u);
           std::lock_guard<std::mutex> lock(delivered_mutex);
           delivered_seqs.push_back(first_seq);
-          delivered_batches.push_back(std::move(maps));
+          // The view dies with the callback; keep a deep copy.
+          delivered_batches.push_back(numerics::Matrix(maps));
         });
     for (std::uint64_t i = 0; i < 11; ++i) {  // 2 full batches + 3 tail
       EXPECT_EQ(engine.push_frame(9, fx.frame(9, i)), i);
@@ -123,7 +124,7 @@ TEST(ReconstructionEngine, ManyProducersManyStreamsExactlyOnceInOrder) {
   runtime::ReconstructionEngine engine(
       fx.rec, options,
       [&](std::uint64_t stream, std::uint64_t first_seq,
-          numerics::Matrix maps) {
+          numerics::ConstMatrixView maps) {
         std::lock_guard<std::mutex> lock(state_mutex);
         if (first_seq != next_expected[stream]) order_violations.fetch_add(1);
         next_expected[stream] = first_seq + maps.rows();
@@ -171,7 +172,7 @@ TEST(ReconstructionEngine, SharedStreamInterleavedProducersStayOrdered) {
   runtime::ReconstructionEngine engine(
       fx.rec, options,
       [&](std::uint64_t stream, std::uint64_t first_seq,
-          numerics::Matrix maps) {
+          numerics::ConstMatrixView maps) {
         ASSERT_EQ(stream, kStream);
         std::lock_guard<std::mutex> lock(state_mutex);
         if (first_seq != next_expected) in_order = false;
@@ -234,7 +235,7 @@ TEST(ReconstructionEngine, RetireRacingProducersIsSafe) {
   options.batch_size = 1;
   runtime::ReconstructionEngine engine(
       fx.rec, options,
-      [&](std::uint64_t, std::uint64_t, numerics::Matrix maps) {
+      [&](std::uint64_t, std::uint64_t, numerics::ConstMatrixView maps) {
         delivered.fetch_add(maps.rows());
       });
 
@@ -312,7 +313,9 @@ TEST(ReconstructionEngine, AllActiveMaskSpellingsShareOneBinding) {
   options.batch_size = 8;
   runtime::ReconstructionEngine engine(
       fx.rec, options,
-      [&](std::uint64_t, std::uint64_t, numerics::Matrix) { ++batches; });
+      [&](std::uint64_t, std::uint64_t, numerics::ConstMatrixView) {
+        ++batches;
+      });
 
   const core::SensorBitmask empty;
   const core::SensorBitmask full(fx.sensors.size());
@@ -337,7 +340,8 @@ TEST(ReconstructionEngine, RetiredThenReusedStreamIdRestartsAtZero) {
   options.batch_size = 2;
   runtime::ReconstructionEngine engine(
       fx.rec, options,
-      [&](std::uint64_t stream, std::uint64_t first_seq, numerics::Matrix) {
+      [&](std::uint64_t stream, std::uint64_t first_seq,
+          numerics::ConstMatrixView) {
         EXPECT_EQ(stream, 5u);
         std::lock_guard<std::mutex> lock(delivered_mutex);
         delivered_seqs.push_back(first_seq);
@@ -391,9 +395,10 @@ TEST(ReconstructionEngine, ServesTwoRegisteredModelsConcurrently) {
   options.batch_size = 4;
   runtime::ReconstructionEngine engine(
       registry, options,
-      [&](std::uint64_t stream, std::uint64_t, numerics::Matrix maps) {
+      [&](std::uint64_t stream, std::uint64_t,
+          numerics::ConstMatrixView maps) {
         std::lock_guard<std::mutex> lock(delivered_mutex);
-        delivered[stream].push_back(std::move(maps));
+        delivered[stream].push_back(numerics::Matrix(maps));
       });
 
   constexpr std::uint64_t kFrames = 10;  // full batches + a tail each
@@ -411,12 +416,12 @@ TEST(ReconstructionEngine, ServesTwoRegisteredModelsConcurrently) {
   // Interleave the two models' streams from two producers.
   std::thread producer_a([&] {
     for (std::size_t f = 0; f < kFrames; ++f) {
-      engine.push_frame(100, frames_a.row(f), 1);
+      engine.push_frame(100, frames_a.row_view(f), 1);
     }
   });
   std::thread producer_b([&] {
     for (std::size_t f = 0; f < kFrames; ++f) {
-      engine.push_frame(200, frames_b.row(f), 2);
+      engine.push_frame(200, frames_b.row_view(f), 2);
     }
   });
   producer_a.join();
@@ -473,9 +478,9 @@ TEST(ReconstructionEngine, DegradedStreamMatchesFromScratchReconstructor) {
   options.batch_size = 4;
   runtime::ReconstructionEngine engine(
       rec, options,
-      [&](std::uint64_t, std::uint64_t, numerics::Matrix maps) {
+      [&](std::uint64_t, std::uint64_t, numerics::ConstMatrixView maps) {
         std::lock_guard<std::mutex> lock(delivered_mutex);
-        delivered.push_back(std::move(maps));
+        delivered.push_back(numerics::Matrix(maps));
       });
 
   constexpr std::size_t kFrames = 20;
@@ -544,9 +549,10 @@ TEST(ReconstructionEngine, HotSwapTakesEffectAtTheNextBatchWithoutDrain) {
   options.batch_size = 4;
   runtime::ReconstructionEngine engine(
       registry, options,
-      [&](std::uint64_t, std::uint64_t first_seq, numerics::Matrix maps) {
+      [&](std::uint64_t, std::uint64_t first_seq,
+          numerics::ConstMatrixView maps) {
         std::lock_guard<std::mutex> lock(delivered_mutex);
-        delivered.emplace(first_seq, std::move(maps));
+        delivered.emplace(first_seq, numerics::Matrix(maps));
       });
 
   numerics::Rng rng(31);
@@ -556,16 +562,20 @@ TEST(ReconstructionEngine, HotSwapTakesEffectAtTheNextBatchWithoutDrain) {
       frames(f, s) = 40.0 + rng.normal();
     }
   }
-  for (std::size_t f = 0; f < 4; ++f) engine.push_frame(1, frames.row(f), 3);
+  for (std::size_t f = 0; f < 4; ++f) {
+    engine.push_frame(1, frames.row_view(f), 3);
+  }
   EXPECT_EQ(registry.register_model(3, rec_v2.model()), 2u);  // hot swap
-  for (std::size_t f = 4; f < 8; ++f) engine.push_frame(1, frames.row(f), 3);
+  for (std::size_t f = 4; f < 8; ++f) {
+    engine.push_frame(1, frames.row_view(f), 3);
+  }
   engine.drain();
 
   numerics::Matrix first_half(4, sensors.size());
   numerics::Matrix second_half(4, sensors.size());
   for (std::size_t f = 0; f < 4; ++f) {
-    first_half.set_row(f, frames.row(f));
-    second_half.set_row(f, frames.row(f + 4));
+    first_half.set_row(f, frames.row_view(f));
+    second_half.set_row(f, frames.row_view(f + 4));
   }
   const numerics::Matrix expect_v1 = rec_v1.reconstruct_batch(first_half);
   const numerics::Matrix expect_v2 = rec_v2.reconstruct_batch(second_half);

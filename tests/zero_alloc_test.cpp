@@ -1,0 +1,185 @@
+// The zero-allocation steady-state invariant (DESIGN.md §10), pinned with
+// the counting allocator from alloc_counter.cpp: once workspaces, buffer
+// pools and factor caches are warm, the `_into` reconstruction paths and
+// the streaming engine serve frames without a single heap allocation.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "alloc_counter.h"
+#include "core/allocation.h"
+#include "core/dct_basis.h"
+#include "core/factor_cache.h"
+#include "core/model.h"
+#include "core/reconstructor.h"
+#include "core/workspace.h"
+#include "numerics/blas.h"
+#include "numerics/rng.h"
+#include "runtime/engine.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+struct Fixture {
+  Fixture()
+      : basis(12, 12, 8),
+        mean(basis.cell_count(), 40.0),
+        sensors(core::allocate_greedy(basis, 8, 12)),
+        rec(basis, 8, sensors, mean) {}
+
+  core::DctBasis basis;
+  numerics::Vector mean;
+  core::SensorLocations sensors;
+  core::Reconstructor rec;
+
+  numerics::Matrix frames(std::size_t count, std::uint64_t seed) const {
+    numerics::Rng rng(seed);
+    numerics::Matrix f(count, sensors.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t s = 0; s < sensors.size(); ++s) {
+        f(i, s) = 40.0 + rng.normal();
+      }
+    }
+    return f;
+  }
+};
+
+TEST(ZeroAlloc, ThousandSingleFrameReconstructIntoCalls) {
+  const Fixture fx;
+  const std::shared_ptr<const core::ReconstructionModel> model =
+      fx.rec.model();
+  const numerics::Matrix frames = fx.frames(16, 7);
+
+  core::Workspace workspace;
+  numerics::Vector out(model->cell_count());
+  for (int warm = 0; warm < 3; ++warm) {
+    model->reconstruct_into(frames.row_view(warm), out, workspace);
+  }
+
+  const std::uint64_t before = testhook::allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    model->reconstruct_into(frames.row_view(i % 16), out, workspace);
+  }
+  EXPECT_EQ(testhook::allocation_count() - before, 0u)
+      << "warmed reconstruct_into must not touch the heap";
+
+  // The result is still the real reconstruction, bit for bit (the last
+  // iteration reconstructed frame 999 % 16).
+  const numerics::Vector expect = model->reconstruct(frames.row_view(999 % 16));
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(out[i], expect[i]);
+  }
+}
+
+TEST(ZeroAlloc, BatchedReconstructIntoAndMaskedCachePath) {
+  const Fixture fx;
+  const std::shared_ptr<const core::ReconstructionModel> model =
+      fx.rec.model();
+  core::FactorCache cache(model);
+  const core::SensorBitmask mask =
+      core::SensorBitmask::except(fx.sensors.size(), {1, 5});
+  const numerics::Matrix frames = fx.frames(32, 9);
+
+  core::Workspace workspace;
+  numerics::Matrix out(frames.rows(), model->cell_count());
+  // Warm the workspace on both layouts and build the mask's factor.
+  model->reconstruct_batch_into(frames, out.view(), workspace);
+  cache.reconstruct_batch_into(frames, mask, out.view(), workspace);
+
+  const std::uint64_t before = testhook::allocation_count();
+  for (int i = 0; i < 50; ++i) {
+    model->reconstruct_batch_into(frames, out.view(), workspace);
+    cache.reconstruct_batch_into(frames, mask, out.view(), workspace);
+  }
+  EXPECT_EQ(testhook::allocation_count() - before, 0u)
+      << "warmed batch paths (full and masked) must not touch the heap";
+}
+
+TEST(ZeroAlloc, WarmedEngineBatchCycle) {
+  const Fixture fx;
+  const core::SensorBitmask mask =
+      core::SensorBitmask::except(fx.sensors.size(), {2, 7});
+  const numerics::Matrix frames = fx.frames(64, 11);
+
+  std::atomic<std::uint64_t> delivered{0};
+  runtime::EngineOptions options;
+  options.worker_count = 1;
+  options.batch_size = 8;
+  options.queue_capacity = 2;  // bounds in-flight buffers, so warm-up
+                               // reaches the pool's steady population fast
+  runtime::ReconstructionEngine engine(
+      fx.rec, options,
+      [&](std::uint64_t, std::uint64_t, numerics::ConstMatrixView maps) {
+        delivered.fetch_add(maps.rows(), std::memory_order_relaxed);
+      });
+
+  // One no-dropout stream and one degraded stream, the steady serving mix.
+  const auto push_cycle = [&](std::size_t batches) {
+    for (std::size_t b = 0; b < batches; ++b) {
+      for (std::size_t f = 0; f < options.batch_size; ++f) {
+        const numerics::ConstVectorView frame =
+            frames.row_view((b * options.batch_size + f) % frames.rows());
+        engine.push_frame(1, frame);
+        engine.push_frame(2, frame, runtime::ReconstructionEngine::
+                                        kDefaultModel, mask);
+      }
+    }
+  };
+  const auto wait_for = [&](std::uint64_t target) {
+    while (delivered.load(std::memory_order_relaxed) < target) {
+      std::this_thread::yield();
+    }
+  };
+
+  // Warm-up: mint pool buffers, grow the worker workspace, build the
+  // mask's factor, size the delivery queues. Two saturation cycles, so the
+  // pool has seen the peak number of concurrently-live buffers (producer
+  // blocked on the full queue) before anything is measured.
+  push_cycle(6);
+  wait_for(2 * 6 * options.batch_size);
+  push_cycle(6);
+  wait_for(2 * 12 * options.batch_size);
+
+  const runtime::EngineStats warm_stats = engine.stats();
+  const std::uint64_t before = testhook::allocation_count();
+  push_cycle(10);
+  wait_for(2 * 22 * options.batch_size);
+  EXPECT_EQ(testhook::allocation_count() - before, 0u)
+      << "a warmed engine must serve full batches without heap allocations";
+
+  // The per-model steady-state counter agrees: warm-up paid, steady didn't.
+  const runtime::EngineStats stats = engine.stats();
+  const runtime::ModelStats& model_stats =
+      stats.models.at(runtime::ReconstructionEngine::kDefaultModel);
+  const runtime::ModelStats& warm_model_stats =
+      warm_stats.models.at(runtime::ReconstructionEngine::kDefaultModel);
+  EXPECT_GT(warm_model_stats.steady_state_allocations, 0u);
+  EXPECT_EQ(model_stats.steady_state_allocations,
+            warm_model_stats.steady_state_allocations);
+  EXPECT_EQ(stats.frames_completed, 2u * 22u * options.batch_size);
+}
+
+TEST(ZeroAlloc, WorkspaceGrowsOnlyWhenNeedGrows) {
+  core::Workspace workspace;
+  EXPECT_TRUE(workspace.begin(100));   // first reservation allocates
+  EXPECT_FALSE(workspace.begin(64));   // smaller: reuse
+  EXPECT_FALSE(workspace.begin(100));  // equal: reuse
+  EXPECT_TRUE(workspace.begin(101));   // larger: grow
+  EXPECT_EQ(workspace.growths(), 2u);
+
+  // Blocks are 64-byte aligned and disjoint.
+  const double* a = workspace.alloc(3);
+  const double* b = workspace.alloc(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_GE(b, a + 3);
+
+  // Overrunning the reservation is a sizing bug, reported loudly.
+  EXPECT_THROW(workspace.alloc(1024), std::logic_error);
+}
+
+}  // namespace
