@@ -2,8 +2,10 @@
 // per-frame reconstruct() vs reconstruct_batch() at several batch sizes,
 // the ReconstructionEngine across worker counts, a sensor-dropout serving
 // scenario (random per-stream masks vs the fixed-mask baseline, with the
-// factor-cache hit rate), and the blocked matmul against the seed triple
-// loop on 512 x 512.
+// factor-cache hit rate), a workload-shift scenario (the online
+// adaptation loop: residual spike -> drift -> background retrain ->
+// hot swap -> recovery, DESIGN.md §11), and the blocked matmul against
+// the seed triple loop on 512 x 512.
 //
 // Self-timed (std::chrono) so it runs everywhere google-benchmark is
 // absent; micro_kernels has the counterpart google-benchmark kernels.
@@ -11,13 +13,21 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 #include "core/allocation.h"
 #include "core/dct_basis.h"
+#include "core/metrics.h"
+#include "core/model.h"
+#include "core/pca_basis.h"
 #include "core/reconstructor.h"
+#include "core/snapshot_set.h"
 #include "numerics/blas.h"
 #include "numerics/rng.h"
+#include "online/controller.h"
 #include "runtime/engine.h"
+#include "runtime/registry.h"
 #include "seed_kernels.h"
 
 namespace {
@@ -213,6 +223,180 @@ int main() {
     const double dropout_fps = run_scenario(true);
     std::printf("%-26s %10.2fx of fixed-mask fps\n", "dropout throughput",
                 dropout_fps / baseline_fps);
+  }
+
+  // --- workload shift: residual spike -> drift -> retrain -> hot swap ----
+  {
+    constexpr std::size_t kShiftOrder = 12, kShiftSensors = 24, kBatch = 32;
+    constexpr std::size_t kWarmFrames = 20 * kBatch;      // phase A
+    constexpr std::size_t kShiftFrames = 48 * kBatch;     // phase B budget
+    const core::DctBasis gen(56, 60, 2 * kShiftOrder);
+
+    // Maps over disjoint DCT mode banks: phase A excites [0, 12), phase B
+    // [12, 24) — orthogonal subspaces, so the phase-A basis is useless on
+    // phase-B traffic until the controller retrains it.
+    numerics::Rng gen_rng(71);
+    const auto make_map = [&](bool phase_b) {
+      const std::size_t offset = phase_b ? kShiftOrder : 0;
+      numerics::Vector map(gen.cell_count(), 50.0);
+      for (std::size_t j = 0; j < kShiftOrder; ++j) {
+        const double c = (10.0 / (1.0 + j)) * gen_rng.normal();
+        const numerics::Matrix& v = gen.vectors();
+        for (std::size_t i = 0; i < map.size(); ++i) {
+          map[i] += c * v(i, offset + j);
+        }
+      }
+      for (double& v : map) v += 0.02 * gen_rng.normal();
+      return map;
+    };
+
+    // Offline phase-A training, greedy placement, initial model.
+    numerics::Matrix train_maps(200, gen.cell_count());
+    for (std::size_t t = 0; t < train_maps.rows(); ++t) {
+      train_maps.set_row(t, make_map(false));
+    }
+    const core::SnapshotSet training(std::move(train_maps));
+    core::PcaOptions pca;
+    pca.max_order = kShiftOrder;
+    const core::PcaBasis basis(training, pca);
+    const core::SensorLocations shift_sensors =
+        core::allocate_greedy(basis, kShiftOrder, kShiftSensors);
+    const auto model = std::make_shared<const core::ReconstructionModel>(
+        basis, kShiftOrder, shift_sensors, training.mean());
+
+    runtime::ModelRegistry registry;
+    registry.register_model(1, model);
+
+    const std::vector<std::size_t> holdout = {3, 9, 15, 21};
+    const core::SensorBitmask mask =
+        core::SensorBitmask::except(kShiftSensors, holdout);
+
+    online::AdaptationOptions adapt;
+    adapt.reservoir.capacity = 160;
+    adapt.reservoir.half_life_frames = 96.0;
+    adapt.drift.warmup_frames = 64;
+    adapt.drift.threshold = 16.0;
+    adapt.holdout_slots = holdout;
+    adapt.ingest_expanded = false;  // the calibration tap drives this run
+    adapt.min_snapshots = 96;
+    online::AdaptationController controller(registry, 1, adapt);
+
+    // Pre-generate all traffic so the serving loop measures serving.
+    const std::size_t total = kWarmFrames + kShiftFrames;
+    numerics::Matrix readings(total, kShiftSensors);
+    std::vector<numerics::Vector> calibration;  // phase-B maps, every 2nd
+    for (std::size_t f = 0; f < total; ++f) {
+      const bool phase_b = f >= kWarmFrames;
+      const numerics::Vector map = make_map(phase_b);
+      numerics::Vector r(kShiftSensors);
+      model->sample_into(map, r);
+      readings.set_row(f, r);
+      if (phase_b && (f - kWarmFrames) % 2 == 0) calibration.push_back(map);
+    }
+
+    // Residual and completion-time traces, indexed by frame sequence.
+    std::vector<double> residual_by_seq(total, 0.0);
+    std::vector<double> done_at(total, 0.0);
+    std::mutex trace_mutex;
+    const auto start = Clock::now();
+    runtime::EngineOptions options;
+    options.worker_count = 2;
+    options.batch_size = kBatch;
+    options.observer = &controller;
+    runtime::ReconstructionEngine engine(
+        registry, options,
+        [&](std::uint64_t, std::uint64_t first_seq,
+            numerics::ConstMatrixView maps) {
+          const double now = seconds_since(start);
+          std::lock_guard<std::mutex> lock(trace_mutex);
+          for (std::size_t r = 0; r < maps.rows(); ++r) {
+            const std::size_t seq = first_seq + r;
+            residual_by_seq[seq] = core::sensor_residual_rms(
+                readings.row_view(seq), maps.row_view(r),
+                model->sensors(), holdout);
+            done_at[seq] = now;
+          }
+        });
+
+    std::size_t pushed = 0, fed = 0;
+    for (; pushed < kWarmFrames; ++pushed) {
+      engine.push_frame(0, readings.row_view(pushed), 1, mask);
+    }
+    engine.drain();
+    // Phase B is driven chunk-by-chunk with a drain between chunks, so the
+    // observer sees each chunk's residuals before the next is pushed — an
+    // unpaced producer would outrun the whole drift -> retrain -> swap arc
+    // and finish before the controller ever got to act.
+    std::size_t swap_seq = 0;  // first frame pushed after the swap showed up
+    while (pushed < total) {
+      for (std::size_t f = 0; f < kBatch && pushed < total; ++f, ++pushed) {
+        engine.push_frame(0, readings.row_view(pushed), 1, mask);
+        if (pushed % 2 == 0 && fed < calibration.size()) {
+          controller.ingest_calibration(calibration[fed++]);
+        }
+      }
+      engine.drain();
+      if (swap_seq == 0) {
+        controller.wait_idle(std::chrono::milliseconds(60000));
+        if (controller.stats().swaps_published > 0) swap_seq = pushed;
+      }
+    }
+    engine.drain();
+    controller.wait_idle(std::chrono::milliseconds(60000));
+    const double elapsed = seconds_since(start);
+
+    // Baseline = mean residual over the last phase-A batch; spike = max;
+    // recovery = first post-shift frame whose batch-mean residual is back
+    // within 3x of baseline.
+    double baseline = 0.0;
+    for (std::size_t s = kWarmFrames - kBatch; s < kWarmFrames; ++s) {
+      baseline += residual_by_seq[s];
+    }
+    baseline /= kBatch;
+    double spike = 0.0;
+    for (std::size_t s = kWarmFrames; s < total; ++s) {
+      spike = std::max(spike, residual_by_seq[s]);
+    }
+    std::size_t recovered_seq = total;
+    for (std::size_t s = kWarmFrames; s + kBatch <= total; s += kBatch) {
+      double mean = 0.0;
+      for (std::size_t f = 0; f < kBatch; ++f) mean += residual_by_seq[s + f];
+      mean /= kBatch;
+      if (mean <= 3.0 * baseline) {
+        recovered_seq = s;
+        break;
+      }
+    }
+
+    const online::AdaptationStats stats = controller.stats();
+    std::printf("# workload shift at frame %zu (phase-B modes orthogonal "
+                "to the trained basis)\n", kWarmFrames);
+    std::printf("%-28s %10.4f -> spike %.4f\n", "holdout residual baseline",
+                baseline, spike);
+    std::printf("%-28s %10llu drift, %llu deferred, %llu retrains "
+                "(%llu failed), %llu swaps\n",
+                "adaptation events",
+                static_cast<unsigned long long>(stats.drift_events),
+                static_cast<unsigned long long>(stats.retrains_deferred),
+                static_cast<unsigned long long>(stats.retrains_completed),
+                static_cast<unsigned long long>(stats.retrains_failed),
+                static_cast<unsigned long long>(stats.swaps_published));
+    if (recovered_seq < total) {
+      std::printf("%-28s %10zu frames after the shift (residual back "
+                  "under 3x baseline)\n", "frames to recovery",
+                  recovered_seq - kWarmFrames);
+    } else {
+      std::printf("%-28s %10s\n", "frames to recovery", "not reached");
+    }
+    if (swap_seq > kWarmFrames && done_at[swap_seq - 1] > done_at[kWarmFrames]) {
+      const double window =
+          done_at[swap_seq - 1] - done_at[kWarmFrames];
+      const double fps = static_cast<double>(swap_seq - kWarmFrames) / window;
+      std::printf("%-28s %10.0f frames/s  (shift -> swap window, serving "
+                  "never stalled)\n", "fps during the swap", fps);
+    }
+    std::printf("%-28s %10.0f frames/s  (%zu frames, %.3f s end to end)\n",
+                "scenario throughput", total / elapsed, total, elapsed);
   }
 
   // --- blocked GEMM vs the seed triple loop on 512 x 512 ------------------

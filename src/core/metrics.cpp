@@ -1,6 +1,7 @@
 #include "core/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace eigenmaps::core {
@@ -29,6 +30,35 @@ ReconstructionErrors evaluate_reconstruction(const Reconstructor& rec,
   }
   errors.mse /= static_cast<double>(maps.rows());
   return errors;
+}
+
+double sensor_residual_rms(numerics::ConstVectorView readings,
+                           numerics::ConstVectorView map,
+                           const SensorLocations& sensors,
+                           const std::vector<std::size_t>& slots) {
+  if (readings.size() != sensors.size()) {
+    throw std::invalid_argument("sensor_residual_rms: readings size mismatch");
+  }
+  const auto slot_residual_sq = [&](std::size_t slot) {
+    if (slot >= sensors.size() || sensors[slot] >= map.size()) {
+      throw std::invalid_argument("sensor_residual_rms: slot out of range");
+    }
+    const double d = readings[slot] - map[sensors[slot]];
+    return d * d;
+  };
+  double sum = 0.0;
+  std::size_t count = 0;
+  if (slots.empty()) {
+    for (std::size_t s = 0; s < sensors.size(); ++s) {
+      sum += slot_residual_sq(s);
+    }
+    count = sensors.size();
+  } else {
+    for (const std::size_t s : slots) sum += slot_residual_sq(s);
+    count = slots.size();
+  }
+  if (count == 0) return 0.0;
+  return std::sqrt(sum / static_cast<double>(count));
 }
 
 double signal_energy_per_cell(const numerics::Matrix& centered_maps) {

@@ -1,6 +1,9 @@
-// Reconstruction-quality metrics over a snapshot ensemble.
+// Reconstruction-quality metrics over a snapshot ensemble, and the
+// per-frame residual the online drift detector monitors.
 #ifndef EIGENMAPS_CORE_METRICS_H
 #define EIGENMAPS_CORE_METRICS_H
+
+#include <vector>
 
 #include "core/noise.h"
 #include "core/reconstructor.h"
@@ -21,6 +24,19 @@ ReconstructionErrors evaluate_reconstruction(const Reconstructor& rec,
 /// Mean signal energy per cell of the centered maps: the x-energy in the
 /// paper's SNR = ||x||^2 / ||w||^2.
 double signal_energy_per_cell(const numerics::Matrix& centered_maps);
+
+/// RMS mismatch between what the sensors actually read and what the
+/// reconstructed map predicts at those sensors, over the sensor `slots`
+/// listed (indices into `sensors`; empty = every slot). With the listed
+/// slots masked out of the solve, this is an unbiased held-out residual —
+/// the statistic the online DriftDetector tracks (DESIGN.md §11): near the
+/// noise floor while the basis still spans the workload, and growing
+/// without bound once it does not. Throws std::invalid_argument on an
+/// out-of-range slot or sensor location.
+double sensor_residual_rms(numerics::ConstVectorView readings,
+                           numerics::ConstVectorView map,
+                           const SensorLocations& sensors,
+                           const std::vector<std::size_t>& slots = {});
 
 }  // namespace eigenmaps::core
 

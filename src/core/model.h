@@ -43,6 +43,11 @@ class ReconstructionModel {
   /// rows of it to downdate, and row subsets to refactor.
   const numerics::Matrix& sampled_basis() const { return factor_.sampled; }
 
+  /// The full basis slice V_k (N x k, orthonormal columns) — the online
+  /// retrainer's warm start for refreshing the basis (PcaOptions::
+  /// warm_start), and anyone else's read-only window on the subspace.
+  const numerics::Matrix& subspace() const { return subspace_; }
+
   /// sigma_max / sigma_min of Psi~ with every sensor alive — the
   /// conditioning of the undegraded inverse problem (Fig. 5).
   double condition_number() const { return factor_.condition; }

@@ -22,6 +22,7 @@ numerics::Matrix centered_maps(const SnapshotSet& training) {
 struct Spectrum {
   numerics::Matrix vectors;     // N x retained
   numerics::Vector eigenvalues; // full known spectrum, descending
+  std::size_t iterations = 0;   // orthogonal-iteration sweeps (0 if exact)
 };
 
 // Exact PCA from the T x T Gram matrix G = X X^T: covariance eigenvalues are
@@ -108,10 +109,23 @@ Spectrum train_orthogonal_iteration(const numerics::Matrix& x,
   numerics::Rng rng(options.seed);
   numerics::Matrix q(n, block);
   for (double& v : q.storage()) v = rng.normal();
+  if (options.warm_start != nullptr && options.warm_start->rows() == n) {
+    // Seed the leading columns from the previous basis; the trailing
+    // (random) columns keep the block exploring directions the old basis
+    // missed. Orthonormalisation below blends both.
+    const numerics::Matrix& warm = *options.warm_start;
+    const std::size_t seeded = std::min(block, warm.cols());
+    for (std::size_t c = 0; c < n; ++c) {
+      const double* src = warm.row_data(c);
+      double* dst = q.row_data(c);
+      for (std::size_t j = 0; j < seeded; ++j) dst[j] = src[j];
+    }
+  }
   numerics::orthonormalize_columns(q);
 
   const double inv_t = 1.0 / static_cast<double>(t);
   numerics::Vector estimates(block, 0.0);
+  std::size_t iterations = 0;
   for (std::size_t iter = 0; iter < options.iteration_limit; ++iter) {
     // Z = X^T (X Q) / T without forming the covariance.
     numerics::Matrix xq = numerics::matmul(x, q);        // T x block
@@ -138,12 +152,17 @@ Spectrum train_orthogonal_iteration(const numerics::Matrix& x,
     q = std::move(z);
     numerics::orthonormalize_columns(q);
 
+    // Convergence is judged on the estimates that will be retained; the
+    // extra exploratory columns chase near-degenerate tail eigenvalues
+    // and would otherwise keep a converged block iterating forever.
+    const std::size_t tracked = std::min(options.max_order, block);
     double drift = 0.0;
-    for (std::size_t j = 0; j < block; ++j) {
+    for (std::size_t j = 0; j < tracked; ++j) {
       const double denom = std::max(next[j], 1e-300);
       drift = std::max(drift, std::fabs(next[j] - estimates[j]) / denom);
     }
     estimates = std::move(next);
+    iterations = iter + 1;
     if (drift < options.iteration_tolerance) break;
   }
 
@@ -172,6 +191,7 @@ Spectrum train_orthogonal_iteration(const numerics::Matrix& x,
   Spectrum out;
   out.vectors = numerics::Matrix(n, order);
   out.eigenvalues.resize(order);
+  out.iterations = iterations;
   for (std::size_t j = 0; j < order; ++j) {
     out.eigenvalues[j] = ranked[j].first;
     for (std::size_t c = 0; c < n; ++c) {
@@ -202,6 +222,7 @@ PcaBasis::PcaBasis(const SnapshotSet& training, const PcaOptions& options) {
   }
   vectors_ = std::move(s.vectors);
   eigenvalues_ = std::move(s.eigenvalues);
+  iterations_used_ = s.iterations;
   if (vectors_.cols() == 0) {
     throw std::invalid_argument("PcaBasis: training set has zero variance");
   }

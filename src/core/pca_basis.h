@@ -30,6 +30,15 @@ struct PcaOptions {
   std::size_t iteration_limit = 200;
   double iteration_tolerance = 1e-9;
   std::uint64_t seed = 77;
+  /// Optional warm start for kOrthogonalIteration: an N x w matrix (w
+  /// columns, typically a previously trained basis) seeding the iteration
+  /// block instead of random vectors. When the training distribution has
+  /// only drifted, the seeded block is already near the invariant subspace
+  /// and the refresh converges in a few sweeps instead of a cold run
+  /// (the online adaptation retrainer's path, DESIGN.md §11). Columns
+  /// beyond w — and a warm start of the wrong height — fall back to random
+  /// initialisation. Non-owning: must outlive the constructor call.
+  const numerics::Matrix* warm_start = nullptr;
 };
 
 class PcaBasis : public Basis {
@@ -52,9 +61,14 @@ class PcaBasis : public Basis {
   /// eigenvalue sum, reported per cell: (sum_{j>k} lambda_j) / N.
   double theoretical_approximation_mse(std::size_t k) const;
 
+  /// Sweeps kOrthogonalIteration ran before converging (0 for the exact
+  /// methods) — how much a warm start saved, observable.
+  std::size_t iterations_used() const { return iterations_used_; }
+
  private:
   numerics::Matrix vectors_;     // N x max_order, orthonormal columns
   numerics::Vector eigenvalues_; // descending
+  std::size_t iterations_used_ = 0;
 };
 
 }  // namespace eigenmaps::core

@@ -206,6 +206,37 @@ bool downdate_r_row(Matrix& r, const double* row) {
   return downdate_r_row(r.view(), row, scratch);
 }
 
+void update_r_row(MatrixView r, const double* row, VectorView scratch) {
+  const std::size_t n = r.rows();
+  if (r.cols() != n) {
+    throw std::invalid_argument("update_r_row: R must be square");
+  }
+  if (scratch.size() < n) {
+    throw std::invalid_argument("update_r_row: scratch too small");
+  }
+  // Working copy of the appended row; rotation i annihilates u[i] against
+  // r(i, i) and carries the remainder down to the later rows.
+  double* u = scratch.data();
+  for (std::size_t i = 0; i < n; ++i) u[i] = row[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (u[i] == 0.0) continue;
+    const double rho = std::hypot(r(i, i), u[i]);
+    const double c = r(i, i) / rho;
+    const double s = u[i] / rho;
+    r(i, i) = rho;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double t = c * r(i, j) + s * u[j];
+      u[j] = c * u[j] - s * r(i, j);
+      r(i, j) = t;
+    }
+  }
+}
+
+void update_r_row(Matrix& r, const double* row) {
+  Vector scratch(r.rows());
+  update_r_row(r.view(), row, scratch);
+}
+
 double triangular_condition_1(const Matrix& r) {
   const std::size_t n = r.rows();
   if (r.cols() != n) {

@@ -76,6 +76,18 @@ Vector solve_least_squares(const Matrix& a, const Vector& b);
 bool downdate_r_row(MatrixView r, const double* row, VectorView scratch);
 bool downdate_r_row(Matrix& r, const double* row);
 
+/// In-place Givens update of an upper-triangular n x n factor `r` after
+/// appending one row `row` (n values) to the matrix it factors:
+/// R'^T R' = R^T R + row row^T — the symmetric counterpart of
+/// downdate_r_row, and the rank-1 streaming update for a snapshot
+/// Gram/covariance held in factored form. Adding a row can only improve
+/// the rank, so unlike the downdate this always succeeds; rows of R that
+/// a rotation touches come out with a non-negative diagonal entry. O(n^2).
+/// The view form takes n doubles of caller scratch (a mutable copy of the
+/// appended row); the owning form allocates them.
+void update_r_row(MatrixView r, const double* row, VectorView scratch);
+void update_r_row(Matrix& r, const double* row);
+
 /// 1-norm condition number ||R||_1 ||R^-1||_1 of an upper-triangular R via
 /// the explicit inverse — O(n^3), fine for the k x k factors this library
 /// produces (k is tens). Returns +inf when a diagonal entry is zero. The

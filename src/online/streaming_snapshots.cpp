@@ -1,0 +1,101 @@
+#include "online/streaming_snapshots.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eigenmaps::online {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+std::size_t clamped_capacity(const StreamingSnapshotOptions& options) {
+  return options.capacity == 0 ? 1 : options.capacity;
+}
+
+}  // namespace
+
+StreamingSnapshotSet::StreamingSnapshotSet(std::size_t cell_count,
+                                           StreamingSnapshotOptions options)
+    : cell_count_(cell_count),
+      options_{clamped_capacity(options), options.half_life_frames,
+               options.seed},
+      inv_tau_(options.half_life_frames > 0.0
+                   ? kLn2 / options.half_life_frames
+                   : 0.0),
+      rng_(options.seed),
+      maps_(clamped_capacity(options), cell_count),
+      log_scores_(clamped_capacity(options), 0.0) {
+  if (cell_count == 0) {
+    throw std::invalid_argument("StreamingSnapshotSet: zero cell count");
+  }
+}
+
+std::size_t StreamingSnapshotSet::worst_slot_locked() const {
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < size_; ++i) {
+    if (log_scores_[i] > log_scores_[worst]) worst = i;
+  }
+  return worst;
+}
+
+bool StreamingSnapshotSet::ingest(numerics::ConstVectorView map) {
+  if (map.size() != cell_count_) {
+    throw std::invalid_argument("StreamingSnapshotSet: map size mismatch");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double t = static_cast<double>(frames_seen_++);
+  // Survival score ln(e) - t / tau with e ~ Exp(1): smaller is fitter.
+  // Recency enters through -t / tau, so later maps draw systematically
+  // fitter scores and the expected resident age is ~capacity half-lives.
+  double u = rng_.uniform();
+  while (u <= 0.0) u = rng_.uniform();
+  // log1p keeps e positive even for u within an ulp of 0 or 1, so no draw
+  // can produce a -inf score (an accidentally immortal resident).
+  const double e = -std::log1p(-u);
+  const double log_score = std::log(e) - t * inv_tau_;
+
+  std::size_t slot;
+  if (size_ < options_.capacity) {
+    slot = size_++;
+  } else if (log_score < log_scores_[worst_]) {
+    slot = worst_;
+  } else {
+    return false;
+  }
+  log_scores_[slot] = log_score;
+  maps_.set_row(slot, map);
+  worst_ = worst_slot_locked();
+  return true;
+}
+
+std::uint64_t StreamingSnapshotSet::frames_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_seen_;
+}
+
+std::size_t StreamingSnapshotSet::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+core::SnapshotSet StreamingSnapshotSet::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (size_ == 0) {
+    throw std::logic_error("StreamingSnapshotSet: snapshot of empty reservoir");
+  }
+  numerics::Matrix out(size_, cell_count_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.set_row(i, maps_.row_view(i));
+  }
+  return core::SnapshotSet(std::move(out));
+}
+
+void StreamingSnapshotSet::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_ = 0;
+  worst_ = 0;
+  frames_seen_ = 0;
+}
+
+}  // namespace eigenmaps::online

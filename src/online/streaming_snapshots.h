@@ -1,0 +1,86 @@
+// Bounded, recency-weighted accumulation of full-resolution thermal maps
+// at runtime — the training-data half of the online adaptation loop.
+//
+// The offline pipeline trains from a SnapshotSet simulated ahead of time;
+// a serving chip instead dribbles maps in forever (occasional calibration
+// scans, or sparse readings expanded through the current model). The
+// StreamingSnapshotSet holds a fixed-capacity reservoir of those maps
+// under exponential-decay weighted sampling, so memory stays bounded while
+// the retained ensemble tracks the *recent* workload — exactly what a
+// basis refresh after drift should be trained on (DESIGN.md §11).
+#ifndef EIGENMAPS_ONLINE_STREAMING_SNAPSHOTS_H
+#define EIGENMAPS_ONLINE_STREAMING_SNAPSHOTS_H
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/snapshot_set.h"
+#include "numerics/matrix.h"
+#include "numerics/rng.h"
+
+namespace eigenmaps::online {
+
+struct StreamingSnapshotOptions {
+  /// Maps retained; the reservoir never holds (or allocates) more. Clamped
+  /// to at least 1.
+  std::size_t capacity = 256;
+  /// Recency preference, in frames: an ingested map's chance of still
+  /// being resident halves every half_life_frames later frames. 0 disables
+  /// decay (plain uniform reservoir sampling over everything ever seen).
+  double half_life_frames = 4096.0;
+  /// Seed of the deterministic acceptance draws.
+  std::uint64_t seed = 1009;
+};
+
+/// Thread-safe exponential-decay reservoir of full-resolution maps.
+///
+/// Weighted reservoir sampling (Efraimidis-Spirakis A-Res): the map
+/// ingested at frame t gets weight w_t = exp(t / tau) and survival score
+/// e / w_t with e ~ Exp(1); the reservoir keeps the `capacity` smallest
+/// scores. Scores are kept in log form (ln e - t / tau), so arbitrarily
+/// long streams never overflow, and each ingest is O(capacity) bookkeeping
+/// plus one O(N) row copy when accepted — nothing ever reshuffles.
+class StreamingSnapshotSet {
+ public:
+  StreamingSnapshotSet(std::size_t cell_count,
+                       StreamingSnapshotOptions options = {});
+
+  std::size_t cell_count() const { return cell_count_; }
+  std::size_t capacity() const { return options_.capacity; }
+
+  /// Offers one full-resolution map to the reservoir; returns whether it
+  /// was retained. Past capacity, acceptance displaces the resident map
+  /// with the worst survival score.
+  bool ingest(numerics::ConstVectorView map);
+
+  /// Maps offered / maps currently resident.
+  std::uint64_t frames_seen() const;
+  std::size_t size() const;
+
+  /// Deep-copies the resident maps (insertion order, oldest-accepted
+  /// first) into an offline-compatible SnapshotSet — the retrainer's
+  /// training ensemble, mean and all. Throws std::logic_error when empty.
+  core::SnapshotSet snapshot() const;
+
+  /// Drops every resident map and restarts the frame clock.
+  void clear();
+
+ private:
+  std::size_t worst_slot_locked() const;
+
+  const std::size_t cell_count_;
+  const StreamingSnapshotOptions options_;
+  const double inv_tau_;  // 1 / tau; 0 when decay is off
+
+  mutable std::mutex mutex_;
+  numerics::Rng rng_;
+  numerics::Matrix maps_;         // capacity x N, rows [0, size_) resident
+  numerics::Vector log_scores_;   // survival score per resident row
+  std::size_t size_ = 0;
+  std::size_t worst_ = 0;         // arg max of log_scores_ over residents
+  std::uint64_t frames_seen_ = 0;
+};
+
+}  // namespace eigenmaps::online
+
+#endif  // EIGENMAPS_ONLINE_STREAMING_SNAPSHOTS_H

@@ -28,6 +28,16 @@ const core::SensorBitmask& canonical_mask(const core::SensorBitmask& mask) {
 
 }  // namespace
 
+// Stack-resident completion handshake of submit_wait: the producer blocks
+// on `cv` while the worker moves the result in — no promise shared state,
+// no heap.
+struct ReconstructionEngine::OneShotWaiter {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  PooledMaps result;
+};
+
 struct ReconstructionEngine::Job {
   // The batch's frames, row-major frame_count x width in a pooled buffer
   // (only the first frame_count rows are meaningful; short batches leave
@@ -35,14 +45,23 @@ struct ReconstructionEngine::Job {
   numerics::Vector frames;
   std::size_t frame_count = 0;
   std::size_t width = 0;
+  // Whether `frames` came out of the engine's pool (streaming ingest,
+  // submit_wait) and so goes back to it on completion. Storage adopted
+  // from a submit(Matrix) caller is dropped instead: the one-shot path
+  // never re-acquires input-sized buffers, so pooling them would grow the
+  // free list by one per submit without bound.
+  bool pooled_input = false;
   Clock::time_point enqueued_at;
   // Model binding: the registered version current when the batch started,
   // and the active-sensor mask its frames were produced under.
   std::shared_ptr<const RegisteredModel> entry;
   core::SensorBitmask mask;
-  // One-shot path; disengaged for streaming jobs (a default-constructed
-  // std::promise would heap-allocate its shared state on every batch).
-  std::optional<std::promise<numerics::Matrix>> promise;
+  // One-shot paths; at most one is set. The promise is in optional<> so
+  // streaming jobs never pay its shared-state allocation; the waiter is a
+  // borrowed pointer into submit_wait's stack frame.
+  std::optional<std::promise<PooledMaps>> promise;
+  OneShotWaiter* waiter = nullptr;
+  bool one_shot() const { return promise.has_value() || waiter != nullptr; }
   // Streaming path.
   std::uint64_t stream = 0;
   std::uint64_t first_seq = 0;
@@ -86,6 +105,7 @@ struct ReconstructionEngine::StreamState {
   Job cut(std::uint64_t stream_id) {
     Job job;
     job.frames = std::move(pending);
+    job.pooled_input = true;
     job.frame_count = pending_frames;
     job.width = width;
     job.entry = entry;
@@ -100,8 +120,7 @@ struct ReconstructionEngine::StreamState {
 
 // ---- BufferPool --------------------------------------------------------
 
-numerics::Vector ReconstructionEngine::BufferPool::acquire(
-    std::size_t doubles, bool& minted) {
+numerics::Vector BufferPool::acquire(std::size_t doubles, bool& minted) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Smallest free buffer whose capacity fits, so mixed batch and map
@@ -127,7 +146,7 @@ numerics::Vector ReconstructionEngine::BufferPool::acquire(
   return numerics::Vector(doubles);
 }
 
-void ReconstructionEngine::BufferPool::release(numerics::Vector buffer) {
+void BufferPool::release(numerics::Vector buffer) {
   if (buffer.capacity() == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
   free_.push_back(std::move(buffer));
@@ -163,7 +182,8 @@ ReconstructionEngine::ReconstructionEngine(
     : owned_registry_(std::move(owned_registry)),
       registry_(owned_registry_ ? owned_registry_.get() : registry),
       options_(options),
-      on_result_(std::move(on_result)) {
+      on_result_(std::move(on_result)),
+      pool_(std::make_shared<BufferPool>()) {
   if (options_.batch_size == 0) {
     throw std::invalid_argument("ReconstructionEngine: batch_size must be > 0");
   }
@@ -230,32 +250,88 @@ void ReconstructionEngine::enqueue(Job job) {
     ++jobs_in_flight_;
   }
   job.enqueued_at = Clock::now();
+  OneShotWaiter* waiter = job.waiter;  // survives the move below
   if (!queue_->push(std::move(job))) {
     // Closed engine: only reachable from a producer racing the destructor,
-    // which the ownership contract forbids; account the job as gone.
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    --jobs_in_flight_;
+    // which the ownership contract forbids; account the job as gone. A
+    // dropped promise surfaces as broken_promise on its own; a stack
+    // waiter must be released explicitly (empty result) or its
+    // submit_wait caller would block forever.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      --jobs_in_flight_;
+    }
     idle_.notify_all();
+    if (waiter != nullptr) {
+      std::lock_guard<std::mutex> lock(waiter->mutex);
+      waiter->done = true;
+      waiter->cv.notify_one();
+    }
   }
 }
 
-std::future<numerics::Matrix> ReconstructionEngine::submit(
-    numerics::Matrix frames, ModelId model, const core::SensorBitmask& mask) {
+ReconstructionEngine::Job ReconstructionEngine::make_one_shot_job(
+    numerics::Vector frames, std::size_t frame_count, std::size_t width,
+    ModelId model, const core::SensorBitmask& mask) {
   Job job;
   job.entry = bind(model, mask);
-  if (frames.cols() != job.entry->model->sensor_count()) {
+  if (width != job.entry->model->sensor_count()) {
     throw std::invalid_argument(
         "ReconstructionEngine::submit: frame width != model sensor count");
   }
-  job.frame_count = frames.rows();
-  job.width = frames.cols();
-  job.frames = std::move(frames.storage());  // adopt the caller's storage
+  job.frame_count = frame_count;
+  job.width = width;
+  job.frames = std::move(frames);
   job.mask = canonical_mask(mask);
-  job.promise.emplace();
-  std::future<numerics::Matrix> result = job.promise->get_future();
   frames_submitted_.fetch_add(job.frame_count, std::memory_order_relaxed);
+  return job;
+}
+
+std::future<PooledMaps> ReconstructionEngine::submit(
+    numerics::Matrix frames, ModelId model, const core::SensorBitmask& mask) {
+  const std::size_t frame_count = frames.rows();
+  const std::size_t width = frames.cols();
+  Job job = make_one_shot_job(std::move(frames.storage()), frame_count,
+                              width, model, mask);
+  job.promise.emplace();
+  std::future<PooledMaps> result = job.promise->get_future();
   enqueue(std::move(job));
   return result;
+}
+
+PooledMaps ReconstructionEngine::submit_wait(numerics::ConstMatrixView frames,
+                                             ModelId model,
+                                             const core::SensorBitmask& mask) {
+  {
+    // Pre-validate so a throw leaves the pool undisturbed; the
+    // authoritative (shared) checks run again in make_one_shot_job.
+    // Zero-row batches are accepted, matching submit(): the view still
+    // carries its width, so the check stays meaningful.
+    const std::shared_ptr<const RegisteredModel> entry = bind(model, mask);
+    if (frames.cols() != entry->model->sensor_count()) {
+      throw std::invalid_argument(
+          "ReconstructionEngine::submit_wait: frame width != model sensor "
+          "count");
+    }
+  }
+  bool minted = false;
+  numerics::Vector buffer =
+      pool_->acquire(frames.rows() * frames.cols(), minted);
+  if (minted) count_serving_allocations(model, 1);
+  for (std::size_t f = 0; f < frames.rows(); ++f) {
+    const double* src = frames.row_data(f);
+    double* dst = buffer.data() + f * frames.cols();
+    for (std::size_t s = 0; s < frames.cols(); ++s) dst[s] = src[s];
+  }
+  Job job = make_one_shot_job(std::move(buffer), frames.rows(),
+                              frames.cols(), model, mask);
+  job.pooled_input = true;
+  OneShotWaiter waiter;
+  job.waiter = &waiter;
+  enqueue(std::move(job));
+  std::unique_lock<std::mutex> lock(waiter.mutex);
+  waiter.cv.wait(lock, [&] { return waiter.done; });
+  return std::move(waiter.result);
 }
 
 std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
@@ -301,7 +377,7 @@ std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
       // Pool recycling makes this allocation-free once the engine is warm.
       bool minted = false;
       state->pending =
-          pool_.acquire(options_.batch_size * state->width, minted);
+          pool_->acquire(options_.batch_size * state->width, minted);
       if (minted) count_serving_allocations(model, 1);
     } else {
       if (frame.size() != state->entry->model->sensor_count()) {
@@ -375,7 +451,8 @@ EngineStats ReconstructionEngine::stats() const {
   out.frames_submitted = frames_submitted_.load(std::memory_order_relaxed);
   out.frames_completed = frames_completed_.load(std::memory_order_relaxed);
   // Overlay the factor-cache counters of each model's currently registered
-  // version (a hot swap restarts them with its fresh cache).
+  // version (a hot swap restarts them with its fresh cache), and the
+  // adaptation counters of the attached observer (if any).
   for (auto& [id, model_stats] : out.models) {
     if (const std::shared_ptr<const RegisteredModel> entry =
             registry_->resolve(id)) {
@@ -385,6 +462,9 @@ EngineStats ReconstructionEngine::stats() const {
       model_stats.cache_full_mask_batches = cache.full_mask_batches;
       model_stats.factor_downdates = cache.downdates;
       model_stats.factor_refactors = cache.refactors;
+    }
+    if (options_.observer != nullptr) {
+      model_stats.adaptation = options_.observer->counters(id);
     }
   }
   return out;
@@ -437,21 +517,14 @@ void ReconstructionEngine::run_job(Job& job, core::Workspace& workspace) {
   const std::uint64_t growths_before = workspace.growths();
   std::uint64_t minted_buffers = 0;
 
-  numerics::Matrix owned_maps;       // one-shot result (escapes to caller)
-  numerics::Vector pooled_maps;      // streaming result (recycled)
-  if (job.promise) {
-    owned_maps = numerics::Matrix(job.frame_count, cells);
-    job.entry->cache->reconstruct_batch_into(frames, job.mask,
-                                             owned_maps.view(), workspace);
-  } else {
-    bool minted = false;
-    pooled_maps = pool_.acquire(job.frame_count * cells, minted);
-    if (minted) ++minted_buffers;
-    numerics::MatrixView out(pooled_maps.data(), job.frame_count, cells,
-                             cells);
-    job.entry->cache->reconstruct_batch_into(frames, job.mask, out,
-                                             workspace);
-  }
+  // One-shot and streaming results both come out of the pool; the one-shot
+  // buffer leaves custody inside a PooledMaps handle and returns when the
+  // caller drops it.
+  bool minted = false;
+  numerics::Vector maps = pool_->acquire(job.frame_count * cells, minted);
+  if (minted) ++minted_buffers;
+  numerics::MatrixView out(maps.data(), job.frame_count, cells, cells);
+  job.entry->cache->reconstruct_batch_into(frames, job.mask, out, workspace);
 
   const auto latency = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -468,20 +541,44 @@ void ReconstructionEngine::run_job(Job& job, core::Workspace& workspace) {
     ModelStats& model_stats = stats_.models[job.entry->id];
     model_stats.frames_completed += job.frame_count;
     ++model_stats.batches_completed;
-    // Workspace growths + pool misses; the one-shot result Matrix is not
-    // counted (it escapes to the caller by design). Flat once warm.
+    // Workspace growths + pool misses. Flat once warm.
     model_stats.steady_state_allocations +=
         minted_buffers + (workspace.growths() - growths_before);
+    // A batch completing under a NEWER registered version than any seen
+    // before means a hot swap just reached traffic. Strictly monotone on
+    // purpose: with concurrent workers, old-version batches finish
+    // interleaved with new-version ones, and counting every flip would
+    // report one swap many times.
+    std::uint64_t& newest = last_served_version_[job.entry->id];
+    if (job.entry->version > newest) {
+      if (newest != 0) ++model_stats.hot_swaps_served;
+      newest = job.entry->version;
+    }
   }
-  if (job.promise) {
-    job.promise->set_value(std::move(owned_maps));
-    // The adopted one-shot input dies here rather than joining the pool:
-    // the one-shot path never acquires, so recycling its buffers would
-    // grow the free list by one per submit() without bound.
+  if (options_.observer != nullptr) {
+    // Outside the stats lock; the views die with this call.
+    options_.observer->on_batch(job.entry->id, job.entry->version, job.stream,
+                                *job.entry->model, job.mask, frames, out);
+  }
+  // Input goes back to the pool BEFORE the result is handed over: a
+  // one-shot caller may re-submit the instant it wakes, and its next
+  // ingest acquire must find this buffer already home (or the warmed
+  // pool would mint a spare — the zero-allocation test catches exactly
+  // that race).
+  if (job.pooled_input) pool_->release(std::move(job.frames));
+  if (job.one_shot()) {
+    PooledMaps result(pool_, std::move(maps), job.frame_count, cells);
+    if (job.promise) {
+      job.promise->set_value(std::move(result));
+    } else {
+      std::lock_guard<std::mutex> lock(job.waiter->mutex);
+      job.waiter->result = std::move(result);
+      job.waiter->done = true;
+      job.waiter->cv.notify_one();
+    }
   } else {
-    deliver(job.stream, job.first_seq, std::move(pooled_maps),
-            job.frame_count, cells);
-    pool_.release(std::move(job.frames));
+    deliver(job.stream, job.first_seq, std::move(maps), job.frame_count,
+            cells);
   }
 }
 
@@ -514,7 +611,7 @@ void ReconstructionEngine::deliver(std::uint64_t stream,
                  numerics::ConstMatrixView(batch.maps.data(), batch.frames,
                                            batch.width, batch.width));
     }
-    pool_.release(std::move(batch.maps));
+    pool_->release(std::move(batch.maps));
   }
 }
 

@@ -27,6 +27,36 @@
 
 namespace eigenmaps::runtime {
 
+/// Counters an adaptation layer (online::AdaptationController) maintains
+/// per model; EngineStats overlays them so one stats() call tells the
+/// whole closed-loop story (DESIGN.md §11).
+struct AdaptationCounters {
+  std::uint64_t drift_events = 0;
+  std::uint64_t retrains_completed = 0;
+  std::uint64_t retrains_failed = 0;
+  std::uint64_t swaps_published = 0;
+};
+
+/// Tap on completed batches — the hook the online adaptation subsystem
+/// hangs off the serving path. on_batch runs on a worker thread after the
+/// reconstruction and before delivery, with the batch's readings and maps
+/// as short-lived views; implementations must be cheap, must copy what
+/// they keep, and must not call back into the engine. Batches arrive in
+/// worker-completion order (delivery re-sequences per stream, this tap
+/// does not). counters() feeds the EngineStats overlay and must be
+/// thread-safe against on_batch.
+class BatchObserver {
+ public:
+  virtual ~BatchObserver() = default;
+  virtual void on_batch(std::uint64_t model, std::uint64_t version,
+                        std::uint64_t stream,
+                        const core::ReconstructionModel& served,
+                        const core::SensorBitmask& mask,
+                        numerics::ConstMatrixView frames,
+                        numerics::ConstMatrixView maps) = 0;
+  virtual AdaptationCounters counters(std::uint64_t model) const = 0;
+};
+
 struct EngineOptions {
   /// Worker threads running the batched solves. 0 resolves from the
   /// EIGENMAPS_THREADS environment variable, else hardware concurrency.
@@ -39,6 +69,83 @@ struct EngineOptions {
   /// Must be positive (the constructor throws std::invalid_argument
   /// otherwise — a zero-capacity queue could never cut a batch loose).
   std::size_t queue_capacity = 64;
+  /// Optional batch tap (non-owning; must outlive the engine). The online
+  /// adaptation controller registers itself here.
+  BatchObserver* observer = nullptr;
+};
+
+/// Recycles double buffers (frame batches in, reconstructed maps out).
+/// acquire() resizes a free buffer whose capacity fits — no allocation —
+/// and only mints a new one (reporting it, for the steady-state counters)
+/// when none does. Shared by the engine and the PooledMaps handles it
+/// gives out, which is why it lives behind a shared_ptr: a handle may
+/// outlive the engine, and its buffer must still have somewhere to go.
+class BufferPool {
+ public:
+  /// A buffer with size() == doubles. Sets `minted` when it had to heap-
+  /// allocate (pool miss or capacity shortfall).
+  numerics::Vector acquire(std::size_t doubles, bool& minted);
+  void release(numerics::Vector buffer);
+
+ private:
+  std::mutex mutex_;
+  std::vector<numerics::Vector> free_;
+};
+
+/// Owning handle to a one-shot batch result living in a pooled buffer:
+/// rows() x cols() reconstructed maps, readable through view(). The
+/// destructor returns the buffer to the engine's BufferPool, so repeated
+/// warmed submits recycle their result storage instead of allocating —
+/// the close of the last allocating serving path (DESIGN.md §10).
+/// Move-only; to keep the data past the handle, deep-copy via
+/// numerics::Matrix(handle.view()).
+class PooledMaps {
+ public:
+  PooledMaps() = default;
+  PooledMaps(PooledMaps&& other) noexcept { swap(other); }
+  PooledMaps& operator=(PooledMaps&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  PooledMaps(const PooledMaps&) = delete;
+  PooledMaps& operator=(const PooledMaps&) = delete;
+  ~PooledMaps() {
+    if (pool_) pool_->release(std::move(buffer_));
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  numerics::ConstMatrixView view() const {
+    return numerics::ConstMatrixView(buffer_.data(), rows_, cols_, cols_);
+  }
+  operator numerics::ConstMatrixView() const {  // NOLINT: implicit by design
+    return view();
+  }
+  const double& operator()(std::size_t i, std::size_t j) const {
+    return buffer_[i * cols_ + j];
+  }
+
+ private:
+  friend class ReconstructionEngine;
+  PooledMaps(std::shared_ptr<BufferPool> pool, numerics::Vector buffer,
+             std::size_t rows, std::size_t cols)
+      : pool_(std::move(pool)),
+        buffer_(std::move(buffer)),
+        rows_(rows),
+        cols_(cols) {}
+
+  void swap(PooledMaps& other) noexcept {
+    std::swap(pool_, other.pool_);
+    std::swap(buffer_, other.buffer_);
+    std::swap(rows_, other.rows_);
+    std::swap(cols_, other.cols_);
+  }
+
+  std::shared_ptr<BufferPool> pool_;
+  numerics::Vector buffer_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
 };
 
 /// Per-model monotonic counters inside EngineStats. The cache_* and
@@ -58,6 +165,15 @@ struct ModelStats {
   /// this flat — the zero-allocation steady-state invariant, pinned by
   /// the allocation-counter regression test.
   std::uint64_t steady_state_allocations = 0;
+  /// Hot swaps this engine has *served through*: batches completed under a
+  /// different registered version than the previous batch of the same
+  /// model. Counted by the engine itself, so it reflects swaps that
+  /// actually reached traffic, not merely registry writes.
+  std::uint64_t hot_swaps_served = 0;
+  /// Closed-loop adaptation counters, overlaid from the registered
+  /// BatchObserver (online::AdaptationController) when one is attached;
+  /// zero otherwise.
+  AdaptationCounters adaptation;
 };
 
 /// Monotonic per-engine counters; read with ReconstructionEngine::stats().
@@ -75,9 +191,12 @@ struct EngineStats {
 /// Drives batches of sensor frames across a worker pool over a bounded
 /// queue. Two front doors:
 ///
-///  - submit(frames, model, mask): one-shot batch, result via std::future.
-///    Convenience path: the returned Matrix is freshly allocated (it
-///    escapes to the caller), so one-shot batches are not allocation-free.
+///  - submit(frames, model, mask) / submit_wait(...): one-shot batch. The
+///    result is a PooledMaps handle over a pooled buffer that returns to
+///    the pool on destruction. submit hands it through a std::future
+///    (whose shared state costs one small allocation per call);
+///    submit_wait blocks the caller until the batch completes and is
+///    allocation-free once the pool and workspaces are warm.
 ///  - push_frame(stream, frame, model, mask): streaming ingestion. Frames
 ///    accumulate per stream into batch_size batches; completed batches are
 ///    handed to the result callback exactly once and in submission order
@@ -137,10 +256,25 @@ class ReconstructionEngine {
 
   /// One-shot batch (frames x sensors); blocks while the queue is full.
   /// Throws std::invalid_argument for an unknown model, a frame width not
-  /// matching the model, or an infeasible mask.
-  std::future<numerics::Matrix> submit(
+  /// matching the model, or an infeasible mask. The result buffer is
+  /// pooled (see PooledMaps); the adopted input storage is deliberately
+  /// dropped after the batch, not pooled — nothing on this path ever
+  /// re-acquires input-sized buffers, so pooling them would grow the
+  /// free list by one per call without bound.
+  std::future<PooledMaps> submit(
       numerics::Matrix frames, ModelId model = kDefaultModel,
       const core::SensorBitmask& mask = core::SensorBitmask());
+
+  /// One-shot batch that blocks the calling thread until the result is
+  /// ready — the fully pooled form: the frames are copied into a pooled
+  /// ingest buffer, the result comes back in a pooled handle, and the
+  /// completion handshake lives on this call's stack, so a warmed
+  /// submit_wait makes zero heap allocations end to end. Same validation
+  /// and throws as submit.
+  PooledMaps submit_wait(numerics::ConstMatrixView frames,
+                         ModelId model = kDefaultModel,
+                         const core::SensorBitmask& mask =
+                             core::SensorBitmask());
 
   /// Appends one frame to `stream`'s pending batch, cutting a job every
   /// batch_size frames (and whenever the stream's model/mask binding
@@ -171,22 +305,7 @@ class ReconstructionEngine {
  private:
   struct Job;
   struct StreamState;
-
-  /// Recycles double buffers (frame batches in, reconstructed maps out).
-  /// acquire() resizes a free buffer whose capacity fits — no allocation —
-  /// and only mints a new one (reporting it, for the steady-state
-  /// counters) when none does.
-  class BufferPool {
-   public:
-    /// A buffer with size() == doubles. Sets `minted` when it had to heap-
-    /// allocate (pool miss or capacity shortfall).
-    numerics::Vector acquire(std::size_t doubles, bool& minted);
-    void release(numerics::Vector buffer);
-
-   private:
-    std::mutex mutex_;
-    std::vector<numerics::Vector> free_;
-  };
+  struct OneShotWaiter;
 
   ReconstructionEngine(std::unique_ptr<ModelRegistry> owned_registry,
                        ModelRegistry* registry, EngineOptions options,
@@ -198,6 +317,9 @@ class ReconstructionEngine {
       ModelId model, const core::SensorBitmask& mask) const;
 
   std::shared_ptr<StreamState> stream_state(std::uint64_t stream);
+  Job make_one_shot_job(numerics::Vector frames, std::size_t frame_count,
+                        std::size_t width, ModelId model,
+                        const core::SensorBitmask& mask);
   void enqueue(Job job);
   void worker_loop();
   void run_job(Job& job, core::Workspace& workspace);
@@ -210,7 +332,7 @@ class ReconstructionEngine {
   const EngineOptions options_;
   const ResultCallback on_result_;
 
-  BufferPool pool_;
+  const std::shared_ptr<BufferPool> pool_;
   std::unique_ptr<BoundedWorkQueue<Job>> queue_;
   std::vector<std::thread> workers_;
 
@@ -225,6 +347,9 @@ class ReconstructionEngine {
 
   mutable std::mutex stats_mutex_;
   EngineStats stats_;  // batch/latency/model counters (guarded by stats_mutex_)
+  // Newest registered version each model has completed a batch under, for
+  // the hot_swaps_served counter (guarded by stats_mutex_).
+  std::map<ModelId, std::uint64_t> last_served_version_;
   std::size_t jobs_in_flight_ = 0;
   std::condition_variable idle_;
 };

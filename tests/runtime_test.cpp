@@ -50,14 +50,45 @@ TEST(ReconstructionEngine, SubmitFutureMatchesDirectBatch) {
   for (std::size_t f = 0; f < 5; ++f) frames.set_row(f, fx.frame(0, f));
   const numerics::Matrix expect = fx.rec.reconstruct_batch(frames);
 
-  std::future<numerics::Matrix> result = engine.submit(frames);
-  const numerics::Matrix got = result.get();
+  std::future<runtime::PooledMaps> result = engine.submit(frames);
+  const runtime::PooledMaps got = result.get();
   ASSERT_EQ(got.rows(), expect.rows());
+  ASSERT_EQ(got.cols(), expect.cols());
   for (std::size_t f = 0; f < got.rows(); ++f) {
     for (std::size_t i = 0; i < got.cols(); ++i) {
       EXPECT_DOUBLE_EQ(got(f, i), expect(f, i));
     }
   }
+}
+
+TEST(ReconstructionEngine, SubmitWaitMatchesSubmitAndRecyclesItsBuffers) {
+  const Fixture fx;
+  runtime::EngineOptions options;
+  options.worker_count = 2;
+  runtime::ReconstructionEngine engine(fx.rec, options);
+
+  numerics::Matrix frames(7, fx.sensors.size());
+  for (std::size_t f = 0; f < 7; ++f) frames.set_row(f, fx.frame(3, f));
+  const numerics::Matrix expect = fx.rec.reconstruct_batch(frames);
+
+  for (int round = 0; round < 3; ++round) {  // rounds reuse pooled buffers
+    const runtime::PooledMaps got = engine.submit_wait(frames);
+    ASSERT_EQ(got.rows(), expect.rows());
+    for (std::size_t f = 0; f < got.rows(); ++f) {
+      for (std::size_t i = 0; i < got.cols(); ++i) {
+        EXPECT_DOUBLE_EQ(got(f, i), expect(f, i));
+      }
+    }
+  }
+  // A PooledMaps handle may outlive the engine: the shared pool absorbs
+  // the buffer whenever the handle dies (ASan job would catch a misstep).
+  runtime::PooledMaps survivor;
+  {
+    runtime::ReconstructionEngine short_lived(fx.rec, options);
+    survivor = short_lived.submit_wait(frames);
+  }
+  EXPECT_EQ(survivor.rows(), expect.rows());
+  EXPECT_DOUBLE_EQ(survivor(0, 0), expect(0, 0));
 }
 
 TEST(ReconstructionEngine, SingleStreamResultsMatchPerFrameReconstruct) {
@@ -276,6 +307,10 @@ TEST(ReconstructionEngine, RejectsBadConfigAndBadFrames) {
   EXPECT_THROW(engine.push_frame(0, numerics::Vector(3, 0.0)),
                std::invalid_argument);
   EXPECT_THROW(engine.submit(numerics::Matrix(2, fx.sensors.size() + 2)),
+               std::invalid_argument);
+  const numerics::Matrix bad_width(2, fx.sensors.size() + 2);
+  EXPECT_THROW(engine.submit_wait(bad_width), std::invalid_argument);
+  EXPECT_THROW(engine.submit_wait(bad_width.view(), 42),
                std::invalid_argument);
   // Unknown model ids and infeasible masks fail on the producer too.
   EXPECT_THROW(engine.push_frame(0, fx.frame(0, 0), 42), std::invalid_argument);
