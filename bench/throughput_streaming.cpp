@@ -14,9 +14,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/allocation.h"
+#include "dist/router.h"
 #include "core/dct_basis.h"
 #include "core/metrics.h"
 #include "core/model.h"
@@ -74,12 +78,83 @@ void consume(numerics::ConstMatrixView m) {
   if (!m.empty()) g_sink += m(0, 0);
 }
 
+/// Machine-readable results for BENCH_streaming.json: CI and the roadmap
+/// scripts trend these fields, the human-readable lines above them stay
+/// the primary log.
+struct BenchJson {
+  double per_frame_fps = 0.0;
+  double batch32_fps = 0.0;
+  double engine_fps = 0.0;       // workers=1, batch 32
+  std::uint64_t engine_p50_ns = 0;
+  std::uint64_t engine_p99_ns = 0;
+  double dropout_fps = 0.0;
+  double dropout_cache_hit_rate = 0.0;
+  double router_single_engine_fps = 0.0;  // in-process reference, batch 32
+  double router_2shard_fps = 0.0;         // 0 when the worker binary is absent
+  std::uint64_t router_p50_ns = 0;
+  std::uint64_t router_p99_ns = 0;
+
+  void write(const char* path) const {
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"per_frame_fps\": %.1f,\n", per_frame_fps);
+    std::fprintf(out, "  \"batch32_fps\": %.1f,\n", batch32_fps);
+    std::fprintf(out, "  \"engine_fps\": %.1f,\n", engine_fps);
+    std::fprintf(out, "  \"engine_p50_latency_ns\": %llu,\n",
+                 static_cast<unsigned long long>(engine_p50_ns));
+    std::fprintf(out, "  \"engine_p99_latency_ns\": %llu,\n",
+                 static_cast<unsigned long long>(engine_p99_ns));
+    std::fprintf(out, "  \"dropout_fps\": %.1f,\n", dropout_fps);
+    std::fprintf(out, "  \"dropout_cache_hit_rate\": %.4f,\n",
+                 dropout_cache_hit_rate);
+    std::fprintf(out, "  \"router_single_engine_fps\": %.1f,\n",
+                 router_single_engine_fps);
+    std::fprintf(out, "  \"router_2shard_fps\": %.1f,\n", router_2shard_fps);
+    std::fprintf(out, "  \"router_2shard_speedup\": %.3f,\n",
+                 router_single_engine_fps > 0.0
+                     ? router_2shard_fps / router_single_engine_fps
+                     : 0.0);
+    std::fprintf(out, "  \"router_p50_latency_ns\": %llu,\n",
+                 static_cast<unsigned long long>(router_p50_ns));
+    std::fprintf(out, "  \"router_p99_latency_ns\": %llu\n",
+                 static_cast<unsigned long long>(router_p99_ns));
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("# wrote %s\n", path);
+  }
+};
+
+/// The shard worker binary: EIGENMAPS_WORKER_BIN when set, else next to
+/// this executable; empty when neither resolves to an executable file.
+std::string find_worker_binary() {
+  if (const char* env = std::getenv("EIGENMAPS_WORKER_BIN")) {
+    if (::access(env, X_OK) == 0) return env;
+  }
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n > 0) {
+    self[n] = '\0';
+    std::string path(self);
+    const std::size_t slash = path.rfind('/');
+    if (slash != std::string::npos) {
+      path = path.substr(0, slash + 1) + "eigenmaps_shard_worker";
+      if (::access(path.c_str(), X_OK) == 0) return path;
+    }
+  }
+  return std::string();
+}
+
 }  // namespace
 
 int main() {
   constexpr std::size_t kOrder = 16;
   constexpr std::size_t kSensors = 24;
   constexpr std::size_t kFrames = 8192;
+  BenchJson json;
 
   std::printf("# streaming reconstruction throughput, 60x56 grid, K=%zu, "
               "M=%zu, %zu frames\n",
@@ -120,10 +195,12 @@ int main() {
       }
     });
     const double fps = kFrames / elapsed;
+    if (batch == 32) json.batch32_fps = fps;
     std::printf("%-22s %-5zu %10.0f frames/s  (%.3f s, %.2fx per-frame)\n",
                 "reconstruct_batch", batch, fps, elapsed,
                 fps / per_frame_fps);
   }
+  json.per_frame_fps = per_frame_fps;
 
   // --- engine: batches across the worker pool ----------------------------
   for (const std::size_t workers : {1ul, 2ul, 4ul}) {
@@ -148,10 +225,18 @@ int main() {
             : 1e-6 * static_cast<double>(stats.total_batch_latency_ns) /
                   static_cast<double>(stats.batches_completed);
     std::printf("%-16s workers=%zu %10.0f frames/s  "
-                "(batches=%llu, mean latency %.3f ms, max %.3f ms)\n",
+                "(batches=%llu, mean latency %.3f ms, max %.3f ms, "
+                "p50 %.3f ms, p99 %.3f ms)\n",
                 "engine", workers, stats.frames_completed / elapsed,
                 static_cast<unsigned long long>(stats.batches_completed),
-                mean_latency_ms, 1e-6 * stats.max_batch_latency_ns);
+                mean_latency_ms, 1e-6 * stats.max_batch_latency_ns,
+                1e-6 * static_cast<double>(stats.latency.quantile_ns(0.5)),
+                1e-6 * static_cast<double>(stats.latency.quantile_ns(0.99)));
+    if (workers == 1) {
+      json.engine_fps = stats.frames_completed / elapsed;
+      json.engine_p50_ns = stats.latency.quantile_ns(0.5);
+      json.engine_p99_ns = stats.latency.quantile_ns(0.99);
+    }
   }
 
   // --- sensor dropout: random per-stream masks vs the fixed-mask baseline -
@@ -177,6 +262,7 @@ int main() {
       masks.push_back(core::SensorBitmask::except(kSensors, dead));
     }
 
+    double last_hit_rate = 0.0;
     const auto run_scenario = [&](bool dropout) {
       // A fresh registry (hence factor cache) per scenario keeps the
       // reported counters scenario-local.
@@ -206,6 +292,7 @@ int main() {
               ? 0.0
               : static_cast<double>(model.cache_hits) /
                     static_cast<double>(model.cache_hits + model.cache_misses);
+      last_hit_rate = hit_rate;
       std::printf("%-26s %10.0f frames/s  (cache hit rate %.4f, "
                   "%llu hits / %llu misses / %llu full-mask)\n",
                   dropout ? "dropout 25%, random masks" : "fixed mask baseline",
@@ -221,6 +308,8 @@ int main() {
                 "stream\n", kStreams, kDropped, kSensors);
     const double baseline_fps = run_scenario(false);
     const double dropout_fps = run_scenario(true);
+    json.dropout_fps = dropout_fps;
+    json.dropout_cache_hit_rate = last_hit_rate;
     std::printf("%-26s %10.2fx of fixed-mask fps\n", "dropout throughput",
                 dropout_fps / baseline_fps);
   }
@@ -399,6 +488,72 @@ int main() {
                 "scenario throughput", total / elapsed, total, elapsed);
   }
 
+  // --- distributed: 2-shard router vs a single in-process engine ----------
+  {
+    constexpr std::size_t kStreams = 8;
+    constexpr std::size_t kDistFrames = 4096;
+
+    // The in-process reference: one engine, one worker thread, batch 32 —
+    // what a shard worker runs internally, minus the wire.
+    {
+      runtime::ModelRegistry registry;
+      registry.register_model(1, rec.model());
+      runtime::EngineOptions options;
+      options.worker_count = 1;
+      options.batch_size = 32;
+      runtime::ReconstructionEngine engine(
+          registry, options,
+          [](std::uint64_t, std::uint64_t, numerics::ConstMatrixView maps) {
+            consume(maps);
+          });
+      const auto start = Clock::now();
+      for (std::size_t f = 0; f < kDistFrames; ++f) {
+        engine.push_frame(f % kStreams, readings.row_view(f), 1);
+      }
+      engine.drain();
+      const double elapsed = seconds_since(start);
+      json.router_single_engine_fps = kDistFrames / elapsed;
+      std::printf("%-28s %10.0f frames/s  (%zu streams, batch 32)\n",
+                  "single in-process engine", json.router_single_engine_fps,
+                  kStreams);
+    }
+
+    const std::string worker = find_worker_binary();
+    if (worker.empty()) {
+      std::printf("# eigenmaps_shard_worker not found; skipping the "
+                  "2-shard router scenario\n");
+    } else {
+      dist::RouterOptions options;
+      options.shard_count = 2;
+      options.worker_binary = worker;
+      options.worker_threads = 1;
+      options.batch_size = 32;
+      dist::ShardRouter router(
+          options,
+          [](std::uint64_t, std::uint64_t, numerics::ConstMatrixView maps) {
+            consume(maps);
+          });
+      router.register_model(1, rec.model());
+      const auto start = Clock::now();
+      for (std::size_t f = 0; f < kDistFrames; ++f) {
+        router.push_frame(f % kStreams, readings.row_view(f), 1);
+      }
+      router.drain();
+      const double elapsed = seconds_since(start);
+      json.router_2shard_fps = kDistFrames / elapsed;
+      const dist::ClusterStats stats = router.stats();
+      json.router_p50_ns = stats.aggregate.latency.quantile_ns(0.5);
+      json.router_p99_ns = stats.aggregate.latency.quantile_ns(0.99);
+      std::printf("%-28s %10.0f frames/s  (%.2fx single engine, "
+                  "p50 %.3f ms, p99 %.3f ms)\n",
+                  "router, 2 shards",
+                  json.router_2shard_fps,
+                  json.router_2shard_fps / json.router_single_engine_fps,
+                  1e-6 * static_cast<double>(json.router_p50_ns),
+                  1e-6 * static_cast<double>(json.router_p99_ns));
+    }
+  }
+
   // --- blocked GEMM vs the seed triple loop on 512 x 512 ------------------
   {
     const std::size_t n = 512;
@@ -420,5 +575,6 @@ int main() {
                 blocked_s, seed_s / blocked_s);
   }
 
+  json.write("BENCH_streaming.json");
   return 0;
 }

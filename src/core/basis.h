@@ -18,6 +18,22 @@ class Basis {
   std::size_t max_order() const { return vectors().cols(); }
 };
 
+/// A basis that simply owns its vectors. The bridge for bases that arrive
+/// as raw matrices rather than from a decomposition — deserialized models
+/// on a shard worker, hand-built fixtures in tests. The matrix must have
+/// orthonormal columns for reconstruction to be meaningful; that is the
+/// producer's contract (ReconstructionModel re-checks rank on the sampled
+/// rows either way).
+class MatrixBasis final : public Basis {
+ public:
+  explicit MatrixBasis(numerics::Matrix vectors)
+      : vectors_(std::move(vectors)) {}
+  const numerics::Matrix& vectors() const override { return vectors_; }
+
+ private:
+  numerics::Matrix vectors_;
+};
+
 /// Mean over maps of ||x - V_k V_k^T x||^2 / N for the centered maps (one
 /// per row). Uses Parseval: residual energy = ||x||^2 - ||V_k^T x||^2.
 double empirical_approximation_mse(const Basis& basis,

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "numerics/rng.h"
+#include "support/env.h"
 #include "thermal/rc_model.h"
 
 namespace eigenmaps::core {
@@ -14,15 +15,7 @@ namespace {
 
 std::size_t env_size(const char* name, std::size_t fallback,
                      bool allow_zero = false) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0' || (v == 0 && !allow_zero)) {
-    throw std::invalid_argument(std::string("bad environment override ") +
-                                name + "=" + raw);
-  }
-  return static_cast<std::size_t>(v);
+  return support::env_size_or(name, fallback, allow_zero ? 0 : 1);
 }
 
 // Per-block activity with Ornstein-Uhlenbeck-style dynamics; the scenario

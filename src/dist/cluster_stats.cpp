@@ -1,0 +1,42 @@
+#include "dist/cluster_stats.h"
+
+#include <algorithm>
+
+namespace eigenmaps::dist {
+
+namespace {
+
+void merge_model_stats(runtime::ModelStats& into,
+                       const runtime::ModelStats& from) {
+  into.frames_completed += from.frames_completed;
+  into.batches_completed += from.batches_completed;
+  into.cache_hits += from.cache_hits;
+  into.cache_misses += from.cache_misses;
+  into.cache_full_mask_batches += from.cache_full_mask_batches;
+  into.factor_downdates += from.factor_downdates;
+  into.factor_refactors += from.factor_refactors;
+  into.steady_state_allocations += from.steady_state_allocations;
+  into.hot_swaps_served += from.hot_swaps_served;
+  into.adaptation.drift_events += from.adaptation.drift_events;
+  into.adaptation.retrains_completed += from.adaptation.retrains_completed;
+  into.adaptation.retrains_failed += from.adaptation.retrains_failed;
+  into.adaptation.swaps_published += from.adaptation.swaps_published;
+}
+
+}  // namespace
+
+void merge_engine_stats(runtime::EngineStats& into,
+                        const runtime::EngineStats& from) {
+  into.frames_submitted += from.frames_submitted;
+  into.frames_completed += from.frames_completed;
+  into.batches_completed += from.batches_completed;
+  into.total_batch_latency_ns += from.total_batch_latency_ns;
+  into.max_batch_latency_ns =
+      std::max(into.max_batch_latency_ns, from.max_batch_latency_ns);
+  into.latency.merge(from.latency);
+  for (const auto& [model, stats] : from.models) {
+    merge_model_stats(into.models[model], stats);
+  }
+}
+
+}  // namespace eigenmaps::dist

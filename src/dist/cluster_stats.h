@@ -1,0 +1,56 @@
+// Cluster-wide serving statistics: per-shard EngineStats snapshots merged
+// into one view, plus the router's own counters (rehashes, replays,
+// failures) — one stats() call tells the whole multi-process story, the
+// same way EngineStats does for one engine (DESIGN.md §12).
+#ifndef EIGENMAPS_DIST_CLUSTER_STATS_H
+#define EIGENMAPS_DIST_CLUSTER_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/engine.h"
+
+namespace eigenmaps::dist {
+
+/// Router-side monotonic counters (never reset; survive shard failures).
+struct RouterCounters {
+  std::uint64_t frames_routed = 0;
+  std::uint64_t results_delivered = 0;
+  /// Shards declared dead (missed heartbeats or broken pipe).
+  std::uint64_t shard_failures = 0;
+  /// Streams re-hashed onto a surviving shard after a failure.
+  std::uint64_t streams_rehashed = 0;
+  /// Un-acked frames replayed to new owners during rehashes.
+  std::uint64_t frames_replayed = 0;
+  /// Results dropped because a previous owner raced its own death: already
+  /// delivered from the replay path, or sent by a shard that lost the
+  /// stream. Dropping them is what keeps delivery exactly-once.
+  std::uint64_t stale_results_dropped = 0;
+  /// Heartbeat ticks observed across all shards.
+  std::uint64_t heartbeats_seen = 0;
+};
+
+/// One shard's contribution to the cluster view.
+struct ShardSnapshot {
+  std::uint32_t shard = 0;
+  bool alive = false;
+  runtime::EngineStats engine;  // zero for a dead shard (its engine died)
+};
+
+/// The merged view handed back by ShardRouter::stats().
+struct ClusterStats {
+  RouterCounters router;
+  std::vector<ShardSnapshot> shards;
+  /// All live shards' EngineStats merged: counters summed, latency
+  /// histograms bucket-added, per-model tables unioned.
+  runtime::EngineStats aggregate;
+};
+
+/// Merges `from` into `into`: sums every counter, merges histograms,
+/// unions the per-model tables (max for the gauge-like max-latency field).
+void merge_engine_stats(runtime::EngineStats& into,
+                        const runtime::EngineStats& from);
+
+}  // namespace eigenmaps::dist
+
+#endif  // EIGENMAPS_DIST_CLUSTER_STATS_H

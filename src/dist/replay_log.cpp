@@ -1,0 +1,90 @@
+#include "dist/replay_log.h"
+
+#include <stdexcept>
+
+namespace eigenmaps::dist {
+
+ReplayLog::ReplayLog(std::size_t max_frames) : max_frames_(max_frames) {
+  if (max_frames == 0) {
+    throw std::invalid_argument(
+        "ReplayLog: max_frames must be positive (a zero-capacity log could "
+        "never accept a frame)");
+  }
+}
+
+bool ReplayLog::acquire_slot() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_.wait(lock,
+              [&] { return failed_ || total_ + reserved_ < max_frames_; });
+  if (failed_) return false;
+  ++reserved_;
+  return true;
+}
+
+void ReplayLog::append(std::uint64_t stream, std::uint64_t seq,
+                       runtime::ModelId model,
+                       const core::SensorBitmask& mask,
+                       numerics::ConstVectorView readings) {
+  ReplayFrame frame;
+  frame.seq = seq;
+  frame.model = model;
+  frame.mask = mask;
+  frame.readings.assign(readings.data(), readings.data() + readings.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (reserved_ > 0) --reserved_;
+  streams_[stream].push_back(std::move(frame));
+  ++total_;
+}
+
+void ReplayLog::ack_before(std::uint64_t stream, std::uint64_t next_seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) return;
+  auto& frames = it->second;
+  std::size_t dropped = 0;
+  while (!frames.empty() && frames.front().seq < next_seq) {
+    frames.pop_front();
+    ++dropped;
+  }
+  if (frames.empty()) streams_.erase(it);
+  if (dropped > 0) {
+    total_ -= dropped;
+    space_.notify_all();
+    if (total_ == 0) idle_.notify_all();
+  }
+}
+
+std::vector<ReplayFrame> ReplayLog::pending(std::uint64_t stream) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) return {};
+  return std::vector<ReplayFrame>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::uint64_t> ReplayLog::pending_streams() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> out;
+  out.reserve(streams_.size());
+  for (const auto& entry : streams_) out.push_back(entry.first);
+  return out;
+}
+
+std::size_t ReplayLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+bool ReplayLog::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return failed_ || total_ == 0; });
+  return total_ == 0;
+}
+
+void ReplayLog::fail() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failed_ = true;
+  space_.notify_all();
+  idle_.notify_all();
+}
+
+}  // namespace eigenmaps::dist

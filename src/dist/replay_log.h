@@ -1,0 +1,96 @@
+// Bounded per-stream replay log: the router's half of exactly-once
+// delivery. Every submitted frame is appended (readings, mask, model,
+// global seq) before it is sent to a shard and erased only when the
+// result covering its seq comes back. When a shard dies, the un-acked
+// frames of its streams are exactly the ones that may have been lost —
+// the router replays them, in seq order, to the stream's new owner
+// (DESIGN.md §12).
+#ifndef EIGENMAPS_DIST_REPLAY_LOG_H
+#define EIGENMAPS_DIST_REPLAY_LOG_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/factor_cache.h"
+#include "numerics/matrix.h"
+#include "runtime/registry.h"
+
+namespace eigenmaps::dist {
+
+/// One logged frame, exactly as it went over the wire (minus the encoding).
+struct ReplayFrame {
+  std::uint64_t seq = 0;  // router-assigned global per-stream sequence
+  runtime::ModelId model = 0;
+  core::SensorBitmask mask;
+  numerics::Vector readings;
+};
+
+/// Thread-safe bounded log of un-acked frames, keyed by stream.
+///
+/// The bound is the router's back-pressure: acquire_slot() blocks while
+/// the un-acked frame count (plus outstanding reservations) is at the
+/// bound, so a slow or wedged shard stalls producers instead of growing
+/// the log without limit. The two-step acquire_slot() / append() split is
+/// deliberate: the capacity wait happens with NO stream lock held, so a
+/// producer blocked on back-pressure can never deadlock the failure
+/// handler that needs the stream's ingest lock to replay (and whose
+/// replays are what free the capacity). fail() releases blocked
+/// producers (shutdown path).
+class ReplayLog {
+ public:
+  /// `max_frames` bounds total un-acked frames across all streams; must be
+  /// positive (throws std::invalid_argument otherwise).
+  explicit ReplayLog(std::size_t max_frames);
+
+  /// Reserves capacity for one frame, blocking while the log is full.
+  /// Returns false (without reserving) once fail() was called. Call with
+  /// no locks held.
+  bool acquire_slot();
+
+  /// Logs one frame under `stream`, consuming one acquire_slot()
+  /// reservation; never blocks. Frames of one stream must be appended in
+  /// seq order (they are: the router assigns seqs under the stream's
+  /// ingest lock).
+  void append(std::uint64_t stream, std::uint64_t seq,
+              runtime::ModelId model, const core::SensorBitmask& mask,
+              numerics::ConstVectorView readings);
+
+  /// Acknowledges every frame of `stream` with seq < `next_seq` (a result
+  /// batch acks a contiguous prefix). Frees bound capacity.
+  void ack_before(std::uint64_t stream, std::uint64_t next_seq);
+
+  /// Copies the pending (un-acked) frames of `stream`, in seq order.
+  std::vector<ReplayFrame> pending(std::uint64_t stream) const;
+
+  /// Streams with at least one pending frame.
+  std::vector<std::uint64_t> pending_streams() const;
+
+  std::size_t size() const;
+
+  /// Blocks until the log is empty (everything acked) or fail() is called.
+  /// Returns whether it emptied.
+  bool wait_idle();
+
+  /// Poisons the log: blocked and future append()s return false, blocked
+  /// wait_idle()s return. Irreversible; the router's shutdown path.
+  void fail();
+
+ private:
+  const std::size_t max_frames_;
+  mutable std::mutex mutex_;
+  std::condition_variable space_;  // capacity freed or failed
+  std::condition_variable idle_;   // emptied or failed
+  std::map<std::uint64_t, std::deque<ReplayFrame>> streams_;
+  std::size_t total_ = 0;     // frames in the log
+  std::size_t reserved_ = 0;  // slots acquired but not yet appended
+  bool failed_ = false;
+};
+
+}  // namespace eigenmaps::dist
+
+#endif  // EIGENMAPS_DIST_REPLAY_LOG_H

@@ -1,0 +1,701 @@
+#include "dist/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace eigenmaps::dist {
+
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit hash for ring placement. Stream
+/// ids and vnode indices are often small consecutive integers; the mixer
+/// spreads them uniformly around the ring.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+/// Per-stream routing state. Two independent mutexes split the ingest and
+/// delivery sides so neither can block the other: a producer blocked in a
+/// socket send (ingest) must never stop a reader from delivering results
+/// and acking the replay log (delivery) — that ack flow is what un-wedges
+/// the producer.
+struct ShardRouter::StreamRoute {
+  /// Serializes seq assignment + replay append + send, so frames of one
+  /// stream hit the wire in seq order. The failure handler takes it while
+  /// replaying for the same reason. Capacity waits happen BEFORE this lock
+  /// (ReplayLog::acquire_slot) — see replay_log.h.
+  std::mutex ingest;
+  std::uint64_t next_seq = 0;  // guarded by ingest
+
+  /// Serializes result delivery + ack.
+  std::mutex delivery;
+  std::uint64_t next_result_seq = 0;  // guarded by delivery
+
+  std::uint32_t owner = 0;  // guarded by state_mutex_
+};
+
+struct ShardRouter::Shard {
+  std::uint32_t index = 0;
+  pid_t pid = -1;
+  std::unique_ptr<MessageConnection> conn;
+  std::thread reader;
+
+  // Guarded by state_mutex_:
+  bool alive = false;
+  Clock::time_point last_heard;
+  runtime::EngineStats last_stats;
+  std::uint64_t stats_generation = 0;
+  std::uint64_t drain_done_token = 0;
+};
+
+ShardRouter::ShardRouter(RouterOptions options, ResultCallback on_result)
+    : options_(std::move(options)),
+      on_result_(std::move(on_result)),
+      replay_(options_.replay_capacity) {
+  if (options_.shard_count == 0) {
+    throw std::invalid_argument("ShardRouter: shard_count must be positive");
+  }
+  if (options_.worker_binary.empty()) {
+    throw std::invalid_argument("ShardRouter: worker_binary is required");
+  }
+  socket_path_ = options_.socket_dir + "/eigenmaps-router-" +
+                 std::to_string(::getpid()) + "-" +
+                 std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                 ".sock";
+  UnixListener listener(socket_path_);
+
+  try {
+    shards_.reserve(options_.shard_count);
+    for (std::size_t i = 0; i < options_.shard_count; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+      shards_[i]->index = static_cast<std::uint32_t>(i);
+      spawn_worker(i);
+    }
+
+    // Hello handshake: workers connect in any order and identify
+    // themselves.
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(options_.connect_timeout_ms);
+    std::size_t connected = 0;
+    while (connected < options_.shard_count) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) {
+        throw TransportError("ShardRouter: workers failed to connect in time");
+      }
+      Socket sock = listener.accept(static_cast<int>(left.count()));
+      if (!sock.valid()) continue;
+      auto conn = std::make_unique<MessageConnection>(std::move(sock));
+      MessageType type;
+      std::vector<std::uint8_t> payload;
+      if (conn->recv(type, payload) != RecvStatus::kOk ||
+          type != MessageType::kHello) {
+        throw TransportError("ShardRouter: bad hello from worker");
+      }
+      const HelloMsg hello = decode_hello(payload.data(), payload.size());
+      if (hello.shard >= shards_.size() || shards_[hello.shard]->conn) {
+        throw TransportError(
+            "ShardRouter: duplicate or out-of-range shard id");
+      }
+      Shard& shard = *shards_[hello.shard];
+      shard.conn = std::move(conn);
+      shard.alive = true;
+      shard.last_heard = Clock::now();
+      ++connected;
+    }
+  } catch (...) {
+    // The destructor will not run for a throwing constructor: reap every
+    // child already spawned so a failed startup leaks no processes.
+    for (auto& shard : shards_) {
+      if (shard->pid <= 0) continue;
+      ::kill(shard->pid, SIGKILL);
+      int status = 0;
+      ::waitpid(shard->pid, &status, 0);
+    }
+    throw;
+  }
+  // The listener (and its socket file) is not needed past the handshake.
+
+  rebuild_ring();
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->reader = std::thread([this, s] { reader_loop(s->index); });
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+ShardRouter::~ShardRouter() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    shutting_down_ = true;
+  }
+  state_cv_.notify_all();
+  replay_.fail();  // release any producer blocked on back-pressure
+
+  std::vector<std::uint8_t> payload;
+  for (auto& shard : shards_) {
+    if (!shard->conn) continue;
+    WireWriter writer(payload);  // empty shutdown payload
+    shard->conn->send(MessageType::kShutdown, payload);
+    shard->conn->shutdown();
+  }
+  if (monitor_.joinable()) monitor_.join();
+  for (auto& shard : shards_) {
+    if (shard->reader.joinable()) shard->reader.join();
+  }
+  for (auto& shard : shards_) {
+    if (shard->pid <= 0) continue;
+    // Give the worker a moment to exit cleanly, then make sure.
+    int status = 0;
+    for (int i = 0; i < 200; ++i) {
+      const pid_t done = ::waitpid(shard->pid, &status, WNOHANG);
+      if (done == shard->pid || done < 0) {
+        shard->pid = -1;
+        break;
+      }
+      ::usleep(5000);
+    }
+    if (shard->pid > 0) {
+      ::kill(shard->pid, SIGKILL);
+      ::waitpid(shard->pid, &status, 0);
+    }
+  }
+}
+
+void ShardRouter::spawn_worker(std::size_t shard) {
+  const std::string shard_arg = std::to_string(shard);
+  const std::string threads_arg = std::to_string(options_.worker_threads);
+  const std::string batch_arg = std::to_string(options_.batch_size);
+  const std::string heartbeat_arg =
+      std::to_string(options_.heartbeat_interval_ms);
+  const pid_t pid = ::fork();
+  if (pid < 0) throw TransportError("ShardRouter: fork failed");
+  if (pid == 0) {
+    // Child: become the worker. execv only returns on failure.
+    const char* argv[] = {options_.worker_binary.c_str(),
+                          socket_path_.c_str(),
+                          shard_arg.c_str(),
+                          threads_arg.c_str(),
+                          batch_arg.c_str(),
+                          heartbeat_arg.c_str(),
+                          nullptr};
+    ::execv(options_.worker_binary.c_str(), const_cast<char* const*>(argv));
+    std::perror("eigenmaps_shard_worker exec");
+    ::_exit(127);
+  }
+  shards_[shard]->pid = pid;
+}
+
+void ShardRouter::rebuild_ring() {
+  ring_.clear();
+  for (const auto& shard : shards_) {
+    if (!shard->alive) continue;
+    for (std::size_t v = 0; v < options_.virtual_nodes; ++v) {
+      const std::uint64_t point =
+          mix64((static_cast<std::uint64_t>(shard->index) << 32) | v);
+      ring_[point] = shard->index;
+    }
+  }
+}
+
+std::uint32_t ShardRouter::ring_lookup(std::uint64_t stream) const {
+  if (ring_.empty()) {
+    throw std::runtime_error("ShardRouter: no live shards");
+  }
+  auto it = ring_.lower_bound(mix64(stream));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+std::shared_ptr<ShardRouter::StreamRoute> ShardRouter::route_for(
+    std::uint64_t stream) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (shutting_down_) {
+    throw std::runtime_error("ShardRouter: shutting down");
+  }
+  auto it = routes_.find(stream);
+  if (it != routes_.end()) return it->second;
+  auto route = std::make_shared<StreamRoute>();
+  route->owner = ring_lookup(stream);
+  routes_[stream] = route;
+  return route;
+}
+
+std::uint64_t ShardRouter::register_model(
+    runtime::ModelId id,
+    std::shared_ptr<const core::ReconstructionModel> model) {
+  if (!model) {
+    throw std::invalid_argument("ShardRouter::register_model: null model");
+  }
+  std::vector<std::uint8_t> payload;
+  encode_register_model(id, *model, payload);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    acks_[id].clear();
+  }
+  for (auto& shard : shards_) {
+    bool alive;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      alive = shard->alive;
+    }
+    if (alive) shard->conn->send(MessageType::kRegisterModel, payload);
+  }
+  // Wait until every shard still alive has acked (a shard dying mid-wait
+  // un-blocks us: the predicate only counts the living).
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  std::uint64_t version = 0;
+  state_cv_.wait(lock, [&] {
+    if (shutting_down_) return true;
+    const auto& acked = acks_[id];
+    for (const auto& shard : shards_) {
+      if (shard->alive && acked.find(shard->index) == acked.end()) {
+        return false;
+      }
+    }
+    return true;
+  });
+  if (shutting_down_) {
+    throw std::runtime_error("ShardRouter: shutting down");
+  }
+  bool any_alive = false;
+  for (const auto& [shard, ack] : acks_[id]) {
+    if (!ack.ok) {
+      const std::string error = ack.error;
+      acks_.erase(id);
+      throw std::runtime_error("ShardRouter::register_model: shard " +
+                               std::to_string(shard) + " rejected model: " +
+                               error);
+    }
+    version = ack.version;
+    any_alive = true;
+  }
+  acks_.erase(id);
+  if (!any_alive) {
+    throw std::runtime_error("ShardRouter: no live shards");
+  }
+  lock.unlock();
+  // Publish to the mirror only now: push_frame validation cannot admit a
+  // frame for a model some live shard has not applied yet.
+  mirror_.register_model(id, std::move(model));
+  return version;
+}
+
+void ShardRouter::retire_model(runtime::ModelId id) {
+  mirror_.unregister_model(id);
+  std::vector<std::uint8_t> payload;
+  RetireModelMsg msg;
+  msg.model = id;
+  encode_retire_model(msg, payload);
+  for (auto& shard : shards_) {
+    bool alive;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      alive = shard->alive;
+    }
+    if (alive) shard->conn->send(MessageType::kRetireModel, payload);
+  }
+}
+
+void ShardRouter::send_frame_to_owner(const StreamRoute& route,
+                                      std::uint64_t stream, std::uint64_t seq,
+                                      runtime::ModelId model,
+                                      const core::SensorBitmask& mask,
+                                      numerics::ConstVectorView readings,
+                                      std::vector<std::uint8_t>& scratch) {
+  Shard* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    Shard& owner = *shards_[route.owner];
+    if (owner.alive) target = &owner;
+  }
+  if (target == nullptr) return;  // owner just died: its handler replays
+  encode_submit_frame(stream, seq, model, mask, readings, scratch);
+  // A kClosed here is equally fine — the frame is already in the replay
+  // log, and the dead shard's failure handling will resend it.
+  target->conn->send(MessageType::kSubmitFrame, scratch);
+}
+
+std::uint64_t ShardRouter::push_frame(std::uint64_t stream,
+                                      numerics::ConstVectorView readings,
+                                      runtime::ModelId model,
+                                      const core::SensorBitmask& mask) {
+  // Producer-side validation against the mirror: same eager contract as
+  // ReconstructionEngine::push_frame, with no network round-trip.
+  const auto entry = mirror_.resolve(model);
+  if (!entry) {
+    throw std::invalid_argument("ShardRouter::push_frame: unknown model " +
+                                std::to_string(model));
+  }
+  if (readings.size() != entry->model->sensor_count()) {
+    throw std::invalid_argument(
+        "ShardRouter::push_frame: frame width does not match the model");
+  }
+  entry->cache->validate(mask);  // throws for infeasible masks
+
+  const auto route = route_for(stream);
+  if (!replay_.acquire_slot()) {
+    throw std::runtime_error("ShardRouter: shutting down");
+  }
+  thread_local std::vector<std::uint8_t> scratch;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> ingest(route->ingest);
+    seq = route->next_seq++;
+    replay_.append(stream, seq, model, mask, readings);
+    send_frame_to_owner(*route, stream, seq, model, mask, readings, scratch);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.frames_routed;
+  }
+  return seq;
+}
+
+void ShardRouter::flush(std::uint64_t stream) {
+  std::shared_ptr<StreamRoute> route;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const auto it = routes_.find(stream);
+    if (it == routes_.end()) return;
+    route = it->second;
+  }
+  std::vector<std::uint8_t> payload;
+  FlushStreamMsg msg;
+  msg.stream = stream;
+  encode_flush_stream(msg, payload);
+  // Under the ingest lock so the flush lands after every sent frame.
+  std::lock_guard<std::mutex> ingest(route->ingest);
+  Shard* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    Shard& owner = *shards_[route->owner];
+    if (owner.alive) target = &owner;
+  }
+  if (target) target->conn->send(MessageType::kFlushStream, payload);
+}
+
+void ShardRouter::drain() {
+  // Each round: ask every live shard to drain (its engine flushes partial
+  // batches and delivers everything), wait for the done tokens, then check
+  // the replay log. Results precede the done token on each socket, so an
+  // acked token means that shard's results were all delivered. A shard
+  // failure mid-round leaves its un-acked frames in the log — the failure
+  // handler replays them to survivors and the next round covers them.
+  for (;;) {
+    std::uint64_t token;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      token = ++drain_token_;
+    }
+    std::vector<std::uint8_t> payload;
+    DrainMsg msg;
+    msg.token = token;
+    encode_drain(msg, payload);
+    bool any_alive = false;
+    for (auto& shard : shards_) {
+      bool alive;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        alive = shard->alive;
+      }
+      if (!alive) continue;
+      any_alive = true;
+      shard->conn->send(MessageType::kDrain, payload);
+    }
+    if (!any_alive) return;  // nothing left to deliver to or from
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      state_cv_.wait(lock, [&] {
+        if (shutting_down_) return true;
+        for (const auto& shard : shards_) {
+          if (shard->alive && shard->drain_done_token < token) return false;
+        }
+        return true;
+      });
+      if (shutting_down_) return;
+    }
+    if (replay_.size() == 0) return;
+  }
+}
+
+ClusterStats ShardRouter::stats() {
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    generation = ++stats_generation_;
+  }
+  std::vector<std::uint8_t> payload;  // kStatsPull carries no payload
+  for (auto& shard : shards_) {
+    bool alive;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      alive = shard->alive;
+    }
+    if (alive) shard->conn->send(MessageType::kStatsPull, payload);
+  }
+  ClusterStats out;
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_cv_.wait(lock, [&] {
+    if (shutting_down_) return true;
+    for (const auto& shard : shards_) {
+      if (shard->alive && shard->stats_generation < generation) return false;
+    }
+    return true;
+  });
+  out.router = counters_;
+  for (const auto& shard : shards_) {
+    ShardSnapshot snapshot;
+    snapshot.shard = shard->index;
+    snapshot.alive = shard->alive;
+    if (shard->alive) {
+      snapshot.engine = shard->last_stats;
+      merge_engine_stats(out.aggregate, shard->last_stats);
+    }
+    out.shards.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+std::size_t ShardRouter::shard_count() const { return shards_.size(); }
+
+std::size_t ShardRouter::alive_count() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::size_t alive = 0;
+  for (const auto& shard : shards_) {
+    if (shard->alive) ++alive;
+  }
+  return alive;
+}
+
+pid_t ShardRouter::shard_pid(std::size_t shard) const {
+  return shards_.at(shard)->pid;
+}
+
+void ShardRouter::kill_shard(std::size_t shard) {
+  const pid_t pid = shards_.at(shard)->pid;
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+void ShardRouter::handle_result(std::size_t shard, const ResultMsg& msg) {
+  std::shared_ptr<StreamRoute> route;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const auto it = routes_.find(msg.stream);
+    if (it == routes_.end()) return;  // never routed: nothing to deliver
+    route = it->second;
+    if (route->owner != static_cast<std::uint32_t>(shard)) {
+      // A shard that lost the stream raced its own death; the new owner
+      // recomputes these frames from the replay log.
+      counters_.stale_results_dropped += msg.frames;
+      return;
+    }
+  }
+  std::uint64_t delivered = 0;
+  std::uint64_t stale = 0;
+  {
+    std::lock_guard<std::mutex> delivery(route->delivery);
+    const std::uint64_t next = route->next_result_seq;
+    const std::uint64_t end = msg.first_seq + msg.frames;
+    if (end <= next) {
+      stale = msg.frames;  // fully re-delivered by a replay race
+    } else {
+      const std::uint64_t skip =
+          next > msg.first_seq ? next - msg.first_seq : 0;
+      stale = skip;
+      delivered = msg.frames - skip;
+      if (on_result_) {
+        const numerics::ConstMatrixView maps(
+            msg.maps.data() + skip * msg.cells,
+            static_cast<std::size_t>(delivered),
+            static_cast<std::size_t>(msg.cells),
+            static_cast<std::size_t>(msg.cells));
+        on_result_(msg.stream, msg.first_seq + skip, maps);
+      }
+      route->next_result_seq = end;
+      replay_.ack_before(msg.stream, end);
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  counters_.results_delivered += delivered;
+  counters_.stale_results_dropped += stale;
+}
+
+void ShardRouter::reader_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  MessageType type;
+  std::vector<std::uint8_t> payload;
+  ResultMsg result;  // buffers reused across frames
+  for (;;) {
+    try {
+      if (shard.conn->recv(type, payload) != RecvStatus::kOk) break;
+    } catch (const ProtocolError& error) {
+      std::fprintf(stderr, "eigenmaps router: shard %zu protocol error: %s\n",
+                   shard_index, error.what());
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      shard.last_heard = Clock::now();  // any traffic counts as liveness
+    }
+    try {
+      switch (type) {
+        case MessageType::kResult:
+          decode_result(payload.data(), payload.size(), result);
+          handle_result(shard_index, result);
+          break;
+        case MessageType::kHeartbeat: {
+          decode_heartbeat(payload.data(), payload.size());
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          ++counters_.heartbeats_seen;
+          break;
+        }
+        case MessageType::kModelAck: {
+          ModelAckMsg ack = decode_model_ack(payload.data(), payload.size());
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          acks_[ack.model][shard.index] = std::move(ack);
+          state_cv_.notify_all();
+          break;
+        }
+        case MessageType::kStatsReply: {
+          runtime::EngineStats stats =
+              decode_engine_stats(payload.data(), payload.size());
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          shard.last_stats = std::move(stats);
+          shard.stats_generation = stats_generation_;
+          state_cv_.notify_all();
+          break;
+        }
+        case MessageType::kDrainDone: {
+          const DrainMsg done =
+              decode_drain_done(payload.data(), payload.size());
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          shard.drain_done_token = done.token;
+          state_cv_.notify_all();
+          break;
+        }
+        case MessageType::kWorkerError: {
+          const WorkerErrorMsg error =
+              decode_worker_error(payload.data(), payload.size());
+          std::fprintf(stderr,
+                       "eigenmaps router: shard %zu error on stream %llu "
+                       "seq %llu: %s\n",
+                       shard_index,
+                       static_cast<unsigned long long>(error.stream),
+                       static_cast<unsigned long long>(error.seq),
+                       error.text.c_str());
+          break;
+        }
+        default:
+          std::fprintf(stderr,
+                       "eigenmaps router: shard %zu sent unexpected message "
+                       "type %u\n",
+                       shard_index, static_cast<unsigned>(type));
+          break;
+      }
+    } catch (const ProtocolError& error) {
+      std::fprintf(stderr, "eigenmaps router: shard %zu protocol error: %s\n",
+                   shard_index, error.what());
+      break;
+    }
+  }
+  handle_shard_failure(shard_index);
+}
+
+void ShardRouter::handle_shard_failure(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  struct Rehashed {
+    std::uint64_t stream;
+    std::shared_ptr<StreamRoute> route;
+  };
+  std::vector<Rehashed> rehashed;
+  bool all_dead = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (shutting_down_ || !shard.alive) return;
+    shard.alive = false;
+    ++counters_.shard_failures;
+    rebuild_ring();
+    all_dead = ring_.empty();
+    if (!all_dead) {
+      for (auto& [stream, route] : routes_) {
+        if (route->owner != shard.index) continue;
+        route->owner = ring_lookup(stream);
+        rehashed.push_back({stream, route});
+      }
+      counters_.streams_rehashed += rehashed.size();
+    }
+    // Waiters (register_model, drain, stats) re-evaluate their live sets.
+    state_cv_.notify_all();
+  }
+  shard.conn->shutdown();
+  if (shard.pid > 0) {
+    ::kill(shard.pid, SIGKILL);  // no-op if already gone
+    int status = 0;
+    ::waitpid(shard.pid, &status, 0);
+  }
+  if (all_dead) {
+    replay_.fail();  // producers blocked on back-pressure must not hang
+    return;
+  }
+  // Replay each rehashed stream's un-acked frames, in seq order, to its
+  // new owner. The ingest lock serializes against live producers of the
+  // same stream; a producer that raced us and sent a frame the snapshot
+  // already covers only creates a duplicate, which the worker drops by
+  // global seq.
+  std::vector<std::uint8_t> scratch;
+  std::uint64_t replayed = 0;
+  for (auto& entry : rehashed) {
+    std::lock_guard<std::mutex> ingest(entry.route->ingest);
+    const std::vector<ReplayFrame> pending = replay_.pending(entry.stream);
+    for (const ReplayFrame& frame : pending) {
+      send_frame_to_owner(
+          *entry.route, entry.stream, frame.seq, frame.model, frame.mask,
+          numerics::ConstVectorView(frame.readings.data(),
+                                    frame.readings.size()),
+          scratch);
+    }
+    replayed += pending.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    counters_.frames_replayed += replayed;
+  }
+}
+
+void ShardRouter::monitor_loop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(options_.heartbeat_interval_ms, 1));
+  const auto timeout =
+      std::chrono::milliseconds(std::max(options_.heartbeat_timeout_ms, 1));
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  while (!shutting_down_) {
+    state_cv_.wait_for(lock, interval, [&] { return shutting_down_; });
+    if (shutting_down_) break;
+    const auto now = Clock::now();
+    for (auto& shard : shards_) {
+      if (!shard->alive || now - shard->last_heard <= timeout) continue;
+      // Silent too long: force the connection down. The reader wakes with
+      // kClosed and runs the one true failure path — the monitor itself
+      // never mutates routing state.
+      lock.unlock();
+      shard->conn->shutdown();
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace eigenmaps::dist

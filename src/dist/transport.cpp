@@ -1,0 +1,175 @@
+#include "dist/transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace eigenmaps::dist {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw TransportError("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+RecvStatus Socket::send_all(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE / ECONNRESET / a shut-down socket: the peer is gone.
+    return RecvStatus::kClosed;
+  }
+  return RecvStatus::kOk;
+}
+
+RecvStatus Socket::recv_exact(void* data, std::size_t size) {
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, bytes + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return RecvStatus::kClosed;  // EOF (n == 0), reset, or shutdown
+  }
+  return RecvStatus::kOk;
+}
+
+Socket connect_unix(const std::string& path, int timeout_ms) {
+  const sockaddr_un addr = make_addr(path);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    Socket sock(fd);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return sock;
+    }
+    // The listener may not have bound yet (workers race the router), or
+    // its backlog may be momentarily full — retry until the deadline.
+    if (errno != ENOENT && errno != ECONNREFUSED && errno != EAGAIN) {
+      throw_errno("connect " + path);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw TransportError("connect " + path + ": timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+UnixListener::UnixListener(std::string path) : path_(std::move(path)) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  listen_socket_ = Socket(fd);
+  ::unlink(path_.c_str());  // stale socket file from a crashed run
+  const sockaddr_un addr = make_addr(path_);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("bind " + path_);
+  }
+  if (::listen(fd, 16) != 0) throw_errno("listen " + path_);
+}
+
+UnixListener::~UnixListener() { ::unlink(path_.c_str()); }
+
+Socket UnixListener::accept(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = listen_socket_.fd();
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return Socket();  // timeout (or poll error): no peer
+    const int fd = ::accept(listen_socket_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("accept");
+    }
+    return Socket(fd);
+  }
+}
+
+RecvStatus MessageConnection::send(MessageType type,
+                                   const std::vector<std::uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  WireHeader header;
+  header.type = static_cast<std::uint16_t>(type);
+  header.payload_bytes = payload.size();
+  // One coalesced write per frame: interleaving-safe under the send mutex
+  // and avoids a small-header syscall before every payload.
+  send_frame_.resize(WireHeader::kBytes + payload.size());
+  encode_header(header, send_frame_.data());
+  if (!payload.empty()) {
+    std::memcpy(send_frame_.data() + WireHeader::kBytes, payload.data(),
+                payload.size());
+  }
+  return socket_.send_all(send_frame_.data(), send_frame_.size());
+}
+
+RecvStatus MessageConnection::recv(MessageType& type,
+                                   std::vector<std::uint8_t>& payload) {
+  std::uint8_t header_bytes[WireHeader::kBytes];
+  if (socket_.recv_exact(header_bytes, sizeof(header_bytes)) !=
+      RecvStatus::kOk) {
+    return RecvStatus::kClosed;
+  }
+  const WireHeader header = decode_header(header_bytes);
+  payload.resize(header.payload_bytes);
+  if (header.payload_bytes > 0 &&
+      socket_.recv_exact(payload.data(), payload.size()) != RecvStatus::kOk) {
+    return RecvStatus::kClosed;  // peer died mid-frame: same as died cleanly
+  }
+  type = static_cast<MessageType>(header.type);
+  return RecvStatus::kOk;
+}
+
+}  // namespace eigenmaps::dist

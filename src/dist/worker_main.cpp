@@ -1,0 +1,272 @@
+// eigenmaps_shard_worker: one shard of the distributed serving cluster.
+// Wraps a local ModelRegistry + ReconstructionEngine behind the shard
+// protocol (DESIGN.md §12): connects back to the router's Unix socket,
+// identifies itself with a hello, then serves register/retire, frame
+// submit, flush, stats, drain, and shutdown messages while a background
+// thread heartbeats.
+//
+// Exactly-once bookkeeping, worker side: the router assigns each frame a
+// global per-stream seq, but the engine numbers frames locally from 0 per
+// stream. The worker records base[stream] = first global seq it saw, so
+// global = base + local, and drops any frame whose seq it has already
+// pushed — replay races send duplicates by design, and dropping them here
+// by seq inspection is what keeps delivery exactly-once without any
+// router/worker consensus.
+//
+// Usage: eigenmaps_shard_worker <socket> <shard> <threads> <batch> <hb_ms>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+
+#include "dist/protocol.h"
+#include "dist/transport.h"
+#include "runtime/engine.h"
+#include "runtime/registry.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+struct StreamSeq {
+  std::uint64_t base = 0;      // global seq of the stream's first frame here
+  std::uint64_t expected = 0;  // next global seq this worker will accept
+};
+
+std::uint64_t parse_u64(const char* text, const char* what) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "eigenmaps_shard_worker: bad %s: %s\n", what, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+int worker_main(int argc, char** argv) {
+  if (argc != 6) {
+    std::fprintf(stderr,
+                 "usage: eigenmaps_shard_worker <socket> <shard> <threads> "
+                 "<batch> <heartbeat_ms>\n");
+    return 2;
+  }
+  // The router may vanish at any moment; writes to a dead socket must
+  // surface as kClosed, never as SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const std::string socket_path = argv[1];
+  const auto shard = static_cast<std::uint32_t>(parse_u64(argv[2], "shard"));
+  const std::size_t threads = parse_u64(argv[3], "threads");
+  const std::size_t batch = parse_u64(argv[4], "batch");
+  const auto heartbeat_ms = static_cast<int>(parse_u64(argv[5], "hb_ms"));
+
+  // Declared before the registry/engine: the engine's result callback
+  // sends on this connection from worker threads, so the connection must
+  // be destroyed last.
+  dist::MessageConnection conn(dist::connect_unix(socket_path));
+  {
+    std::vector<std::uint8_t> payload;
+    dist::HelloMsg hello;
+    hello.shard = shard;
+    dist::encode_hello(hello, payload);
+    if (conn.send(dist::MessageType::kHello, payload) !=
+        dist::RecvStatus::kOk) {
+      return 1;
+    }
+  }
+
+  // Per-stream global<->local seq mapping. The result callback reads it on
+  // engine worker threads while the main loop writes it, hence the mutex.
+  std::mutex seq_mutex;
+  std::map<std::uint64_t, StreamSeq> seqs;
+
+  runtime::ModelRegistry registry;
+  runtime::EngineOptions engine_options;
+  engine_options.worker_count = threads == 0 ? 0 : threads;
+  engine_options.batch_size = batch;
+  runtime::ReconstructionEngine engine(
+      registry, engine_options,
+      [&](std::uint64_t stream, std::uint64_t first_local,
+          numerics::ConstMatrixView maps) {
+        std::uint64_t base;
+        {
+          std::lock_guard<std::mutex> lock(seq_mutex);
+          base = seqs[stream].base;
+        }
+        thread_local std::vector<std::uint8_t> payload;
+        dist::encode_result(stream, base + first_local, maps, payload);
+        // A failed send means the router is gone; the main recv loop will
+        // see the same and exit.
+        conn.send(dist::MessageType::kResult, payload);
+      });
+
+  // Heartbeat thread: a liveness tick every interval until shutdown.
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+  bool stopping = false;
+  std::thread heartbeat([&] {
+    std::uint64_t tick = 0;
+    std::vector<std::uint8_t> payload;
+    std::unique_lock<std::mutex> lock(hb_mutex);
+    while (!stopping) {
+      hb_cv.wait_for(lock, std::chrono::milliseconds(heartbeat_ms),
+                     [&] { return stopping; });
+      if (stopping) break;
+      lock.unlock();
+      dist::HeartbeatMsg msg;
+      msg.tick = tick++;
+      dist::encode_heartbeat(msg, payload);
+      const auto status = conn.send(dist::MessageType::kHeartbeat, payload);
+      lock.lock();
+      if (status != dist::RecvStatus::kOk) break;  // router gone
+    }
+  });
+
+  dist::MessageType type;
+  std::vector<std::uint8_t> payload;    // recv buffer, reused
+  std::vector<std::uint8_t> reply;      // send buffer, reused
+  dist::SubmitFrameMsg frame;           // hot-path decode, buffers reused
+  int exit_code = 0;
+  for (;;) {
+    dist::RecvStatus status;
+    try {
+      status = conn.recv(type, payload);
+    } catch (const dist::ProtocolError& error) {
+      std::fprintf(stderr, "eigenmaps_shard_worker %u: protocol error: %s\n",
+                   shard, error.what());
+      exit_code = 1;
+      break;
+    }
+    if (status != dist::RecvStatus::kOk) break;  // router closed: shut down
+
+    if (type == dist::MessageType::kSubmitFrame) {
+      dist::decode_submit_frame(payload.data(), payload.size(), frame);
+      bool accept = false;
+      {
+        std::lock_guard<std::mutex> lock(seq_mutex);
+        auto [it, fresh] = seqs.try_emplace(frame.stream);
+        StreamSeq& seq = it->second;
+        if (fresh) {
+          // First frame of this stream here (fresh stream, or just
+          // rehashed to us): its seq anchors the global<->local mapping.
+          seq.base = frame.seq;
+          seq.expected = frame.seq;
+        }
+        if (frame.seq < seq.expected) {
+          // Replay duplicate (the router replayed a frame a racing
+          // producer had also sent). Dropping it is the exactly-once half
+          // this side owns.
+          accept = false;
+        } else if (frame.seq > seq.expected) {
+          dist::WorkerErrorMsg error;
+          error.stream = frame.stream;
+          error.seq = frame.seq;
+          error.text = "sequence gap: expected " +
+                       std::to_string(seq.expected);
+          dist::encode_worker_error(error, reply);
+          conn.send(dist::MessageType::kWorkerError, reply);
+          accept = false;
+        } else {
+          seq.expected = frame.seq + 1;
+          accept = true;
+        }
+      }
+      if (accept) {
+        try {
+          engine.push_frame(
+              frame.stream,
+              numerics::ConstVectorView(frame.readings.data(),
+                                        frame.readings.size()),
+              frame.model, frame.mask);
+        } catch (const std::exception& error) {
+          dist::WorkerErrorMsg report;
+          report.stream = frame.stream;
+          report.seq = frame.seq;
+          report.text = error.what();
+          dist::encode_worker_error(report, reply);
+          conn.send(dist::MessageType::kWorkerError, reply);
+        }
+      }
+      continue;
+    }
+
+    switch (type) {
+      case dist::MessageType::kRegisterModel: {
+        dist::ModelAckMsg ack;
+        try {
+          const dist::RegisterModelMsg msg =
+              dist::decode_register_model(payload.data(), payload.size());
+          ack.model = msg.model;
+          ack.version = registry.register_model(msg.model,
+                                                dist::build_model(msg));
+          ack.ok = true;
+        } catch (const std::exception& error) {
+          ack.ok = false;
+          ack.error = error.what();
+        }
+        dist::encode_model_ack(ack, reply);
+        conn.send(dist::MessageType::kModelAck, reply);
+        break;
+      }
+      case dist::MessageType::kRetireModel: {
+        const dist::RetireModelMsg msg =
+            dist::decode_retire_model(payload.data(), payload.size());
+        registry.unregister_model(msg.model);
+        break;
+      }
+      case dist::MessageType::kFlushStream: {
+        const dist::FlushStreamMsg msg =
+            dist::decode_flush_stream(payload.data(), payload.size());
+        engine.flush(msg.stream);
+        break;
+      }
+      case dist::MessageType::kStatsPull: {
+        dist::encode_engine_stats(engine.stats(), reply);
+        conn.send(dist::MessageType::kStatsReply, reply);
+        break;
+      }
+      case dist::MessageType::kDrain: {
+        const dist::DrainMsg msg =
+            dist::decode_drain(payload.data(), payload.size());
+        // drain() returns only after every result callback has completed,
+        // i.e. every result is on the wire — socket ordering then puts the
+        // done token after them all.
+        engine.drain();
+        dist::encode_drain_done(msg, reply);
+        conn.send(dist::MessageType::kDrainDone, reply);
+        break;
+      }
+      case dist::MessageType::kShutdown:
+        goto done;
+      default:
+        std::fprintf(stderr,
+                     "eigenmaps_shard_worker %u: unexpected message type "
+                     "%u\n",
+                     shard, static_cast<unsigned>(type));
+        break;
+    }
+  }
+done:
+  {
+    std::lock_guard<std::mutex> lock(hb_mutex);
+    stopping = true;
+  }
+  hb_cv.notify_all();
+  heartbeat.join();
+  // ~ReconstructionEngine drains and joins before `conn` dies.
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return worker_main(argc, argv); }

@@ -10,13 +10,13 @@
 
 #include <atomic>
 #include <cmath>
-#include <cstdlib>
+#include <optional>
 #include <stdexcept>
-#include <string>
 #include <thread>
 #include <vector>
 
 #include "numerics/blas_internal.h"
+#include "support/env.h"
 
 namespace eigenmaps::numerics {
 
@@ -29,15 +29,9 @@ std::atomic<std::size_t> g_thread_override{0};
 thread_local std::size_t t_thread_override = 0;
 
 std::size_t default_blas_threads() {
-  if (const char* env = std::getenv("EIGENMAPS_THREADS")) {
-    char* end = nullptr;
-    const long value = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || value <= 0) {
-      throw std::invalid_argument(
-          std::string("EIGENMAPS_THREADS must be a positive integer, got '") +
-          env + "'");
-    }
-    return static_cast<std::size_t>(value);
+  if (const std::optional<std::size_t> env =
+          support::env_size("EIGENMAPS_THREADS", 1)) {
+    return *env;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);

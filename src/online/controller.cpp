@@ -1,12 +1,12 @@
 #include "online/controller.h"
 
 #include <cmath>
-#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
 #include "core/metrics.h"
 #include "core/model.h"
+#include "support/env.h"
 
 namespace eigenmaps::online {
 
@@ -31,18 +31,12 @@ AdaptationOptions AdaptationOptions::with_env() {
 
 AdaptationOptions AdaptationOptions::with_env(AdaptationOptions base) {
   base.drift = DriftOptions::with_env(base.drift);
-  if (const char* env = std::getenv("EIGENMAPS_RETRAIN_RESERVOIR")) {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value > 0) base.reservoir.capacity = static_cast<std::size_t>(value);
-  }
-  if (const char* env = std::getenv("EIGENMAPS_RETRAIN_MIN_SNAPSHOTS")) {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value > 0) base.min_snapshots = static_cast<std::size_t>(value);
-  }
-  if (const char* env = std::getenv("EIGENMAPS_RETRAIN_STRIDE")) {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value > 0) base.expanded_stride = static_cast<std::size_t>(value);
-  }
+  base.reservoir.capacity = support::env_size_or(
+      "EIGENMAPS_RETRAIN_RESERVOIR", base.reservoir.capacity, 1);
+  base.min_snapshots = support::env_size_or("EIGENMAPS_RETRAIN_MIN_SNAPSHOTS",
+                                            base.min_snapshots, 1);
+  base.expanded_stride = support::env_size_or("EIGENMAPS_RETRAIN_STRIDE",
+                                              base.expanded_stride, 1);
   return base;
 }
 

@@ -2,28 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
+
+#include "support/env.h"
 
 namespace eigenmaps::online {
 
 DriftOptions DriftOptions::with_env() { return with_env(DriftOptions()); }
 
 DriftOptions DriftOptions::with_env(DriftOptions base) {
-  if (const char* env = std::getenv("EIGENMAPS_DRIFT_THRESHOLD")) {
-    const double value = std::strtod(env, nullptr);
-    if (value > 0.0) base.threshold = value;
-  }
-  if (const char* env = std::getenv("EIGENMAPS_DRIFT_SLACK")) {
-    // Zero is a legitimate slack, so a failed parse (strtod -> 0.0)
-    // cannot be told apart by value alone; require actual digits.
-    char* end = nullptr;
-    const double value = std::strtod(env, &end);
-    if (end != env && value >= 0.0) base.slack = value;
-  }
-  if (const char* env = std::getenv("EIGENMAPS_DRIFT_WARMUP")) {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value > 0) base.warmup_frames = static_cast<std::size_t>(value);
-  }
+  base.threshold = support::env_double_or("EIGENMAPS_DRIFT_THRESHOLD",
+                                          base.threshold, 1e-12, 1e300);
+  base.slack =
+      support::env_double_or("EIGENMAPS_DRIFT_SLACK", base.slack, 0.0, 1e300);
+  base.warmup_frames =
+      support::env_size_or("EIGENMAPS_DRIFT_WARMUP", base.warmup_frames, 1);
   return base;
 }
 

@@ -198,12 +198,44 @@ ReconstructionEngine::ReconstructionEngine(
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  swap_token_ = registry_->subscribe(
+      [this](const RegisteredModel& entry) { on_registry_swap(entry); });
 }
 
 ReconstructionEngine::~ReconstructionEngine() {
+  // Unsubscribe before anything else dies: unsubscribe() blocks until any
+  // in-flight swap callback has returned and guarantees none will start,
+  // so a hot-swap racing this destructor can never reach into an engine
+  // that is mid-teardown (pinned by RegistrySwapWhileEngineDying).
+  registry_->unsubscribe(swap_token_);
   drain();
   queue_->close();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void ReconstructionEngine::on_registry_swap(const RegisteredModel& entry) {
+  // Snapshot the live bindings first, then validate outside every engine
+  // lock: factor builds are expensive and validate() takes the cache's own
+  // lock.
+  std::vector<core::SensorBitmask> masks;
+  {
+    std::lock_guard<std::mutex> streams_lock(streams_mutex_);
+    for (const auto& [id, state] : streams_) {
+      std::lock_guard<std::mutex> ingest(state->ingest_mutex);
+      if (state->retired || state->model != entry.id) continue;
+      if (state->mask.size() == 0) continue;  // full-sensor path, no factor
+      masks.push_back(state->mask);
+    }
+  }
+  for (const core::SensorBitmask& mask : masks) {
+    try {
+      entry.cache->validate(mask);
+    } catch (const std::invalid_argument&) {
+      // The mask is infeasible under the swapped-in model; the producer
+      // sees the same throw at its next batch boundary, which is where the
+      // error belongs.
+    }
+  }
 }
 
 std::shared_ptr<const RegisteredModel> ReconstructionEngine::bind(
@@ -538,6 +570,7 @@ void ReconstructionEngine::run_job(Job& job, core::Workspace& workspace) {
     if (latency > stats_.max_batch_latency_ns) {
       stats_.max_batch_latency_ns = latency;
     }
+    stats_.latency.record(latency);
     ModelStats& model_stats = stats_.models[job.entry->id];
     model_stats.frames_completed += job.frame_count;
     ++model_stats.batches_completed;

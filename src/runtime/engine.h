@@ -7,6 +7,7 @@
 #ifndef EIGENMAPS_RUNTIME_ENGINE_H
 #define EIGENMAPS_RUNTIME_ENGINE_H
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -176,6 +177,54 @@ struct ModelStats {
   AdaptationCounters adaptation;
 };
 
+/// Log-spaced batch-latency histogram: bucket i counts latencies in
+/// [kFirstBucketNs * 2^i, kFirstBucketNs * 2^(i+1)), ~1 us to ~1 hour.
+/// Fixed storage (no heap) so recording stays inside the zero-allocation
+/// steady state; mergeable by bucket addition, which is how the shard
+/// router aggregates latency across worker processes.
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 42;
+  static constexpr std::uint64_t kFirstBucketNs = 1024;  // ~1 us
+
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+
+  void record(std::uint64_t ns) {
+    std::size_t bucket = 0;
+    std::uint64_t upper = kFirstBucketNs;
+    while (bucket + 1 < kBuckets && ns >= upper) {
+      upper <<= 1;
+      ++bucket;
+    }
+    ++counts[bucket];
+    ++total;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts[i] += other.counts[i];
+    total += other.total;
+  }
+
+  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]); 0
+  /// when nothing was recorded. An over-estimate by at most one bucket
+  /// width — honest for p50/p99 reporting on log-spaced buckets.
+  std::uint64_t quantile_ns(double q) const {
+    if (total == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+    std::uint64_t seen = 0;
+    std::uint64_t upper = kFirstBucketNs;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen > rank) return upper;
+      upper <<= 1;
+    }
+    return upper;
+  }
+};
+
 /// Monotonic per-engine counters; read with ReconstructionEngine::stats().
 struct EngineStats {
   std::uint64_t frames_submitted = 0;
@@ -184,6 +233,8 @@ struct EngineStats {
   /// Sum / max of per-batch latency (enqueue to reconstruction done), ns.
   std::uint64_t total_batch_latency_ns = 0;
   std::uint64_t max_batch_latency_ns = 0;
+  /// Per-batch latency distribution (p50/p99 via quantile_ns).
+  LatencyHistogram latency;
   /// Every model this engine has completed batches for.
   std::map<ModelId, ModelStats> models;
 };
@@ -317,6 +368,10 @@ class ReconstructionEngine {
       ModelId model, const core::SensorBitmask& mask) const;
 
   std::shared_ptr<StreamState> stream_state(std::uint64_t stream);
+  /// Registry swap listener: pre-warms the swapped-in version's factor
+  /// cache for every mask a live stream of that model is bound to, so the
+  /// first post-swap batch does not pay the factor build inside a worker.
+  void on_registry_swap(const RegisteredModel& entry);
   Job make_one_shot_job(numerics::Vector frames, std::size_t frame_count,
                         std::size_t width, ModelId model,
                         const core::SensorBitmask& mask);
@@ -329,6 +384,11 @@ class ReconstructionEngine {
 
   std::unique_ptr<ModelRegistry> owned_registry_;  // single-model ctor only
   ModelRegistry* registry_;
+  /// Subscription token of on_registry_swap. The destructor unsubscribes
+  /// FIRST — before draining or joining — because unsubscribe() blocks
+  /// until any in-flight swap callback has left the engine; only then is
+  /// tearing the engine down safe against a racing hot-swap.
+  std::uint64_t swap_token_ = 0;
   const EngineOptions options_;
   const ResultCallback on_result_;
 

@@ -1,7 +1,8 @@
 #include "runtime/registry.h"
 
-#include <cstdlib>
 #include <stdexcept>
+
+#include "support/env.h"
 
 namespace eigenmaps::runtime {
 
@@ -16,10 +17,37 @@ std::uint64_t ModelRegistry::register_model(
   entry->model = model;
   entry->cache = std::make_shared<core::FactorCache>(std::move(model),
                                                      cache_options_);
-  std::lock_guard<std::mutex> lock(mutex_);
-  entry->version = ++versions_[id];
-  models_[id] = std::move(entry);
-  return versions_[id];
+  std::shared_ptr<const RegisteredModel> published;
+  std::uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry->version = ++versions_[id];
+    version = entry->version;
+    published = entry;
+    models_[id] = std::move(entry);
+  }
+  // Notify outside the table lock: listeners may resolve(). The listener
+  // lock is held across the calls so unsubscribe() can guarantee
+  // quiescence.
+  {
+    std::lock_guard<std::mutex> lock(listeners_mutex_);
+    for (const auto& [token, listener] : listeners_) listener(*published);
+  }
+  return version;
+}
+
+std::uint64_t ModelRegistry::subscribe(SwapListener listener) {
+  std::lock_guard<std::mutex> lock(listeners_mutex_);
+  const std::uint64_t token = next_listener_token_++;
+  listeners_[token] = std::move(listener);
+  return token;
+}
+
+void ModelRegistry::unsubscribe(std::uint64_t token) {
+  // Taking the lock waits out any callback in flight; erasing under it
+  // prevents any future call. Both halves of the quiescence contract.
+  std::lock_guard<std::mutex> lock(listeners_mutex_);
+  listeners_.erase(token);
 }
 
 bool ModelRegistry::unregister_model(ModelId id) {
@@ -48,19 +76,17 @@ std::size_t ModelRegistry::size() const {
 }
 
 core::FactorCacheOptions ModelRegistry::default_cache_options() {
+  // Loud parsing (support/env.h): a malformed or out-of-range override —
+  // EIGENMAPS_FACTOR_CACHE_CAPACITY=abc, a negative capacity, a ceiling
+  // below 1 — throws here instead of silently serving the default.
   core::FactorCacheOptions options;
-  if (const char* env = std::getenv("EIGENMAPS_FACTOR_CACHE_CAPACITY")) {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value > 0) options.capacity = static_cast<std::size_t>(value);
-  }
-  if (const char* env = std::getenv("EIGENMAPS_CONDITION_CEILING")) {
-    const double value = std::strtod(env, nullptr);
-    if (value >= 1.0) options.condition_ceiling = value;
-  }
-  if (const char* env = std::getenv("EIGENMAPS_DOWNDATE_LIMIT")) {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value >= 0) options.downdate_limit = static_cast<std::size_t>(value);
-  }
+  options.capacity = support::env_size_or("EIGENMAPS_FACTOR_CACHE_CAPACITY",
+                                          options.capacity, 1);
+  options.condition_ceiling =
+      support::env_double_or("EIGENMAPS_CONDITION_CEILING",
+                             options.condition_ceiling, 1.0, 1e300);
+  options.downdate_limit = support::env_size_or("EIGENMAPS_DOWNDATE_LIMIT",
+                                                options.downdate_limit, 0);
   return options;
 }
 

@@ -4,6 +4,7 @@
 #define EIGENMAPS_RUNTIME_REGISTRY_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,23 @@ class ModelRegistry {
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
 
+  /// Called after a registration or hot-swap commits, with the entry just
+  /// published. Runs on the registering thread, outside the table lock, so
+  /// it may resolve() freely — but must not subscribe/unsubscribe (the
+  /// listener lock is held) and should stay cheap: every swap waits on it.
+  using SwapListener = std::function<void(const RegisteredModel&)>;
+
+  /// Registers `listener` for every future registration/hot-swap; returns
+  /// the token to unsubscribe with.
+  std::uint64_t subscribe(SwapListener listener);
+
+  /// Removes the listener. Blocks until any in-flight callback to it has
+  /// returned, and guarantees it will never be called again — the
+  /// subscriber may be destroyed the instant this returns. This quiescence
+  /// guarantee is what lets a ReconstructionEngine die while another
+  /// thread keeps hot-swapping (see ~ReconstructionEngine).
+  void unsubscribe(std::uint64_t token);
+
   /// Registers (or hot-swaps) `model` under `id`; returns the new version.
   std::uint64_t register_model(
       ModelId id, std::shared_ptr<const core::ReconstructionModel> model);
@@ -66,6 +84,14 @@ class ModelRegistry {
   mutable std::mutex mutex_;
   std::map<ModelId, std::shared_ptr<const RegisteredModel>> models_;
   std::map<ModelId, std::uint64_t> versions_;
+
+  // Listener table, guarded separately from the model table: callbacks run
+  // under listeners_mutex_ (never under mutex_), so resolve() from inside a
+  // callback cannot deadlock, and unsubscribe() doubles as the quiescence
+  // barrier.
+  mutable std::mutex listeners_mutex_;
+  std::map<std::uint64_t, SwapListener> listeners_;
+  std::uint64_t next_listener_token_ = 1;
 };
 
 }  // namespace eigenmaps::runtime

@@ -1,0 +1,68 @@
+#include "support/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace eigenmaps::support {
+
+namespace {
+
+[[noreturn]] void fail(const char* name, const char* raw, const char* what) {
+  throw std::invalid_argument(std::string(name) + " must be " + what +
+                              ", got '" + raw + "'");
+}
+
+}  // namespace
+
+std::optional<std::size_t> env_size(const char* name, std::size_t min,
+                                    std::size_t max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  // strtoull silently wraps negatives ("-1" -> huge); reject the sign
+  // explicitly so out-of-range is reported as such.
+  const char* p = raw;
+  while (*p == ' ') ++p;
+  if (*p == '-') fail(name, raw, "a non-negative integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') fail(name, raw, "an integer");
+  if (errno == ERANGE || value < min || value > max) {
+    fail(name, raw,
+         ("an integer in [" + std::to_string(min) + ", " +
+          std::to_string(max) + "]")
+             .c_str());
+  }
+  return static_cast<std::size_t>(value);
+}
+
+std::optional<double> env_double(const char* name, double min, double max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') fail(name, raw, "a number");
+  if (errno == ERANGE || !(value >= min) || !(value <= max)) {
+    // !(>=) also catches NaN.
+    fail(name, raw,
+         ("a number in [" + std::to_string(min) + ", " + std::to_string(max) +
+          "]")
+             .c_str());
+  }
+  return value;
+}
+
+std::size_t env_size_or(const char* name, std::size_t fallback,
+                        std::size_t min, std::size_t max) {
+  return env_size(name, min, max).value_or(fallback);
+}
+
+double env_double_or(const char* name, double fallback, double min,
+                     double max) {
+  return env_double(name, min, max).value_or(fallback);
+}
+
+}  // namespace eigenmaps::support

@@ -1,0 +1,504 @@
+// Distributed sharded serving: wire-protocol round trips, the bounded
+// replay log, and end-to-end router/worker runs — including the chaos
+// case: SIGKILL a shard mid-stream and require byte-identical,
+// exactly-once, in-order delivery against a single-process golden run
+// (DESIGN.md §12).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.h"
+#include "core/dct_basis.h"
+#include "core/reconstructor.h"
+#include "dist/protocol.h"
+#include "dist/replay_log.h"
+#include "dist/router.h"
+#include "numerics/rng.h"
+#include "runtime/engine.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+#ifndef EIGENMAPS_WORKER_BIN
+#define EIGENMAPS_WORKER_BIN ""
+#endif
+
+struct Fixture {
+  Fixture()
+      : basis(12, 12, 8),
+        mean(basis.cell_count(), 40.0),
+        sensors(core::allocate_greedy(basis, 8, 12)),
+        rec(basis, 8, sensors, mean) {}
+
+  core::DctBasis basis;
+  numerics::Vector mean;
+  core::SensorLocations sensors;
+  core::Reconstructor rec;
+
+  numerics::Vector frame(std::uint64_t stream, std::uint64_t seq) const {
+    numerics::Rng rng(stream * 7919 + seq);
+    numerics::Vector f(sensors.size());
+    for (double& v : f) v = 40.0 + rng.normal();
+    return f;
+  }
+};
+
+// ---- protocol ------------------------------------------------------------
+
+TEST(DistProtocol, HeaderRoundTripRejectsCorruption) {
+  dist::WireHeader header;
+  header.type = static_cast<std::uint16_t>(dist::MessageType::kResult);
+  header.payload_bytes = 1234;
+  std::uint8_t bytes[dist::WireHeader::kBytes];
+  dist::encode_header(header, bytes);
+  const dist::WireHeader back = dist::decode_header(bytes);
+  EXPECT_EQ(back.type, header.type);
+  EXPECT_EQ(back.payload_bytes, header.payload_bytes);
+
+  std::uint8_t bad_magic[dist::WireHeader::kBytes];
+  std::memcpy(bad_magic, bytes, sizeof(bytes));
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(dist::decode_header(bad_magic), dist::ProtocolError);
+
+  std::uint8_t bad_version[dist::WireHeader::kBytes];
+  dist::WireHeader skew = header;
+  skew.version = dist::kProtocolVersion + 1;
+  dist::encode_header(skew, bad_version);
+  EXPECT_THROW(dist::decode_header(bad_version), dist::ProtocolError);
+
+  dist::WireHeader absurd = header;
+  absurd.payload_bytes = dist::kMaxPayloadBytes + 1;
+  std::uint8_t bad_size[dist::WireHeader::kBytes];
+  dist::encode_header(absurd, bad_size);
+  EXPECT_THROW(dist::decode_header(bad_size), dist::ProtocolError);
+}
+
+TEST(DistProtocol, SubmitFrameRoundTripAndTruncationThrows) {
+  const Fixture fx;
+  const numerics::Vector readings = fx.frame(3, 17);
+  const core::SensorBitmask mask =
+      core::SensorBitmask::except(fx.sensors.size(), {1, 5});
+  std::vector<std::uint8_t> payload;
+  dist::encode_submit_frame(
+      9, 41, 7, mask,
+      numerics::ConstVectorView(readings.data(), readings.size()), payload);
+
+  dist::SubmitFrameMsg msg;
+  dist::decode_submit_frame(payload.data(), payload.size(), msg);
+  EXPECT_EQ(msg.stream, 9u);
+  EXPECT_EQ(msg.seq, 41u);
+  EXPECT_EQ(msg.model, 7u);
+  EXPECT_EQ(msg.mask, mask);
+  ASSERT_EQ(msg.readings.size(), readings.size());
+  EXPECT_EQ(std::memcmp(msg.readings.data(), readings.data(),
+                        readings.size() * sizeof(double)),
+            0);
+
+  // Truncation anywhere must throw, never misparse.
+  for (std::size_t cut : {std::size_t{0}, payload.size() / 2,
+                          payload.size() - 1}) {
+    EXPECT_THROW(dist::decode_submit_frame(payload.data(), cut, msg),
+                 dist::ProtocolError);
+  }
+  // Trailing garbage is equally loud.
+  payload.push_back(0);
+  EXPECT_THROW(dist::decode_submit_frame(payload.data(), payload.size(), msg),
+               dist::ProtocolError);
+}
+
+TEST(DistProtocol, RegisterModelRoundTripRebuildsBitIdenticalModel) {
+  const Fixture fx;
+  std::vector<std::uint8_t> payload;
+  dist::encode_register_model(5, *fx.rec.model(), payload);
+  const dist::RegisterModelMsg msg =
+      dist::decode_register_model(payload.data(), payload.size());
+  EXPECT_EQ(msg.model, 5u);
+  const auto rebuilt = dist::build_model(msg);
+
+  // The worker-side rebuild recomputes the QR from the same bits, so the
+  // reconstruction must be byte-identical to the original model's.
+  numerics::Matrix frames(6, fx.sensors.size());
+  for (std::size_t f = 0; f < 6; ++f) frames.set_row(f, fx.frame(1, f));
+  const numerics::Matrix expect = fx.rec.model()->reconstruct_batch(frames);
+  const numerics::Matrix got = rebuilt->reconstruct_batch(frames);
+  ASSERT_EQ(got.rows(), expect.rows());
+  for (std::size_t f = 0; f < got.rows(); ++f) {
+    EXPECT_EQ(std::memcmp(got.row_data(f), expect.row_data(f),
+                          got.cols() * sizeof(double)),
+              0);
+  }
+}
+
+TEST(DistProtocol, EngineStatsRoundTrip) {
+  runtime::EngineStats stats;
+  stats.frames_submitted = 100;
+  stats.frames_completed = 96;
+  stats.batches_completed = 3;
+  stats.total_batch_latency_ns = 123456;
+  stats.max_batch_latency_ns = 65432;
+  stats.latency.record(2000);
+  stats.latency.record(9000000);
+  runtime::ModelStats& model = stats.models[4];
+  model.frames_completed = 96;
+  model.cache_hits = 7;
+  model.cache_misses = 2;
+  model.hot_swaps_served = 1;
+  model.adaptation.drift_events = 5;
+
+  std::vector<std::uint8_t> payload;
+  dist::encode_engine_stats(stats, payload);
+  const runtime::EngineStats back =
+      dist::decode_engine_stats(payload.data(), payload.size());
+  EXPECT_EQ(back.frames_submitted, stats.frames_submitted);
+  EXPECT_EQ(back.frames_completed, stats.frames_completed);
+  EXPECT_EQ(back.max_batch_latency_ns, stats.max_batch_latency_ns);
+  EXPECT_EQ(back.latency.total, stats.latency.total);
+  EXPECT_EQ(back.latency.counts, stats.latency.counts);
+  ASSERT_EQ(back.models.count(4), 1u);
+  EXPECT_EQ(back.models.at(4).cache_hits, 7u);
+  EXPECT_EQ(back.models.at(4).adaptation.drift_events, 5u);
+}
+
+// ---- replay log ----------------------------------------------------------
+
+TEST(DistReplayLog, AppendAckPendingOrder) {
+  dist::ReplayLog log(16);
+  const numerics::Vector readings{1.0, 2.0};
+  const numerics::ConstVectorView view(readings.data(), readings.size());
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    ASSERT_TRUE(log.acquire_slot());
+    log.append(7, seq, 1, core::SensorBitmask(), view);
+  }
+  ASSERT_TRUE(log.acquire_slot());
+  log.append(8, 0, 1, core::SensorBitmask(), view);
+  EXPECT_EQ(log.size(), 5u);
+
+  log.ack_before(7, 2);  // frames 0,1 acked
+  EXPECT_EQ(log.size(), 3u);
+  const auto pending = log.pending(7);
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].seq, 2u);
+  EXPECT_EQ(pending[1].seq, 3u);
+  EXPECT_EQ(pending[0].readings, readings);
+
+  log.ack_before(7, 100);
+  EXPECT_EQ(log.pending(7).size(), 0u);
+  EXPECT_EQ(log.pending_streams(), std::vector<std::uint64_t>{8});
+}
+
+TEST(DistReplayLog, BoundBlocksProducersUntilAckOrFail) {
+  dist::ReplayLog log(2);
+  const numerics::Vector readings{1.0};
+  const numerics::ConstVectorView view(readings.data(), readings.size());
+  ASSERT_TRUE(log.acquire_slot());
+  log.append(1, 0, 0, core::SensorBitmask(), view);
+  ASSERT_TRUE(log.acquire_slot());
+  log.append(1, 1, 0, core::SensorBitmask(), view);
+
+  std::atomic<int> state{0};
+  std::thread producer([&] {
+    state = 1;
+    const bool ok = log.acquire_slot();  // blocks: log is full
+    state = ok ? 2 : 3;
+    if (ok) log.append(1, 2, 0, core::SensorBitmask(), view);
+  });
+  while (state < 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(state, 1);  // still blocked at the bound
+
+  log.ack_before(1, 1);  // frees one slot
+  producer.join();
+  EXPECT_EQ(state, 2);
+  EXPECT_EQ(log.size(), 2u);
+
+  std::thread blocked([&] { EXPECT_FALSE(log.acquire_slot()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  log.fail();
+  blocked.join();
+  EXPECT_TRUE(log.wait_idle() == false || log.size() == 0);
+}
+
+// ---- end-to-end router ---------------------------------------------------
+
+/// Collects delivered rows keyed by (stream, seq), asserting in-order,
+/// exactly-once delivery as rows arrive.
+struct Collector {
+  std::mutex mutex;
+  std::map<std::uint64_t, std::uint64_t> next_seq;  // per-stream expectation
+  std::map<std::uint64_t, std::map<std::uint64_t, numerics::Vector>> rows;
+  bool order_violated = false;
+
+  dist::ShardRouter::ResultCallback callback() {
+    return [this](std::uint64_t stream, std::uint64_t first_seq,
+                  numerics::ConstMatrixView maps) {
+      std::lock_guard<std::mutex> lock(mutex);
+      auto& expected = next_seq[stream];
+      if (first_seq != expected) order_violated = true;
+      for (std::size_t r = 0; r < maps.rows(); ++r) {
+        numerics::Vector row(maps.row_data(r), maps.row_data(r) + maps.cols());
+        const bool fresh =
+            rows[stream].emplace(first_seq + r, std::move(row)).second;
+        if (!fresh) order_violated = true;  // duplicate delivery
+      }
+      expected = first_seq + maps.rows();
+    };
+  }
+};
+
+/// Single-process golden: the same frames through one in-process engine
+/// with the same batch size; per-stream results keyed by seq.
+std::map<std::uint64_t, std::map<std::uint64_t, numerics::Vector>> golden_run(
+    const Fixture& fx, std::size_t batch,
+    const std::vector<std::pair<std::uint64_t, core::SensorBitmask>>& streams,
+    std::size_t frames_per_stream) {
+  std::map<std::uint64_t, std::map<std::uint64_t, numerics::Vector>> out;
+  std::mutex mutex;
+  runtime::ModelRegistry registry;
+  registry.register_model(1, fx.rec.model());
+  runtime::EngineOptions options;
+  options.worker_count = 1;
+  options.batch_size = batch;
+  runtime::ReconstructionEngine engine(
+      registry, options,
+      [&](std::uint64_t stream, std::uint64_t first_seq,
+          numerics::ConstMatrixView maps) {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (std::size_t r = 0; r < maps.rows(); ++r) {
+          out[stream][first_seq + r] = numerics::Vector(
+              maps.row_data(r), maps.row_data(r) + maps.cols());
+        }
+      });
+  for (std::size_t f = 0; f < frames_per_stream; ++f) {
+    for (const auto& [stream, mask] : streams) {
+      const numerics::Vector frame = fx.frame(stream, f);
+      engine.push_frame(stream,
+                        numerics::ConstVectorView(frame.data(), frame.size()),
+                        1, mask);
+    }
+  }
+  engine.drain();
+  return out;
+}
+
+dist::RouterOptions test_router_options(std::size_t shards,
+                                        std::size_t batch) {
+  dist::RouterOptions options;
+  options.shard_count = shards;
+  options.worker_binary = EIGENMAPS_WORKER_BIN;
+  options.worker_threads = 1;
+  options.batch_size = batch;
+  options.heartbeat_interval_ms = 20;
+  options.heartbeat_timeout_ms = 5000;  // SIGKILL is caught via EOF, not HB
+  return options;
+}
+
+void expect_byte_identical(
+    const std::map<std::uint64_t,
+                   std::map<std::uint64_t, numerics::Vector>>& got,
+    const std::map<std::uint64_t,
+                   std::map<std::uint64_t, numerics::Vector>>& golden) {
+  ASSERT_EQ(got.size(), golden.size());
+  for (const auto& [stream, rows] : golden) {
+    ASSERT_EQ(got.count(stream), 1u) << "stream " << stream << " missing";
+    const auto& got_rows = got.at(stream);
+    ASSERT_EQ(got_rows.size(), rows.size()) << "stream " << stream;
+    for (const auto& [seq, row] : rows) {
+      ASSERT_EQ(got_rows.count(seq), 1u)
+          << "stream " << stream << " seq " << seq << " dropped";
+      const numerics::Vector& got_row = got_rows.at(seq);
+      ASSERT_EQ(got_row.size(), row.size());
+      EXPECT_EQ(std::memcmp(got_row.data(), row.data(),
+                            row.size() * sizeof(double)),
+                0)
+          << "stream " << stream << " seq " << seq << " differs";
+    }
+  }
+}
+
+TEST(DistRouter, TwoShardsMatchSingleProcessGoldenByteForByte) {
+  const Fixture fx;
+  constexpr std::size_t kBatch = 8;
+  constexpr std::size_t kFrames = 40;
+  std::vector<std::pair<std::uint64_t, core::SensorBitmask>> streams;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    core::SensorBitmask mask;  // streams 0/1/2 full, 3/4 degraded
+    if (s >= 3) {
+      mask = core::SensorBitmask::except(fx.sensors.size(),
+                                         {s % fx.sensors.size()});
+    }
+    streams.emplace_back(s, mask);
+  }
+
+  Collector collector;
+  dist::ShardRouter router(test_router_options(2, kBatch),
+                           collector.callback());
+  router.register_model(1, fx.rec.model());
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    for (const auto& [stream, mask] : streams) {
+      const numerics::Vector frame = fx.frame(stream, f);
+      router.push_frame(
+          stream, numerics::ConstVectorView(frame.data(), frame.size()), 1,
+          mask);
+    }
+  }
+  router.drain();
+
+  const auto golden = golden_run(fx, kBatch, streams, kFrames);
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    EXPECT_FALSE(collector.order_violated);
+    expect_byte_identical(collector.rows, golden);
+  }
+
+  const dist::ClusterStats stats = router.stats();
+  EXPECT_EQ(stats.router.frames_routed, streams.size() * kFrames);
+  EXPECT_EQ(stats.router.results_delivered, streams.size() * kFrames);
+  EXPECT_EQ(stats.router.shard_failures, 0u);
+  EXPECT_EQ(stats.aggregate.frames_completed, streams.size() * kFrames);
+  EXPECT_GT(stats.aggregate.latency.total, 0u);
+  // Both shards carried traffic (5 streams over 2 shards, 16 vnodes each).
+  std::size_t loaded = 0;
+  for (const auto& shard : stats.shards) {
+    if (shard.engine.frames_completed > 0) ++loaded;
+  }
+  EXPECT_GE(loaded, 1u);
+}
+
+TEST(DistRouter, ProducerSideValidationFailsFast) {
+  const Fixture fx;
+  Collector collector;
+  dist::ShardRouter router(test_router_options(2, 8), collector.callback());
+  const numerics::Vector frame = fx.frame(0, 0);
+  const numerics::ConstVectorView view(frame.data(), frame.size());
+
+  // Unknown model: rejected before anything crosses the wire.
+  EXPECT_THROW(router.push_frame(0, view, 99), std::invalid_argument);
+
+  router.register_model(1, fx.rec.model());
+  // Wrong frame width.
+  EXPECT_THROW(router.push_frame(0, numerics::ConstVectorView(frame.data(),
+                                                              frame.size() -
+                                                                  1),
+                                 1),
+               std::invalid_argument);
+  // Infeasible mask (fewer active sensors than the model order).
+  core::SensorBitmask mask(fx.sensors.size(), false);
+  for (std::size_t i = 0; i < 3; ++i) mask.set(i, true);
+  EXPECT_THROW(router.push_frame(0, view, 1, mask), std::invalid_argument);
+
+  // The cluster still serves after the rejects.
+  router.push_frame(0, view, 1);
+  router.drain();
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  EXPECT_EQ(collector.rows[0].size(), 1u);
+}
+
+TEST(DistRouter, ChaosKillOneShardLosesNothing) {
+  const Fixture fx;
+  constexpr std::size_t kBatch = 8;
+  constexpr std::size_t kFrames = 36;
+  std::vector<std::pair<std::uint64_t, core::SensorBitmask>> streams;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    core::SensorBitmask mask;
+    if (s % 3 == 2) {
+      mask = core::SensorBitmask::except(fx.sensors.size(),
+                                         {s % fx.sensors.size()});
+    }
+    streams.emplace_back(s, mask);
+  }
+
+  Collector collector;
+  dist::ShardRouter router(test_router_options(3, kBatch),
+                           collector.callback());
+  router.register_model(1, fx.rec.model());
+
+  // Open-loop load; a third of the way in, SIGKILL a shard that is
+  // actually carrying streams, while frames for it are still in flight.
+  std::size_t victim = 0;
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    if (f == kFrames / 3) {
+      const dist::ClusterStats before = router.stats();
+      for (const auto& shard : before.shards) {
+        if (shard.alive && shard.engine.frames_submitted > 0) {
+          victim = shard.shard;
+          break;
+        }
+      }
+      router.kill_shard(victim);
+    }
+    for (const auto& [stream, mask] : streams) {
+      const numerics::Vector frame = fx.frame(stream, f);
+      router.push_frame(
+          stream, numerics::ConstVectorView(frame.data(), frame.size()), 1,
+          mask);
+    }
+  }
+  router.drain();
+
+  // Zero dropped, duplicated, or out-of-order frames, byte-compared
+  // against the single-process golden run.
+  const auto golden = golden_run(fx, kBatch, streams, kFrames);
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    EXPECT_FALSE(collector.order_violated);
+    expect_byte_identical(collector.rows, golden);
+  }
+
+  const dist::ClusterStats stats = router.stats();
+  EXPECT_EQ(router.alive_count(), 2u);
+  EXPECT_EQ(stats.router.shard_failures, 1u);
+  EXPECT_GE(stats.router.streams_rehashed, 1u);
+  EXPECT_EQ(stats.router.results_delivered, streams.size() * kFrames);
+  bool victim_marked_dead = false;
+  for (const auto& shard : stats.shards) {
+    if (shard.shard == victim) victim_marked_dead = !shard.alive;
+  }
+  EXPECT_TRUE(victim_marked_dead);
+}
+
+TEST(DistRouter, HotSwapBroadcastReachesEveryShard) {
+  const Fixture fx;
+  Collector collector;
+  dist::ShardRouter router(test_router_options(2, 4), collector.callback());
+  const std::uint64_t v1 = router.register_model(1, fx.rec.model());
+
+  // A different model under the same id: double the mean map.
+  numerics::Vector shifted_mean(fx.basis.cell_count(), 80.0);
+  core::Reconstructor swapped(fx.basis, 8, fx.sensors, shifted_mean);
+  const std::uint64_t v2 = router.register_model(1, swapped.model());
+  EXPECT_GT(v2, v1);
+
+  // Every stream, whatever shard it hashes to, now serves the new model.
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    const numerics::Vector frame = fx.frame(s, 0);
+    router.push_frame(s, numerics::ConstVectorView(frame.data(),
+                                                   frame.size()),
+                      1);
+  }
+  router.drain();
+
+  const numerics::Vector frame0 = fx.frame(0, 0);
+  numerics::Matrix one(1, frame0.size());
+  one.set_row(0, frame0);
+  const numerics::Matrix expect = swapped.model()->reconstruct_batch(one);
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(collector.rows[s].size(), 1u);
+  }
+  const numerics::Vector& got = collector.rows[0][0];
+  EXPECT_EQ(std::memcmp(got.data(), expect.row_data(0),
+                        got.size() * sizeof(double)),
+            0);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// The shared EIGENMAPS_* knob parser: unset/empty mean default, anything
+// malformed or out of range fails loudly instead of silently defaulting.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "online/drift.h"
+#include "runtime/registry.h"
+#include "support/env.h"
+
+namespace {
+
+using namespace eigenmaps;
+
+/// Sets an environment variable for one test and restores the previous
+/// value on destruction, so knob tests cannot leak into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(EnvKnobs, UnsetAndEmptyMeanDefault) {
+  ScopedEnv unset("EIGENMAPS_TEST_KNOB", nullptr);
+  EXPECT_FALSE(support::env_size("EIGENMAPS_TEST_KNOB", 0).has_value());
+  EXPECT_FALSE(
+      support::env_double("EIGENMAPS_TEST_KNOB", 0.0, 1.0).has_value());
+  EXPECT_EQ(support::env_size_or("EIGENMAPS_TEST_KNOB", 7, 0), 7u);
+
+  ScopedEnv empty("EIGENMAPS_TEST_KNOB", "");
+  EXPECT_FALSE(support::env_size("EIGENMAPS_TEST_KNOB", 0).has_value());
+  EXPECT_EQ(support::env_double_or("EIGENMAPS_TEST_KNOB", 2.5, 0.0, 9.0),
+            2.5);
+}
+
+TEST(EnvKnobs, ParsesInRangeValues) {
+  ScopedEnv env("EIGENMAPS_TEST_KNOB", "12");
+  EXPECT_EQ(support::env_size("EIGENMAPS_TEST_KNOB", 1).value(), 12u);
+  EXPECT_DOUBLE_EQ(
+      support::env_double("EIGENMAPS_TEST_KNOB", 0.0, 100.0).value(), 12.0);
+}
+
+TEST(EnvKnobs, MalformedValuesThrow) {
+  for (const char* bad : {"abc", "12abc", "1.5.2", " "}) {
+    ScopedEnv env("EIGENMAPS_TEST_KNOB", bad);
+    EXPECT_THROW(support::env_size("EIGENMAPS_TEST_KNOB", 0),
+                 std::invalid_argument)
+        << bad;
+  }
+  ScopedEnv env("EIGENMAPS_TEST_KNOB", "abc");
+  EXPECT_THROW(support::env_double("EIGENMAPS_TEST_KNOB", 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(EnvKnobs, OutOfRangeValuesThrow) {
+  {
+    ScopedEnv env("EIGENMAPS_TEST_KNOB", "-4");
+    EXPECT_THROW(support::env_size("EIGENMAPS_TEST_KNOB", 0),
+                 std::invalid_argument);
+  }
+  {
+    ScopedEnv env("EIGENMAPS_TEST_KNOB", "0");
+    EXPECT_THROW(support::env_size("EIGENMAPS_TEST_KNOB", 1),
+                 std::invalid_argument);
+  }
+  {
+    ScopedEnv env("EIGENMAPS_TEST_KNOB", "0.5");
+    EXPECT_THROW(support::env_double("EIGENMAPS_TEST_KNOB", 1.0, 1e300),
+                 std::invalid_argument);
+  }
+  {
+    ScopedEnv env("EIGENMAPS_TEST_KNOB", "nan");
+    EXPECT_THROW(support::env_double("EIGENMAPS_TEST_KNOB", 0.0, 1.0),
+                 std::invalid_argument);
+  }
+}
+
+// The knobs the issue calls out, through their real call sites.
+
+TEST(EnvKnobs, FactorCacheCapacityMustBePositiveInteger) {
+  {
+    ScopedEnv env("EIGENMAPS_FACTOR_CACHE_CAPACITY", "abc");
+    EXPECT_THROW(runtime::ModelRegistry::default_cache_options(),
+                 std::invalid_argument);
+  }
+  {
+    ScopedEnv env("EIGENMAPS_FACTOR_CACHE_CAPACITY", "-8");
+    EXPECT_THROW(runtime::ModelRegistry::default_cache_options(),
+                 std::invalid_argument);
+  }
+  {
+    ScopedEnv env("EIGENMAPS_FACTOR_CACHE_CAPACITY", "16");
+    EXPECT_EQ(runtime::ModelRegistry::default_cache_options().capacity, 16u);
+  }
+}
+
+TEST(EnvKnobs, ConditionCeilingBelowOneThrows) {
+  ScopedEnv env("EIGENMAPS_CONDITION_CEILING", "0.5");
+  EXPECT_THROW(runtime::ModelRegistry::default_cache_options(),
+               std::invalid_argument);
+}
+
+TEST(EnvKnobs, DriftKnobsFailLoudly) {
+  {
+    ScopedEnv env("EIGENMAPS_DRIFT_THRESHOLD", "much");
+    EXPECT_THROW(online::DriftOptions::with_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv env("EIGENMAPS_DRIFT_SLACK", "-1");
+    EXPECT_THROW(online::DriftOptions::with_env(), std::invalid_argument);
+  }
+  {
+    // Zero is a legitimate slack and must parse.
+    ScopedEnv env("EIGENMAPS_DRIFT_SLACK", "0");
+    EXPECT_DOUBLE_EQ(online::DriftOptions::with_env().slack, 0.0);
+  }
+}
+
+}  // namespace

@@ -12,9 +12,11 @@
 
 #include "core/allocation.h"
 #include "core/dct_basis.h"
+#include "core/factor_cache.h"
 #include "core/reconstructor.h"
 #include "numerics/rng.h"
 #include "runtime/engine.h"
+#include "runtime/registry.h"
 
 namespace {
 
@@ -621,6 +623,107 @@ TEST(ReconstructionEngine, HotSwapTakesEffectAtTheNextBatchWithoutDrain) {
     for (std::size_t i = 0; i < expect_v1.cols(); ++i) {
       EXPECT_DOUBLE_EQ(delivered.at(0)(r, i), expect_v1(r, i));
       EXPECT_DOUBLE_EQ(delivered.at(4)(r, i), expect_v2(r, i));
+    }
+  }
+}
+
+// Pins the engine-shutdown ordering against the registry's swap listener:
+// ~ReconstructionEngine unsubscribes (with the registry's quiescence
+// guarantee) BEFORE tearing anything down, so a hot-swap racing the
+// destructor can never deliver a callback into a dying engine. Before the
+// fix, the swap listener could fire between drain() and the worker joins
+// and touch freed stream state — this loop makes that window hot (the
+// ASan job turns any miss into a hard failure).
+TEST(ReconstructionEngine, RegistrySwapWhileEngineDyingStress) {
+  const Fixture fx;
+  runtime::ModelRegistry registry;
+  registry.register_model(1, fx.rec.model());
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    while (!stop) registry.register_model(1, fx.rec.model());
+  });
+
+  runtime::EngineOptions options;
+  options.worker_count = 2;
+  options.batch_size = 4;
+  const core::SensorBitmask mask =
+      core::SensorBitmask::except(fx.sensors.size(), {2});
+  for (int round = 0; round < 50; ++round) {
+    runtime::ReconstructionEngine engine(
+        registry, options,
+        [](std::uint64_t, std::uint64_t, numerics::ConstMatrixView) {});
+    // Live masked streams give the swap listener real prewarm work to do
+    // while the destructor races it.
+    for (std::uint64_t f = 0; f < 6; ++f) {
+      const numerics::Vector frame = fx.frame(round, f);
+      engine.push_frame(7, numerics::ConstVectorView(frame.data(),
+                                                     frame.size()),
+                        1, mask);
+    }
+    // Destruct immediately: the destructor must win against in-flight
+    // swap callbacks every single time.
+  }
+  stop = true;
+  swapper.join();
+}
+
+// A hot swap under a live dropout mask must serve the NEW version's
+// factors from the first post-swap batch: each registered version owns a
+// fresh FactorCache, so a stale factor (built for the old model under the
+// same mask) can never leak into the swapped model's results.
+TEST(ReconstructionEngine, HotSwapUnderLiveMaskServesNoStaleFactor) {
+  const Fixture fx;
+  // Same basis/sensors, different mean: a stale factor applied to the new
+  // model would shift every cell detectably.
+  numerics::Vector shifted_mean(fx.basis.cell_count(), 75.0);
+  const core::Reconstructor rec_v2(fx.basis, 8, fx.sensors, shifted_mean);
+  const core::SensorBitmask mask =
+      core::SensorBitmask::except(fx.sensors.size(), {1, 4});
+
+  runtime::ModelRegistry registry;
+  registry.register_model(1, fx.rec.model());
+  runtime::EngineOptions options;
+  options.worker_count = 2;
+  options.batch_size = 4;
+  std::mutex delivered_mutex;
+  std::map<std::uint64_t, numerics::Matrix> delivered;
+  runtime::ReconstructionEngine engine(
+      registry, options,
+      [&](std::uint64_t, std::uint64_t first_seq,
+          numerics::ConstMatrixView maps) {
+        std::lock_guard<std::mutex> lock(delivered_mutex);
+        delivered.emplace(first_seq, numerics::Matrix(maps));
+      });
+
+  numerics::Matrix frames(8, fx.sensors.size());
+  for (std::size_t f = 0; f < 8; ++f) frames.set_row(f, fx.frame(5, f));
+  // First batch under v1 with the mask resident in v1's cache...
+  for (std::size_t f = 0; f < 4; ++f) {
+    engine.push_frame(3, frames.row_view(f), 1, mask);
+  }
+  engine.drain();
+  // ...then hot-swap and serve the same mask immediately.
+  registry.register_model(1, rec_v2.model());
+  for (std::size_t f = 4; f < 8; ++f) {
+    engine.push_frame(3, frames.row_view(f), 1, mask);
+  }
+  engine.drain();
+
+  numerics::Matrix second_half(4, fx.sensors.size());
+  for (std::size_t f = 0; f < 4; ++f) {
+    second_half.set_row(f, frames.row_view(f + 4));
+  }
+  core::FactorCache fresh_v2(rec_v2.model(),
+                             runtime::ModelRegistry::default_cache_options());
+  const numerics::Matrix expect =
+      fresh_v2.reconstruct_batch(second_half, mask);
+  std::lock_guard<std::mutex> lock(delivered_mutex);
+  ASSERT_EQ(delivered.count(4), 1u);
+  const numerics::Matrix& got = delivered.at(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t i = 0; i < expect.cols(); ++i) {
+      EXPECT_EQ(got(r, i), expect(r, i)) << "row " << r << " cell " << i;
     }
   }
 }
