@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -101,6 +102,10 @@ struct BenchJson {
       return;
     }
     std::fprintf(out, "{\n");
+    // Hardware context: the router speedup is only meaningful relative to
+    // the cores available (2 worker processes cannot beat 1 on one core).
+    std::fprintf(out, "  \"cpu_cores\": %u,\n",
+                 std::thread::hardware_concurrency());
     std::fprintf(out, "  \"per_frame_fps\": %.1f,\n", per_frame_fps);
     std::fprintf(out, "  \"batch32_fps\": %.1f,\n", batch32_fps);
     std::fprintf(out, "  \"engine_fps\": %.1f,\n", engine_fps);

@@ -159,7 +159,11 @@ double WireReader::f64() {
 
 void WireReader::doubles(numerics::Vector& out) {
   const std::uint64_t count = u64();
-  need(count * sizeof(double));
+  // Divide, never multiply: count * sizeof(double) wraps for wire-supplied
+  // counts near 2^61, which would slip a huge resize past the bounds check.
+  if (count > remaining() / sizeof(double)) {
+    throw ProtocolError("dist: truncated payload");
+  }
   out.resize(count);
   std::memcpy(out.data(), data_ + pos_, count * sizeof(double));
   pos_ += count * sizeof(double);
@@ -176,7 +180,12 @@ std::string WireReader::str() {
 core::SensorBitmask WireReader::bitmask() {
   const std::uint64_t width = u64();
   if (width == 0) return core::SensorBitmask();
-  need((width + 7) / 8);
+  // Checked before (width + 7) / 8, which wraps for widths near 2^64 and
+  // would both defeat the bounds check and drive a huge mask allocation.
+  // remaining() <= kMaxPayloadBytes, so the multiply cannot overflow.
+  if (width > remaining() * 8) {
+    throw ProtocolError("dist: truncated payload");
+  }
   core::SensorBitmask mask(width, false);
   for (std::size_t s = 0; s < width; ++s) {
     const std::uint8_t byte = data_[pos_ + s / 8];

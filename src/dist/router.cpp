@@ -45,6 +45,15 @@ struct ShardRouter::StreamRoute {
   std::uint64_t next_result_seq = 0;  // guarded by delivery
 
   std::uint32_t owner = 0;  // guarded by state_mutex_
+
+  /// Guarded by state_mutex_. Set (atomically with the owner reassignment)
+  /// when the stream is rehashed to a survivor, cleared by the failure
+  /// handler once it holds `ingest` and is about to replay. While set,
+  /// send_frame_to_owner suppresses the wire send — the frame is already
+  /// in the replay log, and letting a racing producer reach the new owner
+  /// first would anchor the worker's stream at the wrong base seq, making
+  /// it drop the subsequently replayed older frames as duplicates.
+  bool replaying = false;
 };
 
 struct ShardRouter::Shard {
@@ -319,6 +328,11 @@ void ShardRouter::send_frame_to_owner(const StreamRoute& route,
   Shard* target = nullptr;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
+    // A rehashed stream is quiesced until its replay runs: sending now
+    // would let this frame reach the new owner ahead of the un-acked older
+    // frames. The replay (which drains the log in seq order, this frame
+    // included) delivers it instead.
+    if (route.replaying) return;
     Shard& owner = *shards_[route.owner];
     if (owner.alive) target = &owner;
   }
@@ -542,8 +556,8 @@ void ShardRouter::reader_loop(std::size_t shard_index) {
   for (;;) {
     try {
       if (shard.conn->recv(type, payload) != RecvStatus::kOk) break;
-    } catch (const ProtocolError& error) {
-      std::fprintf(stderr, "eigenmaps router: shard %zu protocol error: %s\n",
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "eigenmaps router: shard %zu receive error: %s\n",
                    shard_index, error.what());
       break;
     }
@@ -606,8 +620,12 @@ void ShardRouter::reader_loop(std::size_t shard_index) {
                        shard_index, static_cast<unsigned>(type));
           break;
       }
-    } catch (const ProtocolError& error) {
-      std::fprintf(stderr, "eigenmaps router: shard %zu protocol error: %s\n",
+    } catch (const std::exception& error) {
+      // ProtocolError (corrupt payload) or any other decode failure: the
+      // peer is untrustworthy but the router is not — down this one shard
+      // (streams rehash, frames replay) instead of letting the exception
+      // unwind through the reader thread and terminate the process.
+      std::fprintf(stderr, "eigenmaps router: shard %zu decode error: %s\n",
                    shard_index, error.what());
       break;
     }
@@ -634,6 +652,11 @@ void ShardRouter::handle_shard_failure(std::size_t shard_index) {
       for (auto& [stream, route] : routes_) {
         if (route->owner != shard.index) continue;
         route->owner = ring_lookup(stream);
+        // Quiesce the stream in the same critical section that exposes the
+        // new owner: producers that win the race from here on log their
+        // frames but do not send, so the replay below is the only writer
+        // the new owner hears from until the stream is fully caught up.
+        route->replaying = true;
         rehashed.push_back({stream, route});
       }
       counters_.streams_rehashed += rehashed.size();
@@ -653,13 +676,20 @@ void ShardRouter::handle_shard_failure(std::size_t shard_index) {
   }
   // Replay each rehashed stream's un-acked frames, in seq order, to its
   // new owner. The ingest lock serializes against live producers of the
-  // same stream; a producer that raced us and sent a frame the snapshot
-  // already covers only creates a duplicate, which the worker drops by
-  // global seq.
+  // same stream, and the replaying flag kept producers that raced the
+  // reassignment above off the wire — their frames are in the log and go
+  // out here, in order. The flag is cleared while the ingest lock is held:
+  // no producer can append between the clear and the pending() snapshot,
+  // so the first frame the new owner sees is the stream's true replay
+  // base, and every later producer send resumes in seq order behind it.
   std::vector<std::uint8_t> scratch;
   std::uint64_t replayed = 0;
   for (auto& entry : rehashed) {
     std::lock_guard<std::mutex> ingest(entry.route->ingest);
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      entry.route->replaying = false;
+    }
     const std::vector<ReplayFrame> pending = replay_.pending(entry.stream);
     for (const ReplayFrame& frame : pending) {
       send_frame_to_owner(

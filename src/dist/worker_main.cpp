@@ -149,111 +149,121 @@ int worker_main(int argc, char** argv) {
     }
     if (status != dist::RecvStatus::kOk) break;  // router closed: shut down
 
-    if (type == dist::MessageType::kSubmitFrame) {
-      dist::decode_submit_frame(payload.data(), payload.size(), frame);
-      bool accept = false;
-      {
-        std::lock_guard<std::mutex> lock(seq_mutex);
-        auto [it, fresh] = seqs.try_emplace(frame.stream);
-        StreamSeq& seq = it->second;
-        if (fresh) {
-          // First frame of this stream here (fresh stream, or just
-          // rehashed to us): its seq anchors the global<->local mapping.
-          seq.base = frame.seq;
-          seq.expected = frame.seq;
+    // The payload decoders throw ProtocolError on truncated or corrupt
+    // bytes; take the same clean log-and-exit path as a bad header rather
+    // than letting the exception terminate the worker.
+    try {
+      if (type == dist::MessageType::kSubmitFrame) {
+        dist::decode_submit_frame(payload.data(), payload.size(), frame);
+        bool accept = false;
+        {
+          std::lock_guard<std::mutex> lock(seq_mutex);
+          auto [it, fresh] = seqs.try_emplace(frame.stream);
+          StreamSeq& seq = it->second;
+          if (fresh) {
+            // First frame of this stream here (fresh stream, or just
+            // rehashed to us): its seq anchors the global<->local mapping.
+            seq.base = frame.seq;
+            seq.expected = frame.seq;
+          }
+          if (frame.seq < seq.expected) {
+            // Replay duplicate (the router replayed a frame a racing
+            // producer had also sent). Dropping it is the exactly-once half
+            // this side owns.
+            accept = false;
+          } else if (frame.seq > seq.expected) {
+            dist::WorkerErrorMsg error;
+            error.stream = frame.stream;
+            error.seq = frame.seq;
+            error.text = "sequence gap: expected " +
+                         std::to_string(seq.expected);
+            dist::encode_worker_error(error, reply);
+            conn.send(dist::MessageType::kWorkerError, reply);
+            accept = false;
+          } else {
+            seq.expected = frame.seq + 1;
+            accept = true;
+          }
         }
-        if (frame.seq < seq.expected) {
-          // Replay duplicate (the router replayed a frame a racing
-          // producer had also sent). Dropping it is the exactly-once half
-          // this side owns.
-          accept = false;
-        } else if (frame.seq > seq.expected) {
-          dist::WorkerErrorMsg error;
-          error.stream = frame.stream;
-          error.seq = frame.seq;
-          error.text = "sequence gap: expected " +
-                       std::to_string(seq.expected);
-          dist::encode_worker_error(error, reply);
-          conn.send(dist::MessageType::kWorkerError, reply);
-          accept = false;
-        } else {
-          seq.expected = frame.seq + 1;
-          accept = true;
+        if (accept) {
+          try {
+            engine.push_frame(
+                frame.stream,
+                numerics::ConstVectorView(frame.readings.data(),
+                                          frame.readings.size()),
+                frame.model, frame.mask);
+          } catch (const std::exception& error) {
+            dist::WorkerErrorMsg report;
+            report.stream = frame.stream;
+            report.seq = frame.seq;
+            report.text = error.what();
+            dist::encode_worker_error(report, reply);
+            conn.send(dist::MessageType::kWorkerError, reply);
+          }
         }
+        continue;
       }
-      if (accept) {
-        try {
-          engine.push_frame(
-              frame.stream,
-              numerics::ConstVectorView(frame.readings.data(),
-                                        frame.readings.size()),
-              frame.model, frame.mask);
-        } catch (const std::exception& error) {
-          dist::WorkerErrorMsg report;
-          report.stream = frame.stream;
-          report.seq = frame.seq;
-          report.text = error.what();
-          dist::encode_worker_error(report, reply);
-          conn.send(dist::MessageType::kWorkerError, reply);
-        }
-      }
-      continue;
-    }
 
-    switch (type) {
-      case dist::MessageType::kRegisterModel: {
-        dist::ModelAckMsg ack;
-        try {
-          const dist::RegisterModelMsg msg =
-              dist::decode_register_model(payload.data(), payload.size());
-          ack.model = msg.model;
-          ack.version = registry.register_model(msg.model,
-                                                dist::build_model(msg));
-          ack.ok = true;
-        } catch (const std::exception& error) {
-          ack.ok = false;
-          ack.error = error.what();
+      switch (type) {
+        case dist::MessageType::kRegisterModel: {
+          dist::ModelAckMsg ack;
+          try {
+            const dist::RegisterModelMsg msg =
+                dist::decode_register_model(payload.data(), payload.size());
+            ack.model = msg.model;
+            ack.version = registry.register_model(msg.model,
+                                                  dist::build_model(msg));
+            ack.ok = true;
+          } catch (const std::exception& error) {
+            ack.ok = false;
+            ack.error = error.what();
+          }
+          dist::encode_model_ack(ack, reply);
+          conn.send(dist::MessageType::kModelAck, reply);
+          break;
         }
-        dist::encode_model_ack(ack, reply);
-        conn.send(dist::MessageType::kModelAck, reply);
-        break;
+        case dist::MessageType::kRetireModel: {
+          const dist::RetireModelMsg msg =
+              dist::decode_retire_model(payload.data(), payload.size());
+          registry.unregister_model(msg.model);
+          break;
+        }
+        case dist::MessageType::kFlushStream: {
+          const dist::FlushStreamMsg msg =
+              dist::decode_flush_stream(payload.data(), payload.size());
+          engine.flush(msg.stream);
+          break;
+        }
+        case dist::MessageType::kStatsPull: {
+          dist::encode_engine_stats(engine.stats(), reply);
+          conn.send(dist::MessageType::kStatsReply, reply);
+          break;
+        }
+        case dist::MessageType::kDrain: {
+          const dist::DrainMsg msg =
+              dist::decode_drain(payload.data(), payload.size());
+          // drain() returns only after every result callback has completed,
+          // i.e. every result is on the wire — socket ordering then puts the
+          // done token after them all.
+          engine.drain();
+          dist::encode_drain_done(msg, reply);
+          conn.send(dist::MessageType::kDrainDone, reply);
+          break;
+        }
+        case dist::MessageType::kShutdown:
+          goto done;
+        default:
+          std::fprintf(stderr,
+                       "eigenmaps_shard_worker %u: unexpected message type "
+                       "%u\n",
+                       shard, static_cast<unsigned>(type));
+          break;
       }
-      case dist::MessageType::kRetireModel: {
-        const dist::RetireModelMsg msg =
-            dist::decode_retire_model(payload.data(), payload.size());
-        registry.unregister_model(msg.model);
-        break;
-      }
-      case dist::MessageType::kFlushStream: {
-        const dist::FlushStreamMsg msg =
-            dist::decode_flush_stream(payload.data(), payload.size());
-        engine.flush(msg.stream);
-        break;
-      }
-      case dist::MessageType::kStatsPull: {
-        dist::encode_engine_stats(engine.stats(), reply);
-        conn.send(dist::MessageType::kStatsReply, reply);
-        break;
-      }
-      case dist::MessageType::kDrain: {
-        const dist::DrainMsg msg =
-            dist::decode_drain(payload.data(), payload.size());
-        // drain() returns only after every result callback has completed,
-        // i.e. every result is on the wire — socket ordering then puts the
-        // done token after them all.
-        engine.drain();
-        dist::encode_drain_done(msg, reply);
-        conn.send(dist::MessageType::kDrainDone, reply);
-        break;
-      }
-      case dist::MessageType::kShutdown:
-        goto done;
-      default:
-        std::fprintf(stderr,
-                     "eigenmaps_shard_worker %u: unexpected message type "
-                     "%u\n",
-                     shard, static_cast<unsigned>(type));
-        break;
+    } catch (const dist::ProtocolError& error) {
+      std::fprintf(stderr, "eigenmaps_shard_worker %u: protocol error: %s\n",
+                   shard, error.what());
+      exit_code = 1;
+      break;
     }
   }
 done:

@@ -116,6 +116,34 @@ TEST(DistProtocol, SubmitFrameRoundTripAndTruncationThrows) {
                dist::ProtocolError);
 }
 
+TEST(DistProtocol, OverflowingLengthFieldsThrowInsteadOfAllocating) {
+  // A corrupt count near 2^61 makes count * sizeof(double) wrap to a tiny
+  // number; the reader must reject it as a ProtocolError (contained as a
+  // shard failure), never pass the bounds check and blow up in resize.
+  auto put_u64 = [](std::uint8_t* out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  std::uint8_t wire[16] = {};
+
+  for (const std::uint64_t count :
+       {std::uint64_t{1} << 61, (std::uint64_t{1} << 61) + 1,
+        ~std::uint64_t{0}, std::uint64_t{3}}) {
+    put_u64(wire, count);  // claims `count` doubles, provides 8 bytes
+    dist::WireReader reader(wire, sizeof(wire));
+    numerics::Vector out;
+    EXPECT_THROW(reader.doubles(out), dist::ProtocolError) << count;
+  }
+
+  // Same wrap in the bitmask width: (width + 7) / 8 overflows to 0 bytes.
+  for (const std::uint64_t width :
+       {~std::uint64_t{0}, ~std::uint64_t{0} - 6, std::uint64_t{1} << 61,
+        std::uint64_t{65}}) {
+    put_u64(wire, width);  // claims `width` mask bits, provides 8 bytes
+    dist::WireReader reader(wire, sizeof(wire));
+    EXPECT_THROW(reader.bitmask(), dist::ProtocolError) << width;
+  }
+}
+
 TEST(DistProtocol, RegisterModelRoundTripRebuildsBitIdenticalModel) {
   const Fixture fx;
   std::vector<std::uint8_t> payload;
