@@ -95,6 +95,19 @@ struct BenchJson {
   std::uint64_t router_p50_ns = 0;
   std::uint64_t router_p99_ns = 0;
 
+  // Failover/self-healing scenario (BENCH_dist.json): kill a shard under
+  // load with respawn enabled, measure the capacity gap and the latency
+  // cost of riding through it.
+  std::size_t dist_shards = 0;  // 0 when the scenario was skipped
+  double dist_3shard_fps = 0.0;
+  double dist_respawn_recovery_ms = 0.0;
+  std::uint64_t dist_frames_to_capacity_restored = 0;
+  double dist_p99_steady_ms = 0.0;
+  double dist_p99_failover_ms = 0.0;
+  std::uint64_t dist_frames_replayed = 0;
+  std::uint64_t dist_streams_migrated_back = 0;
+  std::uint64_t dist_workers_respawned = 0;
+
   void write(const char* path) const {
     std::FILE* out = std::fopen(path, "w");
     if (out == nullptr) {
@@ -127,6 +140,39 @@ struct BenchJson {
                  static_cast<unsigned long long>(router_p50_ns));
     std::fprintf(out, "  \"router_p99_latency_ns\": %llu\n",
                  static_cast<unsigned long long>(router_p99_ns));
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("# wrote %s\n", path);
+  }
+
+  /// Failover/self-healing numbers, separate file so distributed trends
+  /// can move without touching the single-process baseline history.
+  void write_dist(const char* path) const {
+    if (dist_shards == 0) return;  // scenario skipped: no worker binary
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"cpu_cores\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"shards\": %zu,\n", dist_shards);
+    std::fprintf(out, "  \"chaos_run_fps\": %.1f,\n", dist_3shard_fps);
+    std::fprintf(out, "  \"respawn_recovery_ms\": %.1f,\n",
+                 dist_respawn_recovery_ms);
+    std::fprintf(out, "  \"frames_to_capacity_restored\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     dist_frames_to_capacity_restored));
+    std::fprintf(out, "  \"p99_steady_ms\": %.3f,\n", dist_p99_steady_ms);
+    std::fprintf(out, "  \"p99_during_failover_ms\": %.3f,\n",
+                 dist_p99_failover_ms);
+    std::fprintf(out, "  \"frames_replayed\": %llu,\n",
+                 static_cast<unsigned long long>(dist_frames_replayed));
+    std::fprintf(out, "  \"streams_migrated_back\": %llu,\n",
+                 static_cast<unsigned long long>(dist_streams_migrated_back));
+    std::fprintf(out, "  \"workers_respawned\": %llu\n",
+                 static_cast<unsigned long long>(dist_workers_respawned));
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("# wrote %s\n", path);
@@ -559,6 +605,123 @@ int main() {
     }
   }
 
+  // --- distributed: failover + self-healing recovery under load -----------
+  {
+    const std::string worker = find_worker_binary();
+    if (worker.empty()) {
+      std::printf("# eigenmaps_shard_worker not found; skipping the "
+                  "failover/respawn scenario\n");
+    } else {
+      constexpr std::size_t kShards = 3;
+      constexpr std::size_t kStreams = 8;
+      constexpr std::size_t kDistFrames = 12288;
+      constexpr std::size_t kKillAt = kDistFrames / 3;
+
+      // Per-frame end-to-end latency: frame f (stream f % kStreams, seq
+      // f / kStreams) is stamped at push and at delivery.
+      std::vector<double> submit_at(kDistFrames, 0.0);
+      std::vector<double> done_at(kDistFrames, 0.0);
+      std::mutex trace_mutex;
+
+      dist::RouterOptions options;
+      options.shard_count = kShards;
+      options.worker_binary = worker;
+      options.worker_threads = 1;
+      options.batch_size = 32;
+      options.respawn_max_attempts = 3;
+      options.respawn_backoff_ms = 50;
+      const auto start = Clock::now();
+      dist::ShardRouter router(
+          options, [&](std::uint64_t stream, std::uint64_t first_seq,
+                       numerics::ConstMatrixView maps) {
+            const double now = seconds_since(start);
+            std::lock_guard<std::mutex> lock(trace_mutex);
+            for (std::size_t r = 0; r < maps.rows(); ++r) {
+              const std::size_t f = (first_seq + r) * kStreams + stream;
+              if (f < kDistFrames) done_at[f] = now;
+            }
+          });
+      router.register_model(1, rec.model());
+
+      // Open-loop traffic; a third of the way in, SIGKILL shard 0 and keep
+      // pushing while the router fails over and the supervisor respawns.
+      double t_kill = 0.0, t_down = 0.0, t_restored = 0.0;
+      std::size_t frames_at_restore = 0;
+      for (std::size_t f = 0; f < kDistFrames; ++f) {
+        if (f == kKillAt) {
+          t_kill = seconds_since(start);
+          router.kill_shard(0);
+        }
+        if (t_kill > 0.0 && t_down == 0.0 &&
+            router.alive_count() < kShards) {
+          t_down = seconds_since(start);
+        }
+        if (t_down > 0.0 && t_restored == 0.0 &&
+            router.alive_count() == kShards) {
+          t_restored = seconds_since(start);
+          frames_at_restore = f;
+        }
+        submit_at[f] = seconds_since(start);
+        router.push_frame(f % kStreams, readings.row_view(f % kFrames), 1);
+      }
+      router.drain();
+      while (t_restored == 0.0) {
+        // Slow producer: the rejoin can land after the loop; wait it out.
+        if (t_down > 0.0 && router.alive_count() == kShards) {
+          t_restored = seconds_since(start);
+          frames_at_restore = kDistFrames;
+          break;
+        }
+        if (t_down == 0.0 && router.alive_count() < kShards) {
+          t_down = seconds_since(start);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      const double elapsed = seconds_since(start);
+
+      const auto p99_ms = [](std::vector<double>& lat) {
+        if (lat.empty()) return 0.0;
+        std::sort(lat.begin(), lat.end());
+        return 1e3 * lat[static_cast<std::size_t>(0.99 * (lat.size() - 1))];
+      };
+      std::vector<double> steady, window;
+      for (std::size_t f = 0; f < kDistFrames; ++f) {
+        if (done_at[f] <= 0.0) continue;
+        const double lat = done_at[f] - submit_at[f];
+        if (done_at[f] < t_kill) {
+          steady.push_back(lat);
+        } else if (submit_at[f] >= t_kill && submit_at[f] <= t_restored) {
+          window.push_back(lat);
+        }
+      }
+      const dist::ClusterStats stats = router.stats();
+      json.dist_shards = kShards;
+      json.dist_3shard_fps = kDistFrames / elapsed;
+      json.dist_respawn_recovery_ms = 1e3 * (t_restored - t_kill);
+      json.dist_frames_to_capacity_restored = frames_at_restore - kKillAt;
+      json.dist_p99_steady_ms = p99_ms(steady);
+      json.dist_p99_failover_ms = p99_ms(window);
+      json.dist_frames_replayed = stats.router.frames_replayed;
+      json.dist_streams_migrated_back = stats.router.streams_migrated_back;
+      json.dist_workers_respawned = stats.router.workers_respawned;
+      std::printf("%-28s %10.0f frames/s  (%zu shards, kill+respawn mid-run)"
+                  "\n", "router, chaos + self-heal", json.dist_3shard_fps,
+                  kShards);
+      std::printf("%-28s %10.1f ms  (%llu frames pushed during the gap)\n",
+                  "respawn recovery",
+                  json.dist_respawn_recovery_ms,
+                  static_cast<unsigned long long>(
+                      json.dist_frames_to_capacity_restored));
+      std::printf("%-28s %10.3f ms steady, %.3f ms during failover "
+                  "(%llu replayed, %llu migrated back)\n",
+                  "end-to-end p99", json.dist_p99_steady_ms,
+                  json.dist_p99_failover_ms,
+                  static_cast<unsigned long long>(json.dist_frames_replayed),
+                  static_cast<unsigned long long>(
+                      json.dist_streams_migrated_back));
+    }
+  }
+
   // --- blocked GEMM vs the seed triple loop on 512 x 512 ------------------
   {
     const std::size_t n = 512;
@@ -581,5 +744,6 @@ int main() {
   }
 
   json.write("BENCH_streaming.json");
+  json.write_dist("BENCH_dist.json");
   return 0;
 }

@@ -28,6 +28,18 @@ struct RouterCounters {
   std::uint64_t stale_results_dropped = 0;
   /// Heartbeat ticks observed across all shards.
   std::uint64_t heartbeats_seen = 0;
+  /// kWorkerError reports received from shards (in-flight ones escalate
+  /// to the shard-failure path so the frame is re-served elsewhere).
+  std::uint64_t worker_errors = 0;
+  /// Dead workers respawned, re-taught, and re-inserted into the ring.
+  std::uint64_t workers_respawned = 0;
+  /// Shard slots given up on after respawn_max_attempts consecutive
+  /// failed lives (flap detection).
+  std::uint64_t respawns_abandoned = 0;
+  /// Streams quiesced and reassigned to a freshly rejoined shard (the
+  /// migrate-back half of self-healing; failure-path moves are counted
+  /// by streams_rehashed).
+  std::uint64_t streams_migrated_back = 0;
 };
 
 /// One shard's contribution to the cluster view.

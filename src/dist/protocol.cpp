@@ -305,11 +305,12 @@ void encode_submit_frame(std::uint64_t stream, std::uint64_t seq,
                          runtime::ModelId model,
                          const core::SensorBitmask& mask,
                          numerics::ConstVectorView readings,
-                         std::vector<std::uint8_t>& out) {
+                         std::vector<std::uint8_t>& out, bool rebase) {
   WireWriter w(out);
   w.u64(stream);
   w.u64(seq);
   w.u64(model);
+  w.u8(rebase ? 1 : 0);
   w.bitmask(mask);
   w.doubles(readings.data(), readings.size());
 }
@@ -320,6 +321,7 @@ void decode_submit_frame(const std::uint8_t* data, std::size_t size,
   msg.stream = r.u64();
   msg.seq = r.u64();
   msg.model = r.u64();
+  msg.rebase = r.u8() != 0;
   msg.mask = r.bitmask();
   r.doubles(msg.readings);
   r.expect_end();

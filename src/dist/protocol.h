@@ -39,7 +39,7 @@ class ProtocolError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x454D5031;  // "EMP1"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;  // v2: submit rebase flag
 /// Sanity ceiling on one payload; a length past it is a corrupt header.
 inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
 
@@ -178,11 +178,17 @@ RetireModelMsg decode_retire_model(const std::uint8_t* data,
 
 /// One frame of one stream. `seq` is the router-assigned global sequence
 /// number — the exactly-once bookkeeping travels with the frame, so a
-/// worker can drop replay duplicates by inspection.
+/// worker can drop replay duplicates by inspection. `rebase` marks the
+/// first frame a stream's (new) owner hears after a reassignment: the
+/// worker re-anchors its global<->engine-local mapping at this seq instead
+/// of treating the jump as a sequence gap — a shard can legitimately see a
+/// stream leave (migrate back to a respawned worker) and return later
+/// (that worker dies again) with seqs it never served.
 struct SubmitFrameMsg {
   std::uint64_t stream = 0;
   std::uint64_t seq = 0;
   runtime::ModelId model = 0;
+  bool rebase = false;
   core::SensorBitmask mask;
   numerics::Vector readings;
 };
@@ -190,7 +196,7 @@ void encode_submit_frame(std::uint64_t stream, std::uint64_t seq,
                          runtime::ModelId model,
                          const core::SensorBitmask& mask,
                          numerics::ConstVectorView readings,
-                         std::vector<std::uint8_t>& out);
+                         std::vector<std::uint8_t>& out, bool rebase = false);
 /// Decodes into `msg`, reusing its buffers (hot path).
 void decode_submit_frame(const std::uint8_t* data, std::size_t size,
                          SubmitFrameMsg& msg);

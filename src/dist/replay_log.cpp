@@ -21,7 +21,7 @@ bool ReplayLog::acquire_slot() {
   return true;
 }
 
-void ReplayLog::append(std::uint64_t stream, std::uint64_t seq,
+bool ReplayLog::append(std::uint64_t stream, std::uint64_t seq,
                        runtime::ModelId model,
                        const core::SensorBitmask& mask,
                        numerics::ConstVectorView readings) {
@@ -32,8 +32,15 @@ void ReplayLog::append(std::uint64_t stream, std::uint64_t seq,
   frame.readings.assign(readings.data(), readings.data() + readings.size());
   std::lock_guard<std::mutex> lock(mutex_);
   if (reserved_ > 0) --reserved_;
+  if (failed_) {
+    // The reservation is released either way; waking capacity waiters here
+    // is moot (fail() already released them) but keeps the accounting exact.
+    space_.notify_all();
+    return false;
+  }
   streams_[stream].push_back(std::move(frame));
   ++total_;
+  return true;
 }
 
 void ReplayLog::ack_before(std::uint64_t stream, std::uint64_t next_seq) {
@@ -59,6 +66,17 @@ std::vector<ReplayFrame> ReplayLog::pending(std::uint64_t stream) const {
   const auto it = streams_.find(stream);
   if (it == streams_.end()) return {};
   return std::vector<ReplayFrame>(it->second.begin(), it->second.end());
+}
+
+bool ReplayLog::contains(std::uint64_t stream, std::uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) return false;
+  for (const auto& frame : it->second) {
+    if (frame.seq == seq) return true;
+    if (frame.seq > seq) break;  // deque is seq-sorted
+  }
+  return false;
 }
 
 std::vector<std::uint64_t> ReplayLog::pending_streams() const {

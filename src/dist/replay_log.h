@@ -55,8 +55,11 @@ class ReplayLog {
   /// Logs one frame under `stream`, consuming one acquire_slot()
   /// reservation; never blocks. Frames of one stream must be appended in
   /// seq order (they are: the router assigns seqs under the stream's
-  /// ingest lock).
-  void append(std::uint64_t stream, std::uint64_t seq,
+  /// ingest lock). Returns false — logging nothing but still releasing
+  /// the reservation — once fail() was called: a producer that won the
+  /// capacity race against shutdown must not park a frame in a log nobody
+  /// will ever replay.
+  bool append(std::uint64_t stream, std::uint64_t seq,
               runtime::ModelId model, const core::SensorBitmask& mask,
               numerics::ConstVectorView readings);
 
@@ -67,6 +70,12 @@ class ReplayLog {
   /// Copies the pending (un-acked) frames of `stream`, in seq order.
   std::vector<ReplayFrame> pending(std::uint64_t stream) const;
 
+  /// Whether `stream` still holds an un-acked frame with exactly this seq.
+  /// How the router tells a worker error on an in-flight routed frame
+  /// (must escalate: its slot would otherwise leak) from one on a frame
+  /// that was already delivered and acked.
+  bool contains(std::uint64_t stream, std::uint64_t seq) const;
+
   /// Streams with at least one pending frame.
   std::vector<std::uint64_t> pending_streams() const;
 
@@ -76,8 +85,10 @@ class ReplayLog {
   /// Returns whether it emptied.
   bool wait_idle();
 
-  /// Poisons the log: blocked and future append()s return false, blocked
-  /// wait_idle()s return. Irreversible; the router's shutdown path.
+  /// Poisons the log: blocked and future acquire_slot()s and append()s
+  /// return false, blocked wait_idle()s return. Irreversible; the router's
+  /// shutdown path (and the no-capacity-will-ever-return path: every shard
+  /// dead with no respawn pending).
   void fail();
 
  private:

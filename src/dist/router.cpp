@@ -47,19 +47,29 @@ struct ShardRouter::StreamRoute {
   std::uint32_t owner = 0;  // guarded by state_mutex_
 
   /// Guarded by state_mutex_. Set (atomically with the owner reassignment)
-  /// when the stream is rehashed to a survivor, cleared by the failure
-  /// handler once it holds `ingest` and is about to replay. While set,
-  /// send_frame_to_owner suppresses the wire send — the frame is already
-  /// in the replay log, and letting a racing producer reach the new owner
-  /// first would anchor the worker's stream at the wrong base seq, making
-  /// it drop the subsequently replayed older frames as duplicates.
+  /// when the stream is rehashed to a survivor or migrated back to a
+  /// rejoined shard, cleared by the replay once it holds `ingest` and is
+  /// about to resend. While set, send_frame_to_owner suppresses the wire
+  /// send — the frame is already in the replay log, and letting a racing
+  /// producer reach the new owner first would anchor the worker's stream
+  /// at the wrong base seq, making it drop the subsequently replayed older
+  /// frames as duplicates.
   bool replaying = false;
+
+  /// Guarded by ingest. Set when the stream was reassigned with nothing
+  /// pending to replay: the next frame that actually reaches the wire must
+  /// carry the rebase flag so the (possibly returning) owner re-anchors
+  /// its seq mapping instead of reporting a gap.
+  bool rebase_next = false;
 };
 
 struct ShardRouter::Shard {
   std::uint32_t index = 0;
-  pid_t pid = -1;
-  std::unique_ptr<MessageConnection> conn;
+  pid_t pid = -1;  // guarded by state_mutex_ (a respawn rewrites it)
+  /// Guarded by state_mutex_: senders snapshot the shared_ptr under the
+  /// lock, then send outside it — a respawn can swap in a fresh connection
+  /// while an old snapshot is still mid-send on the dead one.
+  std::shared_ptr<MessageConnection> conn;
   std::thread reader;
 
   // Guarded by state_mutex_:
@@ -68,23 +78,61 @@ struct ShardRouter::Shard {
   runtime::EngineStats last_stats;
   std::uint64_t stats_generation = 0;
   std::uint64_t drain_done_token = 0;
+
+  // Self-healing bookkeeping, guarded by state_mutex_:
+  std::size_t respawn_attempts = 0;  // consecutive failed lives (flaps)
+  bool respawn_pending = false;      // armed, waiting for backoff expiry
+  bool respawn_inflight = false;     // an attempt is running right now
+  bool respawn_abandoned = false;    // gave up on this slot
+  Clock::time_point respawn_at{};    // when the pending attempt may start
+  Clock::time_point rejoined_at{};   // last successful rejoin (flap reset)
 };
 
-ShardRouter::ShardRouter(RouterOptions options, ResultCallback on_result)
-    : options_(std::move(options)),
-      on_result_(std::move(on_result)),
-      replay_(options_.replay_capacity) {
-  if (options_.shard_count == 0) {
+RouterOptions ShardRouter::validate(RouterOptions options) {
+  // Every rejection happens here, before any fork/exec or socket work, so
+  // a misconfigured router fails with the reason instead of a downstream
+  // symptom (a ReplayLog throw, a worker that exits on bad argv, a
+  // heartbeat monitor that declares everything dead instantly).
+  if (options.shard_count == 0) {
     throw std::invalid_argument("ShardRouter: shard_count must be positive");
   }
-  if (options_.worker_binary.empty()) {
+  if (options.worker_binary.empty()) {
     throw std::invalid_argument("ShardRouter: worker_binary is required");
   }
+  if (options.replay_capacity == 0) {
+    throw std::invalid_argument(
+        "ShardRouter: replay_capacity must be positive (a zero bound could "
+        "never admit a frame)");
+  }
+  if (options.heartbeat_interval_ms <= 0) {
+    throw std::invalid_argument(
+        "ShardRouter: heartbeat_interval_ms must be positive");
+  }
+  if (options.heartbeat_timeout_ms <= 0) {
+    throw std::invalid_argument(
+        "ShardRouter: heartbeat_timeout_ms must be positive");
+  }
+  if (options.connect_timeout_ms <= 0) {
+    throw std::invalid_argument(
+        "ShardRouter: connect_timeout_ms must be positive");
+  }
+  if (options.respawn_max_attempts > 0 && options.respawn_backoff_ms <= 0) {
+    throw std::invalid_argument(
+        "ShardRouter: respawn_backoff_ms must be positive when respawn is "
+        "enabled");
+  }
+  return options;
+}
+
+ShardRouter::ShardRouter(RouterOptions options, ResultCallback on_result)
+    : options_(validate(std::move(options))),
+      on_result_(std::move(on_result)),
+      replay_(options_.replay_capacity) {
   socket_path_ = options_.socket_dir + "/eigenmaps-router-" +
                  std::to_string(::getpid()) + "-" +
                  std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
                  ".sock";
-  UnixListener listener(socket_path_);
+  listener_ = std::make_unique<UnixListener>(socket_path_);
 
   try {
     shards_.reserve(options_.shard_count);
@@ -105,9 +153,9 @@ ShardRouter::ShardRouter(RouterOptions options, ResultCallback on_result)
       if (left.count() <= 0) {
         throw TransportError("ShardRouter: workers failed to connect in time");
       }
-      Socket sock = listener.accept(static_cast<int>(left.count()));
+      Socket sock = listener_->accept(static_cast<int>(left.count()));
       if (!sock.valid()) continue;
-      auto conn = std::make_unique<MessageConnection>(std::move(sock));
+      auto conn = std::make_shared<MessageConnection>(std::move(sock));
       MessageType type;
       std::vector<std::uint8_t> payload;
       if (conn->recv(type, payload) != RecvStatus::kOk ||
@@ -136,14 +184,19 @@ ShardRouter::ShardRouter(RouterOptions options, ResultCallback on_result)
     }
     throw;
   }
-  // The listener (and its socket file) is not needed past the handshake.
+  // The listener stays open for the router's whole life: a respawned
+  // worker re-connects through the same socket path.
 
   rebuild_ring();
   for (auto& shard : shards_) {
     Shard* s = shard.get();
-    s->reader = std::thread([this, s] { reader_loop(s->index); });
+    s->reader =
+        std::thread([this, s, conn = s->conn] { reader_loop(s->index, conn); });
   }
   monitor_ = std::thread([this] { monitor_loop(); });
+  if (options_.respawn_max_attempts > 0) {
+    respawner_ = std::thread([this] { respawn_loop(); });
+  }
 }
 
 ShardRouter::~ShardRouter() {
@@ -153,15 +206,28 @@ ShardRouter::~ShardRouter() {
   }
   state_cv_.notify_all();
   replay_.fail();  // release any producer blocked on back-pressure
+  // Wake a respawn attempt blocked in accept(); the fd stays owned, so an
+  // in-flight accept cannot race a reused descriptor.
+  if (listener_) listener_->close();
 
   std::vector<std::uint8_t> payload;
   for (auto& shard : shards_) {
-    if (!shard->conn) continue;
+    std::shared_ptr<MessageConnection> conn;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      conn = shard->conn;
+    }
+    if (!conn) continue;
     WireWriter writer(payload);  // empty shutdown payload
-    shard->conn->send(MessageType::kShutdown, payload);
-    shard->conn->shutdown();
+    conn->send(MessageType::kShutdown, payload);
+    // Also wakes a respawn attempt blocked in a teach-phase recv on this
+    // connection (it was installed in shard->conn before the first recv).
+    conn->shutdown();
   }
   if (monitor_.joinable()) monitor_.join();
+  // The respawner starts reader threads, so it must be gone before the
+  // readers are joined.
+  if (respawner_.joinable()) respawner_.join();
   for (auto& shard : shards_) {
     if (shard->reader.joinable()) shard->reader.join();
   }
@@ -205,6 +271,7 @@ void ShardRouter::spawn_worker(std::size_t shard) {
     std::perror("eigenmaps_shard_worker exec");
     ::_exit(127);
   }
+  std::lock_guard<std::mutex> lock(state_mutex_);
   shards_[shard]->pid = pid;
 }
 
@@ -249,6 +316,11 @@ std::uint64_t ShardRouter::register_model(
   if (!model) {
     throw std::invalid_argument("ShardRouter::register_model: null model");
   }
+  // Serialize against a shard rejoin: the respawn supervisor teaches the
+  // mirror's model set to the returning worker under this same mutex, so
+  // it can never miss a model registered concurrently (nor double-apply a
+  // retire) between its snapshot and the instant it becomes routable.
+  std::lock_guard<std::mutex> teach(teach_mutex_);
   std::vector<std::uint8_t> payload;
   encode_register_model(id, *model, payload);
   {
@@ -256,17 +328,16 @@ std::uint64_t ShardRouter::register_model(
     acks_[id].clear();
   }
   for (auto& shard : shards_) {
-    bool alive;
+    std::shared_ptr<MessageConnection> conn;
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
-      alive = shard->alive;
+      if (shard->alive) conn = shard->conn;
     }
-    if (alive) shard->conn->send(MessageType::kRegisterModel, payload);
+    if (conn) conn->send(MessageType::kRegisterModel, payload);
   }
   // Wait until every shard still alive has acked (a shard dying mid-wait
   // un-blocks us: the predicate only counts the living).
   std::unique_lock<std::mutex> lock(state_mutex_);
-  std::uint64_t version = 0;
   state_cv_.wait(lock, [&] {
     if (shutting_down_) return true;
     const auto& acked = acks_[id];
@@ -289,7 +360,6 @@ std::uint64_t ShardRouter::register_model(
                                std::to_string(shard) + " rejected model: " +
                                error);
     }
-    version = ack.version;
     any_alive = true;
   }
   acks_.erase(id);
@@ -298,49 +368,54 @@ std::uint64_t ShardRouter::register_model(
   }
   lock.unlock();
   // Publish to the mirror only now: push_frame validation cannot admit a
-  // frame for a model some live shard has not applied yet.
-  mirror_.register_model(id, std::move(model));
-  return version;
+  // frame for a model some live shard has not applied yet. The mirror's
+  // version is the canonical one — a respawned worker's registry restarts
+  // its version counter, so worker-reported versions are not monotonic
+  // across a shard's lives while the mirror's always are.
+  return mirror_.register_model(id, std::move(model));
 }
 
 void ShardRouter::retire_model(runtime::ModelId id) {
+  std::lock_guard<std::mutex> teach(teach_mutex_);
   mirror_.unregister_model(id);
   std::vector<std::uint8_t> payload;
   RetireModelMsg msg;
   msg.model = id;
   encode_retire_model(msg, payload);
   for (auto& shard : shards_) {
-    bool alive;
+    std::shared_ptr<MessageConnection> conn;
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
-      alive = shard->alive;
+      if (shard->alive) conn = shard->conn;
     }
-    if (alive) shard->conn->send(MessageType::kRetireModel, payload);
+    if (conn) conn->send(MessageType::kRetireModel, payload);
   }
 }
 
-void ShardRouter::send_frame_to_owner(const StreamRoute& route,
+bool ShardRouter::send_frame_to_owner(const StreamRoute& route,
                                       std::uint64_t stream, std::uint64_t seq,
                                       runtime::ModelId model,
                                       const core::SensorBitmask& mask,
                                       numerics::ConstVectorView readings,
+                                      bool rebase,
                                       std::vector<std::uint8_t>& scratch) {
-  Shard* target = nullptr;
+  std::shared_ptr<MessageConnection> conn;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
-    // A rehashed stream is quiesced until its replay runs: sending now
+    // A reassigned stream is quiesced until its replay runs: sending now
     // would let this frame reach the new owner ahead of the un-acked older
     // frames. The replay (which drains the log in seq order, this frame
     // included) delivers it instead.
-    if (route.replaying) return;
-    Shard& owner = *shards_[route.owner];
-    if (owner.alive) target = &owner;
+    if (route.replaying) return false;
+    const Shard& owner = *shards_[route.owner];
+    if (owner.alive) conn = owner.conn;
   }
-  if (target == nullptr) return;  // owner just died: its handler replays
-  encode_submit_frame(stream, seq, model, mask, readings, scratch);
+  if (!conn) return false;  // owner just died: its handler replays
+  encode_submit_frame(stream, seq, model, mask, readings, scratch, rebase);
   // A kClosed here is equally fine — the frame is already in the replay
   // log, and the dead shard's failure handling will resend it.
-  target->conn->send(MessageType::kSubmitFrame, scratch);
+  conn->send(MessageType::kSubmitFrame, scratch);
+  return true;
 }
 
 std::uint64_t ShardRouter::push_frame(std::uint64_t stream,
@@ -369,8 +444,19 @@ std::uint64_t ShardRouter::push_frame(std::uint64_t stream,
   {
     std::lock_guard<std::mutex> ingest(route->ingest);
     seq = route->next_seq++;
-    replay_.append(stream, seq, model, mask, readings);
-    send_frame_to_owner(*route, stream, seq, model, mask, readings, scratch);
+    if (!replay_.append(stream, seq, model, mask, readings)) {
+      // The log was poisoned after the capacity wait (shutdown, or every
+      // shard dead with no respawn coming): the reservation is released
+      // and the frame was not logged, so fail the push loudly instead of
+      // pretending the frame is in flight.
+      throw std::runtime_error("ShardRouter: shutting down");
+    }
+    const bool rebase = route->rebase_next;
+    if (send_frame_to_owner(*route, stream, seq, model, mask, readings,
+                            rebase, scratch) &&
+        rebase) {
+      route->rebase_next = false;  // the anchor actually reached the wire
+    }
   }
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -393,13 +479,13 @@ void ShardRouter::flush(std::uint64_t stream) {
   encode_flush_stream(msg, payload);
   // Under the ingest lock so the flush lands after every sent frame.
   std::lock_guard<std::mutex> ingest(route->ingest);
-  Shard* target = nullptr;
+  std::shared_ptr<MessageConnection> conn;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
-    Shard& owner = *shards_[route->owner];
-    if (owner.alive) target = &owner;
+    const Shard& owner = *shards_[route->owner];
+    if (owner.alive) conn = owner.conn;
   }
-  if (target) target->conn->send(MessageType::kFlushStream, payload);
+  if (conn) conn->send(MessageType::kFlushStream, payload);
 }
 
 void ShardRouter::drain() {
@@ -421,16 +507,32 @@ void ShardRouter::drain() {
     encode_drain(msg, payload);
     bool any_alive = false;
     for (auto& shard : shards_) {
-      bool alive;
+      std::shared_ptr<MessageConnection> conn;
       {
         std::lock_guard<std::mutex> lock(state_mutex_);
-        alive = shard->alive;
+        if (shard->alive) conn = shard->conn;
       }
-      if (!alive) continue;
+      if (!conn) continue;
       any_alive = true;
-      shard->conn->send(MessageType::kDrain, payload);
+      conn->send(MessageType::kDrain, payload);
     }
-    if (!any_alive) return;  // nothing left to deliver to or from
+    if (!any_alive) {
+      // Full outage. If a respawn is still queued or running, the parked
+      // un-acked frames are only waiting for capacity to come back — wait
+      // for a shard to rejoin (or the last respawn to be abandoned, at
+      // which point nothing can ever deliver them) and re-drain.
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      if (!respawn_possible_locked()) return;
+      state_cv_.wait(lock, [&] {
+        if (shutting_down_) return true;
+        for (const auto& shard : shards_) {
+          if (shard->alive) return true;
+        }
+        return !respawn_possible_locked();
+      });
+      if (shutting_down_) return;
+      continue;
+    }
     {
       std::unique_lock<std::mutex> lock(state_mutex_);
       state_cv_.wait(lock, [&] {
@@ -454,12 +556,12 @@ ClusterStats ShardRouter::stats() {
   }
   std::vector<std::uint8_t> payload;  // kStatsPull carries no payload
   for (auto& shard : shards_) {
-    bool alive;
+    std::shared_ptr<MessageConnection> conn;
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
-      alive = shard->alive;
+      if (shard->alive) conn = shard->conn;
     }
-    if (alive) shard->conn->send(MessageType::kStatsPull, payload);
+    if (conn) conn->send(MessageType::kStatsPull, payload);
   }
   ClusterStats out;
   std::unique_lock<std::mutex> lock(state_mutex_);
@@ -496,11 +598,16 @@ std::size_t ShardRouter::alive_count() const {
 }
 
 pid_t ShardRouter::shard_pid(std::size_t shard) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   return shards_.at(shard)->pid;
 }
 
 void ShardRouter::kill_shard(std::size_t shard) {
-  const pid_t pid = shards_.at(shard)->pid;
+  pid_t pid;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    pid = shards_.at(shard)->pid;
+  }
   if (pid > 0) ::kill(pid, SIGKILL);
 }
 
@@ -548,14 +655,17 @@ void ShardRouter::handle_result(std::size_t shard, const ResultMsg& msg) {
   counters_.stale_results_dropped += stale;
 }
 
-void ShardRouter::reader_loop(std::size_t shard_index) {
+void ShardRouter::reader_loop(std::size_t shard_index,
+                              std::shared_ptr<MessageConnection> conn) {
   Shard& shard = *shards_[shard_index];
   MessageType type;
   std::vector<std::uint8_t> payload;
   ResultMsg result;  // buffers reused across frames
+  bool escalate = false;
   for (;;) {
+    if (escalate) break;
     try {
-      if (shard.conn->recv(type, payload) != RecvStatus::kOk) break;
+      if (conn->recv(type, payload) != RecvStatus::kOk) break;
     } catch (const std::exception& error) {
       std::fprintf(stderr, "eigenmaps router: shard %zu receive error: %s\n",
                    shard_index, error.what());
@@ -611,6 +721,19 @@ void ShardRouter::reader_loop(std::size_t shard_index) {
                        static_cast<unsigned long long>(error.stream),
                        static_cast<unsigned long long>(error.seq),
                        error.text.c_str());
+          {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++counters_.worker_errors;
+          }
+          // An error on a frame still in the replay log means the shard
+          // will never deliver it: left alone, the frame's slot leaks,
+          // back-pressure capacity shrinks by one forever, and drain()
+          // (which loops until the log empties) hangs. Escalate to the
+          // single shard-failure path — down the shard, rehash, replay —
+          // so the frame is re-served by another worker. An error on an
+          // already-acked seq carries no delivery debt and stays a log
+          // line.
+          if (replay_.contains(error.stream, error.seq)) escalate = true;
           break;
         }
         default:
@@ -635,12 +758,11 @@ void ShardRouter::reader_loop(std::size_t shard_index) {
 
 void ShardRouter::handle_shard_failure(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
-  struct Rehashed {
-    std::uint64_t stream;
-    std::shared_ptr<StreamRoute> route;
-  };
-  std::vector<Rehashed> rehashed;
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<StreamRoute>>>
+      rehashed;
   bool all_dead = false;
+  std::shared_ptr<MessageConnection> conn;
+  pid_t pid = -1;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     if (shutting_down_ || !shard.alive) return;
@@ -657,47 +779,79 @@ void ShardRouter::handle_shard_failure(std::size_t shard_index) {
         // frames but do not send, so the replay below is the only writer
         // the new owner hears from until the stream is fully caught up.
         route->replaying = true;
-        rehashed.push_back({stream, route});
+        rehashed.emplace_back(stream, route);
       }
       counters_.streams_rehashed += rehashed.size();
+    }
+    conn = shard.conn;
+    // Take the pid out of the slot before reaping: a respawn will give it
+    // a fresh pid, and a stale one must never be signalled again (the
+    // kernel may have reused it for a different shard's worker by then).
+    pid = shard.pid;
+    shard.pid = -1;
+    // Arm the self-healing supervisor for this slot (no-op when respawn
+    // is disabled or the slot's flap streak hit the cap).
+    schedule_respawn_locked(shard);
+    if (all_dead && !respawn_possible_locked()) {
+      // No capacity left and none coming back: poison the log so blocked
+      // producers fail instead of hanging. With a respawn pending the
+      // parked frames stay valid — they replay once a worker rejoins.
+      replay_.fail();
     }
     // Waiters (register_model, drain, stats) re-evaluate their live sets.
     state_cv_.notify_all();
   }
-  shard.conn->shutdown();
-  if (shard.pid > 0) {
-    ::kill(shard.pid, SIGKILL);  // no-op if already gone
+  conn->shutdown();
+  if (pid > 0) {
+    ::kill(pid, SIGKILL);  // no-op if already gone
     int status = 0;
-    ::waitpid(shard.pid, &status, 0);
+    ::waitpid(pid, &status, 0);
   }
-  if (all_dead) {
-    replay_.fail();  // producers blocked on back-pressure must not hang
-    return;
-  }
-  // Replay each rehashed stream's un-acked frames, in seq order, to its
+  if (all_dead) return;  // nothing to replay onto (yet)
+  replay_streams(rehashed);
+}
+
+void ShardRouter::replay_streams(
+    const std::vector<std::pair<std::uint64_t, std::shared_ptr<StreamRoute>>>&
+        reassigned) {
+  // Replay each reassigned stream's un-acked frames, in seq order, to its
   // new owner. The ingest lock serializes against live producers of the
   // same stream, and the replaying flag kept producers that raced the
-  // reassignment above off the wire — their frames are in the log and go
-  // out here, in order. The flag is cleared while the ingest lock is held:
-  // no producer can append between the clear and the pending() snapshot,
-  // so the first frame the new owner sees is the stream's true replay
-  // base, and every later producer send resumes in seq order behind it.
+  // reassignment off the wire — their frames are in the log and go out
+  // here, in order. The flag is cleared while the ingest lock is held: no
+  // producer can append between the clear and the pending() snapshot, so
+  // the first frame the new owner sees is the stream's true replay base,
+  // and every later producer send resumes in seq order behind it. That
+  // first frame carries the rebase flag: the owner may have served this
+  // stream in an earlier life (or before a migrate-back round trip) and
+  // must re-anchor its seq mapping rather than diagnose a gap.
   std::vector<std::uint8_t> scratch;
   std::uint64_t replayed = 0;
-  for (auto& entry : rehashed) {
-    std::lock_guard<std::mutex> ingest(entry.route->ingest);
+  for (const auto& [stream, route] : reassigned) {
+    std::lock_guard<std::mutex> ingest(route->ingest);
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
-      entry.route->replaying = false;
+      route->replaying = false;
     }
-    const std::vector<ReplayFrame> pending = replay_.pending(entry.stream);
+    const std::vector<ReplayFrame> pending = replay_.pending(stream);
+    if (pending.empty()) {
+      // Nothing to resend; the next producer frame is the anchor instead.
+      route->rebase_next = true;
+      continue;
+    }
+    bool rebase = true;
     for (const ReplayFrame& frame : pending) {
-      send_frame_to_owner(
-          *entry.route, entry.stream, frame.seq, frame.model, frame.mask,
-          numerics::ConstVectorView(frame.readings.data(),
-                                    frame.readings.size()),
-          scratch);
+      if (send_frame_to_owner(
+              *route, stream, frame.seq, frame.model, frame.mask,
+              numerics::ConstVectorView(frame.readings.data(),
+                                        frame.readings.size()),
+              rebase, scratch)) {
+        rebase = false;  // anchor delivered; the rest follow in order
+      }
+      // A suppressed send (the new owner died already) is fine: that
+      // owner's failure handler re-runs this replay, rebase and all.
     }
+    route->rebase_next = false;
     replayed += pending.size();
   }
   {
@@ -707,25 +861,280 @@ void ShardRouter::handle_shard_failure(std::size_t shard_index) {
 }
 
 void ShardRouter::monitor_loop() {
-  const auto interval =
-      std::chrono::milliseconds(std::max(options_.heartbeat_interval_ms, 1));
-  const auto timeout =
-      std::chrono::milliseconds(std::max(options_.heartbeat_timeout_ms, 1));
+  const auto interval = std::chrono::milliseconds(options_.heartbeat_interval_ms);
+  const auto timeout = std::chrono::milliseconds(options_.heartbeat_timeout_ms);
   std::unique_lock<std::mutex> lock(state_mutex_);
   while (!shutting_down_) {
     state_cv_.wait_for(lock, interval, [&] { return shutting_down_; });
     if (shutting_down_) break;
     const auto now = Clock::now();
     for (auto& shard : shards_) {
-      if (!shard->alive || now - shard->last_heard <= timeout) continue;
+      if (!shard->alive) continue;
+      // A respawned worker that stayed up a full heartbeat-timeout window
+      // has proven itself stable: reset its flap streak so a much later,
+      // unrelated crash gets the full respawn budget again.
+      if (shard->respawn_attempts > 0 && !shard->respawn_pending &&
+          !shard->respawn_inflight && now - shard->rejoined_at > timeout) {
+        shard->respawn_attempts = 0;
+      }
+      if (now - shard->last_heard <= timeout) continue;
       // Silent too long: force the connection down. The reader wakes with
       // kClosed and runs the one true failure path — the monitor itself
       // never mutates routing state.
+      const std::shared_ptr<MessageConnection> conn = shard->conn;
       lock.unlock();
-      shard->conn->shutdown();
+      conn->shutdown();
       lock.lock();
     }
   }
+}
+
+void ShardRouter::schedule_respawn_locked(Shard& shard) {
+  if (options_.respawn_max_attempts == 0) return;  // self-healing disabled
+  if (shard.respawn_attempts >= options_.respawn_max_attempts) {
+    // Flap detection: this slot crashed right back after every respawn in
+    // the streak. Give up on it — the ring stays rebalanced onto the
+    // survivors, exactly as if respawn were disabled.
+    if (!shard.respawn_abandoned) {
+      shard.respawn_abandoned = true;
+      ++counters_.respawns_abandoned;
+      std::fprintf(stderr,
+                   "eigenmaps router: giving up on shard %u after %zu "
+                   "failed respawns\n",
+                   shard.index, shard.respawn_attempts);
+      state_cv_.notify_all();  // drain() may be waiting on this verdict
+    }
+    return;
+  }
+  // Exponential backoff over the slot's current flap streak: attempt k
+  // (1-based) waits 2^(k-1) * respawn_backoff_ms. The shift is capped only
+  // by respawn_max_attempts, which the caller bounds.
+  const auto backoff = std::chrono::milliseconds(
+      options_.respawn_backoff_ms
+      << std::min<std::size_t>(shard.respawn_attempts, 20));
+  ++shard.respawn_attempts;
+  shard.respawn_at = Clock::now() + backoff;
+  shard.respawn_pending = true;
+  state_cv_.notify_all();  // wake the supervisor to re-plan its sleep
+}
+
+bool ShardRouter::respawn_possible_locked() const {
+  for (const auto& shard : shards_) {
+    if (shard->respawn_pending || shard->respawn_inflight) return true;
+  }
+  return false;
+}
+
+void ShardRouter::respawn_loop() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  while (!shutting_down_) {
+    const auto now = Clock::now();
+    Shard* due = nullptr;
+    auto earliest = Clock::time_point::max();
+    for (auto& shard : shards_) {
+      if (!shard->respawn_pending) continue;
+      if (shard->respawn_at <= now) {
+        due = shard.get();
+        break;
+      }
+      earliest = std::min(earliest, shard->respawn_at);
+    }
+    if (due != nullptr) {
+      due->respawn_pending = false;
+      due->respawn_inflight = true;
+      lock.unlock();
+      attempt_respawn(due->index);
+      lock.lock();
+      due->respawn_inflight = false;
+      state_cv_.notify_all();  // drain() re-checks respawn_possible
+      continue;
+    }
+    // Sleep until the earliest backoff expires or something changes
+    // (a new failure arming a respawn, shutdown). Spurious wakeups just
+    // re-scan.
+    if (earliest == Clock::time_point::max()) {
+      state_cv_.wait(lock);
+    } else {
+      state_cv_.wait_until(lock, earliest);
+    }
+  }
+}
+
+bool ShardRouter::fail_respawn_attempt(Shard& shard) {
+  pid_t pid;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    pid = shard.pid;
+    shard.pid = -1;
+  }
+  if (pid > 0) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  schedule_respawn_locked(shard);
+  if (ring_.empty() && !respawn_possible_locked()) {
+    // The whole cluster is gone and this was the last hope of capacity:
+    // release producers blocked on back-pressure.
+    replay_.fail();
+  }
+  return false;
+}
+
+bool ShardRouter::attempt_respawn(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  // The previous life's reader has exited (it ran the failure handler
+  // that armed this attempt); reap the thread before starting a new one.
+  if (shard.reader.joinable()) shard.reader.join();
+
+  try {
+    spawn_worker(shard_index);
+  } catch (const TransportError& error) {
+    std::fprintf(stderr, "eigenmaps router: shard %zu respawn failed: %s\n",
+                 shard_index, error.what());
+    return fail_respawn_attempt(shard);
+  }
+
+  // Re-accept on the still-open listener. Short poll slices keep the
+  // supervisor responsive to shutdown; listener_->close() in the
+  // destructor wakes a blocked accept immediately as well.
+  std::shared_ptr<MessageConnection> conn;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.connect_timeout_ms);
+  while (!conn) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (shutting_down_) return false;  // dtor reaps the spawned child
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) break;
+    Socket sock = listener_->accept(
+        static_cast<int>(std::min<long long>(left.count(), 200)));
+    if (!sock.valid()) continue;
+    auto candidate = std::make_shared<MessageConnection>(std::move(sock));
+    MessageType type;
+    std::vector<std::uint8_t> payload;
+    try {
+      if (candidate->recv(type, payload) != RecvStatus::kOk ||
+          type != MessageType::kHello) {
+        continue;  // died before hello, or a stray peer: not our worker
+      }
+      const HelloMsg hello = decode_hello(payload.data(), payload.size());
+      if (hello.shard != shard.index) continue;  // stale/stray connection
+    } catch (const std::exception&) {
+      continue;  // malformed hello: drop the connection, keep waiting
+    }
+    conn = std::move(candidate);
+  }
+  if (!conn) {
+    std::fprintf(stderr,
+                 "eigenmaps router: shard %zu respawn: worker did not "
+                 "reconnect in time\n",
+                 shard_index);
+    return fail_respawn_attempt(shard);
+  }
+
+  // Install the connection before the first teach recv: from here the
+  // destructor's broadcast loop can shut it down to unblock us. The shard
+  // is still !alive, so no sender routes anything to it yet.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (shutting_down_) return false;
+    shard.conn = conn;
+  }
+
+  // Re-teach, then rejoin, all under the teach mutex: the mirror cannot
+  // change between the snapshot taught here and the instant the shard
+  // becomes routable, so its model set equals the cluster's exactly.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<StreamRoute>>>
+      migrated;
+  {
+    std::lock_guard<std::mutex> teach(teach_mutex_);
+    std::vector<std::uint8_t> payload;
+    for (const runtime::ModelId id : mirror_.ids()) {
+      const auto entry = mirror_.resolve(id);
+      if (!entry) continue;  // unreachable under teach_mutex_; be safe
+      encode_register_model(id, *entry->model, payload);
+      if (conn->send(MessageType::kRegisterModel, payload) !=
+          RecvStatus::kOk) {
+        return fail_respawn_attempt(shard);
+      }
+      // Private handshake: this connection has no reader thread yet, so
+      // the ack is awaited right here. Heartbeats interleave; anything
+      // else from a shard that owns no streams and serves no frames is a
+      // protocol violation.
+      for (;;) {
+        MessageType type;
+        std::vector<std::uint8_t> reply;
+        try {
+          if (conn->recv(type, reply) != RecvStatus::kOk) {
+            return fail_respawn_attempt(shard);
+          }
+          if (type == MessageType::kHeartbeat) continue;
+          if (type != MessageType::kModelAck) {
+            return fail_respawn_attempt(shard);
+          }
+          const ModelAckMsg ack =
+              decode_model_ack(reply.data(), reply.size());
+          if (!ack.ok || ack.model != id) {
+            std::fprintf(stderr,
+                         "eigenmaps router: shard %zu respawn: model %llu "
+                         "re-teach rejected: %s\n",
+                         shard_index, static_cast<unsigned long long>(id),
+                         ack.error.c_str());
+            return fail_respawn_attempt(shard);
+          }
+        } catch (const std::exception& error) {
+          std::fprintf(stderr,
+                       "eigenmaps router: shard %zu respawn: re-teach "
+                       "failed: %s\n",
+                       shard_index, error.what());
+          return fail_respawn_attempt(shard);
+        }
+        break;
+      }
+    }
+
+    // Rejoin: flip alive, rebuild the ring, and quiesce every stream the
+    // ring now assigns to this shard — atomically, so no producer can
+    // reach the fresh worker ahead of its replay. Streams whose route
+    // already pointed at this slot (a full outage parked them) are
+    // reassigned-in-place for the same quiesce-then-replay treatment: the
+    // frames they logged must go to the NEW process, rebase-anchored.
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (shutting_down_) return false;
+    shard.alive = true;
+    shard.last_heard = Clock::now();
+    shard.rejoined_at = shard.last_heard;
+    shard.last_stats = runtime::EngineStats{};
+    // Join in-flight control rounds as already-answered: this shard held
+    // no frames when they started, and drain() re-checks the replay log
+    // anyway, so nothing is lost — while a stale low token would deadlock
+    // the waiter forever.
+    shard.stats_generation = stats_generation_;
+    shard.drain_done_token = drain_token_;
+    rebuild_ring();
+    for (auto& [stream, route] : routes_) {
+      if (ring_lookup(stream) != shard.index) continue;
+      route->owner = shard.index;
+      route->replaying = true;
+      migrated.emplace_back(stream, route);
+    }
+    ++counters_.workers_respawned;
+    counters_.streams_migrated_back += migrated.size();
+    Shard* s = &shard;
+    shard.reader = std::thread(
+        [this, s, conn] { reader_loop(s->index, conn); });
+    state_cv_.notify_all();
+  }
+  std::fprintf(stderr,
+               "eigenmaps router: shard %zu respawned and rejoined "
+               "(%zu streams migrated back)\n",
+               shard_index, migrated.size());
+  replay_streams(migrated);
+  return true;
 }
 
 }  // namespace eigenmaps::dist

@@ -14,6 +14,14 @@
 // only then publishes it to the router's local mirror registry — so no
 // frame can route for a model some shard might not know, and a rehash
 // never has to re-teach a survivor.
+//
+// The cluster is also self-healing: a supervisor thread respawns a dead
+// worker with exponential backoff (RouterOptions::respawn_*), re-runs the
+// hello handshake on the still-open listener, re-teaches it every mirror
+// model before it becomes routable, then re-inserts it into the ring and
+// migrates its streams back with the same quiesce-then-replay protocol the
+// failure path uses — so the exactly-once in-order contract holds across
+// rejoin exactly as it does across death.
 #ifndef EIGENMAPS_DIST_ROUTER_H
 #define EIGENMAPS_DIST_ROUTER_H
 
@@ -61,8 +69,19 @@ struct RouterOptions {
   /// Virtual nodes per shard on the consistent-hash ring. More nodes
   /// spread a dead shard's streams more evenly over the survivors.
   std::size_t virtual_nodes = 16;
-  /// Worker spawn/handshake deadline.
+  /// Worker spawn/handshake deadline (initial spawn and respawn alike).
   int connect_timeout_ms = 10000;
+  /// Self-healing: how many consecutive failed lives of one shard slot the
+  /// supervisor tolerates before giving up on it (flap detection — a
+  /// worker that crashes right back after every respawn must not be
+  /// restarted forever). The counter resets once a respawned worker stays
+  /// up for heartbeat_timeout_ms. 0 disables respawn entirely: a dead
+  /// shard's streams stay on the survivors, as before this knob existed.
+  std::size_t respawn_max_attempts = 3;
+  /// Backoff before respawn attempt k (1-based) of a slot's current flap
+  /// streak: 2^(k-1) * respawn_backoff_ms. Must be positive when respawn
+  /// is enabled.
+  int respawn_backoff_ms = 100;
 };
 
 /// Multi-process shard router. Thread-safe for concurrent producers; the
@@ -78,7 +97,10 @@ class ShardRouter {
                          numerics::ConstMatrixView maps)>;
 
   /// Spawns the workers and completes the hello handshake with each;
-  /// throws TransportError when a worker fails to come up in time.
+  /// throws TransportError when a worker fails to come up in time and
+  /// std::invalid_argument when `options` is malformed (zero shard count
+  /// or replay capacity, empty worker binary, non-positive timeouts) —
+  /// loudly at construction, never deep inside spawn_worker.
   ShardRouter(RouterOptions options, ResultCallback on_result);
   ~ShardRouter();
 
@@ -100,8 +122,11 @@ class ShardRouter {
   /// global sequence number. Validates eagerly against the mirror registry
   /// (unknown model, frame width, infeasible mask all throw
   /// std::invalid_argument here, never inside a worker). Blocks on the
-  /// replay-log bound (back-pressure); throws std::runtime_error when no
-  /// shard is left alive or the router is shutting down.
+  /// replay-log bound (back-pressure); throws std::runtime_error when the
+  /// router is shutting down, or when a NEW stream arrives while no shard
+  /// is alive and none can come back. Frames of already-routed streams are
+  /// accepted during a full outage with a respawn pending — they park in
+  /// the replay log and replay once a worker rejoins.
   std::uint64_t push_frame(
       std::uint64_t stream, numerics::ConstVectorView readings,
       runtime::ModelId model = 0,
@@ -131,27 +156,63 @@ class ShardRouter {
   struct Shard;
   struct StreamRoute;
 
+  /// Rejects malformed options with std::invalid_argument; the validated
+  /// copy initializes options_.
+  static RouterOptions validate(RouterOptions options);
+
   void spawn_worker(std::size_t shard);
-  void reader_loop(std::size_t shard);
+  void reader_loop(std::size_t shard,
+                   std::shared_ptr<MessageConnection> conn);
   void monitor_loop();
   void handle_shard_failure(std::size_t shard);
   void handle_result(std::size_t shard, const ResultMsg& msg);
+  /// The self-healing supervisor: sleeps until a dead shard's backoff
+  /// expires, then tries to bring it back.
+  void respawn_loop();
+  /// One respawn attempt: fork/exec, re-accept on the listener, re-teach
+  /// every mirror model, then atomically rejoin the ring and migrate
+  /// streams back. On failure schedules the next attempt (or abandons the
+  /// slot). Returns whether the shard rejoined.
+  bool attempt_respawn(std::size_t shard);
+  /// state_mutex_ held: arms the next respawn of `shard` per its flap
+  /// streak, or abandons the slot once the streak hits the cap.
+  void schedule_respawn_locked(Shard& shard);
+  /// Cleanup for a failed respawn attempt: reaps the half-started child,
+  /// schedules the next attempt (or abandons), and poisons the replay log
+  /// when no capacity can ever return. Always returns false.
+  bool fail_respawn_attempt(Shard& shard);
+  /// state_mutex_ held: whether any slot still has a respawn queued or
+  /// running — i.e. whether lost capacity can still come back.
+  bool respawn_possible_locked() const;
+  /// Quiesce-then-replay for streams just reassigned (by a failure rehash
+  /// or a rejoin migrate-back): per stream, under its ingest lock, clears
+  /// `replaying` and re-sends the un-acked frames to the new owner, the
+  /// first one rebase-flagged so the owner re-anchors its seq mapping.
+  void replay_streams(
+      const std::vector<std::pair<std::uint64_t,
+                                  std::shared_ptr<StreamRoute>>>& reassigned);
   std::shared_ptr<StreamRoute> route_for(std::uint64_t stream);
   /// Ring lookup among live shards; throws std::runtime_error when none.
   std::uint32_t ring_lookup(std::uint64_t stream) const;
   void rebuild_ring();
   /// Sends one encoded frame to `stream`'s current owner (scratch buffer
-  /// supplied by the caller); a failed send is fine — the frame is in the
-  /// replay log and the owner's death will replay it.
-  void send_frame_to_owner(const StreamRoute& route, std::uint64_t stream,
+  /// supplied by the caller). Returns whether the frame actually went out:
+  /// a suppressed send (owner dead or stream quiesced for replay) is fine
+  /// — the frame is in the replay log and the reassignment will replay it
+  /// — but the caller must then keep any pending rebase mark.
+  bool send_frame_to_owner(const StreamRoute& route, std::uint64_t stream,
                            std::uint64_t seq, runtime::ModelId model,
                            const core::SensorBitmask& mask,
-                           numerics::ConstVectorView readings,
+                           numerics::ConstVectorView readings, bool rebase,
                            std::vector<std::uint8_t>& scratch);
 
   const RouterOptions options_;
   const ResultCallback on_result_;
   std::string socket_path_;
+  /// Stays open for the router's whole life: respawned workers re-connect
+  /// through the same path. The destructor close()s it to wake a respawn
+  /// attempt blocked in accept().
+  std::unique_ptr<UnixListener> listener_;
 
   /// Mirror of the cluster's registered models, for producer-side
   /// validation (width, mask feasibility) without a round-trip.
@@ -160,10 +221,18 @@ class ShardRouter {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::thread monitor_;
+  std::thread respawner_;  // only started when respawn is enabled
 
-  /// Guards routes_, ring_, shard liveness/heartbeat/stats/ack/drain
-  /// bookkeeping, and counters_. Never held across a socket send or the
-  /// result callback.
+  /// Serializes model-set changes against shard rejoin: register_model /
+  /// retire_model hold it across broadcast+ack+mirror-publish, and a
+  /// respawn holds it across re-teach+ring-rejoin, so a rejoined shard's
+  /// model set always equals the mirror the instant it becomes routable.
+  /// Ordered before state_mutex_; never held by reader threads.
+  std::mutex teach_mutex_;
+
+  /// Guards routes_, ring_, shard liveness/heartbeat/stats/ack/drain/
+  /// respawn bookkeeping, and counters_. Never held across a socket send
+  /// or the result callback.
   mutable std::mutex state_mutex_;
   std::condition_variable state_cv_;  // acks, stats replies, drain dones
   std::map<std::uint64_t, std::shared_ptr<StreamRoute>> routes_;

@@ -121,6 +121,8 @@ UnixListener::UnixListener(std::string path) : path_(std::move(path)) {
 
 UnixListener::~UnixListener() { ::unlink(path_.c_str()); }
 
+void UnixListener::close() { listen_socket_.shutdown_both(); }
+
 Socket UnixListener::accept(int timeout_ms) {
   pollfd pfd{};
   pfd.fd = listen_socket_.fd();
@@ -132,6 +134,9 @@ Socket UnixListener::accept(int timeout_ms) {
     const int fd = ::accept(listen_socket_.fd(), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      // close() shut the listening socket down: report "no peer" so the
+      // caller's shutdown check runs, instead of throwing on a clean exit.
+      if (errno == EINVAL) return Socket();
       throw_errno("accept");
     }
     return Socket(fd);

@@ -78,6 +78,11 @@ Socket connect_unix(const std::string& path, int timeout_ms = 5000);
 
 /// Listening Unix domain socket. Unlinks a stale path on bind, and unlinks
 /// again on destruction.
+///
+/// Lifetime contract: the router keeps its listener open for the life of
+/// the cluster, not just startup — a respawned worker re-connects through
+/// the same path, so accept() is called again long after the initial
+/// handshake.
 class UnixListener {
  public:
   explicit UnixListener(std::string path);
@@ -89,8 +94,15 @@ class UnixListener {
 
   /// Accepts one connection, or an invalid Socket after `timeout_ms` with
   /// no arrival (poll-based, so a dead worker cannot hang the router's
-  /// startup forever).
+  /// startup forever). After close(), returns an invalid Socket
+  /// immediately instead of blocking.
   Socket accept(int timeout_ms);
+
+  /// Stops accepting: shuts the listening socket down so a concurrent or
+  /// future accept() returns an invalid Socket promptly. Called by the
+  /// router's destructor to wake a respawn supervisor blocked in accept().
+  /// The fd itself stays owned until destruction (no fd-reuse race).
+  void close();
 
  private:
   std::string path_;

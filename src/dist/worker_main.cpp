@@ -7,11 +7,21 @@
 //
 // Exactly-once bookkeeping, worker side: the router assigns each frame a
 // global per-stream seq, but the engine numbers frames locally from 0 per
-// stream. The worker records base[stream] = first global seq it saw, so
-// global = base + local, and drops any frame whose seq it has already
-// pushed — replay races send duplicates by design, and dropping them here
-// by seq inspection is what keeps delivery exactly-once without any
-// router/worker consensus.
+// stream. The worker keeps per-stream base EPOCHS — (first_local, base)
+// spans with global = base + local (modular uint64 arithmetic: base may
+// "wrap negative" when a replay re-serves seqs below the push count) —
+// and drops any frame whose seq it has already accepted: replay races
+// send duplicates by design, and dropping them here by seq inspection is
+// what keeps delivery exactly-once without any router/worker consensus.
+// A rebase-flagged frame re-anchors the mapping unconditionally (opening
+// a new epoch): the router sets it on the first frame after a stream
+// reassignment, because a stream can leave this shard (migrate back to a
+// respawned worker) and later return with seqs this worker never saw — a
+// jump that is only a "gap" when unflagged. Results are labeled with the
+// epoch their frames were PUSHED under, never the latest one: a replay
+// race can re-anchor while earlier pushes are still queued in the engine,
+// and relabeling those would make the router ack frames it never
+// delivered.
 //
 // Usage: eigenmaps_shard_worker <socket> <shard> <threads> <batch> <hb_ms>
 
@@ -21,6 +31,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -28,6 +39,7 @@
 #include <vector>
 
 #include <signal.h>
+#include <unistd.h>
 
 #include "dist/protocol.h"
 #include "dist/transport.h"
@@ -38,9 +50,23 @@ namespace {
 
 using namespace eigenmaps;
 
+/// One span of the global<->local seq mapping: engine-locals >= first_local
+/// (up to the next epoch) map to global = base + local (mod 2^64).
+struct SeqEpoch {
+  std::uint64_t first_local = 0;
+  std::uint64_t base = 0;
+};
+
 struct StreamSeq {
-  std::uint64_t base = 0;      // global seq of the stream's first frame here
   std::uint64_t expected = 0;  // next global seq this worker will accept
+  std::uint64_t pushed = 0;    // frames of this stream pushed to the engine
+  /// Base history, appended on every (re-)anchor. Results must be labeled
+  /// with the base that was current when their frames were PUSHED, not
+  /// when they are delivered: a replay race can re-anchor the mapping
+  /// while earlier pushes are still queued inside the engine, and
+  /// relabeling those in flight would ack frames the router never
+  /// delivered. Spent epochs are pruned as deliveries pass them.
+  std::deque<SeqEpoch> epochs;
 };
 
 std::uint64_t parse_u64(const char* text, const char* what) {
@@ -70,6 +96,19 @@ int worker_main(int argc, char** argv) {
   const std::size_t batch = parse_u64(argv[4], "batch");
   const auto heartbeat_ms = static_cast<int>(parse_u64(argv[5], "hb_ms"));
 
+  // Fault-injection knobs for the router's chaos tests — no effect unless
+  // the environment sets them.
+  //  - EIGENMAPS_DIST_INJECT_ERROR_SHARD=<shard>: this shard reports a
+  //    kWorkerError for the first frame it would accept and then wedges
+  //    (ignores further submits but keeps heartbeating) — the shape of a
+  //    worker whose engine broke while its process stayed up.
+  //  - EIGENMAPS_DIST_DIE_FILE=<path>: exit right after the hello when the
+  //    file exists — the shape of a worker that flaps on every respawn.
+  const char* inject_env = std::getenv("EIGENMAPS_DIST_INJECT_ERROR_SHARD");
+  const bool inject_error =
+      inject_env != nullptr && parse_u64(inject_env, "inject shard") == shard;
+  const char* die_file = std::getenv("EIGENMAPS_DIST_DIE_FILE");
+
   // Declared before the registry/engine: the engine's result callback
   // sends on this connection from worker threads, so the connection must
   // be destroyed last.
@@ -83,6 +122,11 @@ int worker_main(int argc, char** argv) {
         dist::RecvStatus::kOk) {
       return 1;
     }
+  }
+  if (die_file != nullptr && ::access(die_file, F_OK) == 0) {
+    // After the hello, so the router's respawn supervisor sees a worker
+    // that connects and then dies — the hardest flap shape to handle.
+    return 3;
   }
 
   // Per-stream global<->local seq mapping. The result callback reads it on
@@ -98,16 +142,50 @@ int worker_main(int argc, char** argv) {
       registry, engine_options,
       [&](std::uint64_t stream, std::uint64_t first_local,
           numerics::ConstMatrixView maps) {
-        std::uint64_t base;
+        // Label each row with the base of the epoch its frame was pushed
+        // under. A batch can span a re-anchor (frames pushed before and
+        // after), so it may have to go out as several result messages —
+        // globals are only contiguous within one epoch.
+        struct Segment {
+          std::uint64_t first_global;
+          std::size_t offset;
+          std::size_t rows;
+        };
+        thread_local std::vector<Segment> segments;
+        segments.clear();
         {
           std::lock_guard<std::mutex> lock(seq_mutex);
-          base = seqs[stream].base;
+          std::deque<SeqEpoch>& epochs = seqs[stream].epochs;
+          if (epochs.empty()) epochs.push_back({0, 0});  // unreachable guard
+          // The engine delivers each stream's locals in order, so epochs
+          // fully behind this batch are spent.
+          while (epochs.size() > 1 && epochs[1].first_local <= first_local) {
+            epochs.pop_front();
+          }
+          const std::uint64_t end_local = first_local + maps.rows();
+          std::uint64_t cursor = first_local;
+          std::size_t e = 0;
+          while (cursor < end_local) {
+            const std::uint64_t epoch_end = e + 1 < epochs.size()
+                                                ? epochs[e + 1].first_local
+                                                : end_local;
+            const std::uint64_t seg_end = std::min(epoch_end, end_local);
+            segments.push_back(
+                {epochs[e].base + cursor,
+                 static_cast<std::size_t>(cursor - first_local),
+                 static_cast<std::size_t>(seg_end - cursor)});
+            cursor = seg_end;
+            ++e;
+          }
         }
         thread_local std::vector<std::uint8_t> payload;
-        dist::encode_result(stream, base + first_local, maps, payload);
-        // A failed send means the router is gone; the main recv loop will
-        // see the same and exit.
-        conn.send(dist::MessageType::kResult, payload);
+        for (const Segment& seg : segments) {
+          dist::encode_result(stream, seg.first_global,
+                              maps.rows_view(seg.offset, seg.rows), payload);
+          // A failed send means the router is gone; the main recv loop
+          // will see the same and exit.
+          conn.send(dist::MessageType::kResult, payload);
+        }
       });
 
   // Heartbeat thread: a liveness tick every interval until shutdown.
@@ -136,6 +214,7 @@ int worker_main(int argc, char** argv) {
   std::vector<std::uint8_t> payload;    // recv buffer, reused
   std::vector<std::uint8_t> reply;      // send buffer, reused
   dist::SubmitFrameMsg frame;           // hot-path decode, buffers reused
+  bool wedged = false;                  // injected-error mode tripped
   int exit_code = 0;
   for (;;) {
     dist::RecvStatus status;
@@ -154,16 +233,34 @@ int worker_main(int argc, char** argv) {
     // than letting the exception terminate the worker.
     try {
       if (type == dist::MessageType::kSubmitFrame) {
+        if (wedged) continue;  // injected-error mode: black-hole submits
         dist::decode_submit_frame(payload.data(), payload.size(), frame);
         bool accept = false;
+        bool fatal = false;
         {
           std::lock_guard<std::mutex> lock(seq_mutex);
           auto [it, fresh] = seqs.try_emplace(frame.stream);
           StreamSeq& seq = it->second;
-          if (fresh) {
-            // First frame of this stream here (fresh stream, or just
-            // rehashed to us): its seq anchors the global<->local mapping.
-            seq.base = frame.seq;
+          if (fresh || frame.rebase) {
+            // Anchor (or re-anchor) the global<->local mapping so the
+            // NEXT engine push — local index == frames pushed so far —
+            // maps to this global seq. On a fresh stream pushed is 0 and
+            // this is the plain first-frame anchor; on a rebase it
+            // realigns after the stream was away (or after a replay
+            // re-serves seqs below the push count — modular arithmetic
+            // keeps base + local exact either way). The new base opens a
+            // new epoch from the next local onward; frames already pushed
+            // keep their old epoch's labels (see the result callback).
+            const std::uint64_t base = frame.seq - seq.pushed;
+            if (seq.epochs.empty()) {
+              seq.epochs.push_back({seq.pushed, base});
+            } else if (seq.epochs.back().first_local == seq.pushed) {
+              // No pushes since the last anchor: collapse instead of
+              // stacking zero-width epochs.
+              seq.epochs.back().base = base;
+            } else if (seq.epochs.back().base != base) {
+              seq.epochs.push_back({seq.pushed, base});
+            }
             seq.expected = frame.seq;
           }
           if (frame.seq < seq.expected) {
@@ -172,6 +269,11 @@ int worker_main(int argc, char** argv) {
             // this side owns.
             accept = false;
           } else if (frame.seq > seq.expected) {
+            // An unflagged jump is a router-side ordering bug: serving it
+            // would mislabel every later frame of the stream. Report it
+            // and exit — the engine destructor still drains and delivers
+            // the correctly-mapped frames already pushed, and the router
+            // re-serves the rest through the failure path.
             dist::WorkerErrorMsg error;
             error.stream = frame.stream;
             error.seq = frame.seq;
@@ -179,11 +281,25 @@ int worker_main(int argc, char** argv) {
                          std::to_string(seq.expected);
             dist::encode_worker_error(error, reply);
             conn.send(dist::MessageType::kWorkerError, reply);
-            accept = false;
+            fatal = true;
           } else {
             seq.expected = frame.seq + 1;
             accept = true;
           }
+        }
+        if (accept && inject_error) {
+          // Report a serving error for the frame and wedge: the process
+          // stays up and keeps heartbeating, but this frame (and all
+          // later ones) will never be delivered — exactly the shape the
+          // router's worker-error escalation must recover from.
+          wedged = true;
+          dist::WorkerErrorMsg report;
+          report.stream = frame.stream;
+          report.seq = frame.seq;
+          report.text = "injected worker error";
+          dist::encode_worker_error(report, reply);
+          conn.send(dist::MessageType::kWorkerError, reply);
+          continue;
         }
         if (accept) {
           try {
@@ -192,14 +308,25 @@ int worker_main(int argc, char** argv) {
                 numerics::ConstVectorView(frame.readings.data(),
                                           frame.readings.size()),
                 frame.model, frame.mask);
+            std::lock_guard<std::mutex> lock(seq_mutex);
+            ++seqs[frame.stream].pushed;
           } catch (const std::exception& error) {
+            // `expected` already advanced past a frame the engine never
+            // took: continuing would shift the seq mapping of everything
+            // after it. Report and exit instead — same recovery contract
+            // as the gap above.
             dist::WorkerErrorMsg report;
             report.stream = frame.stream;
             report.seq = frame.seq;
             report.text = error.what();
             dist::encode_worker_error(report, reply);
             conn.send(dist::MessageType::kWorkerError, reply);
+            fatal = true;
           }
+        }
+        if (fatal) {
+          exit_code = 1;
+          break;
         }
         continue;
       }

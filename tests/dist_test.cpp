@@ -6,13 +6,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -98,6 +103,7 @@ TEST(DistProtocol, SubmitFrameRoundTripAndTruncationThrows) {
   EXPECT_EQ(msg.stream, 9u);
   EXPECT_EQ(msg.seq, 41u);
   EXPECT_EQ(msg.model, 7u);
+  EXPECT_FALSE(msg.rebase);  // default flag round-trips as false
   EXPECT_EQ(msg.mask, mask);
   ASSERT_EQ(msg.readings.size(), readings.size());
   EXPECT_EQ(std::memcmp(msg.readings.data(), readings.data(),
@@ -114,6 +120,15 @@ TEST(DistProtocol, SubmitFrameRoundTripAndTruncationThrows) {
   payload.push_back(0);
   EXPECT_THROW(dist::decode_submit_frame(payload.data(), payload.size(), msg),
                dist::ProtocolError);
+
+  // The rebase anchor (set on the first frame after a stream reassignment)
+  // survives the round trip.
+  dist::encode_submit_frame(
+      9, 41, 7, mask,
+      numerics::ConstVectorView(readings.data(), readings.size()), payload,
+      /*rebase=*/true);
+  dist::decode_submit_frame(payload.data(), payload.size(), msg);
+  EXPECT_TRUE(msg.rebase);
 }
 
 TEST(DistProtocol, OverflowingLengthFieldsThrowInsteadOfAllocating) {
@@ -224,6 +239,42 @@ TEST(DistReplayLog, AppendAckPendingOrder) {
   EXPECT_EQ(log.pending_streams(), std::vector<std::uint64_t>{8});
 }
 
+TEST(DistReplayLog, ContainsDistinguishesInFlightFromAcked) {
+  dist::ReplayLog log(8);
+  const numerics::Vector readings{1.0, 2.0};
+  const numerics::ConstVectorView view(readings.data(), readings.size());
+  for (std::uint64_t seq = 0; seq < 3; ++seq) {
+    ASSERT_TRUE(log.acquire_slot());
+    ASSERT_TRUE(log.append(5, seq, 1, core::SensorBitmask(), view));
+  }
+  EXPECT_TRUE(log.contains(5, 0));
+  EXPECT_TRUE(log.contains(5, 2));
+  EXPECT_FALSE(log.contains(5, 3));   // never appended
+  EXPECT_FALSE(log.contains(6, 0));   // unknown stream
+
+  log.ack_before(5, 2);
+  EXPECT_FALSE(log.contains(5, 0));   // acked: no longer in flight
+  EXPECT_FALSE(log.contains(5, 1));
+  EXPECT_TRUE(log.contains(5, 2));
+}
+
+TEST(DistReplayLog, AppendAfterFailReturnsFalseAndLogsNothing) {
+  dist::ReplayLog log(4);
+  const numerics::Vector readings{1.0};
+  const numerics::ConstVectorView view(readings.data(), readings.size());
+  ASSERT_TRUE(log.acquire_slot());
+  ASSERT_TRUE(log.append(1, 0, 0, core::SensorBitmask(), view));
+
+  // Reserve a slot, then poison the log before the append lands — exactly
+  // the shape of a producer racing a total-cluster failure. The append
+  // must report the failure instead of logging a frame no one will serve.
+  ASSERT_TRUE(log.acquire_slot());
+  log.fail();
+  EXPECT_FALSE(log.append(1, 1, 0, core::SensorBitmask(), view));
+  EXPECT_EQ(log.size(), 1u);  // the poisoned append logged nothing
+  EXPECT_FALSE(log.acquire_slot());  // and the log stays poisoned
+}
+
 TEST(DistReplayLog, BoundBlocksProducersUntilAckOrFail) {
   dist::ReplayLog log(2);
   const numerics::Vector readings{1.0};
@@ -327,7 +378,62 @@ dist::RouterOptions test_router_options(std::size_t shards,
   options.batch_size = batch;
   options.heartbeat_interval_ms = 20;
   options.heartbeat_timeout_ms = 5000;  // SIGKILL is caught via EOF, not HB
+  // Tests opt into self-healing explicitly; pure-failover tests must not
+  // have a respawn racing their post-kill assertions.
+  options.respawn_max_attempts = 0;
   return options;
+}
+
+/// Sets an environment variable for the lifetime of the scope (worker
+/// processes inherit the environment at fork, so these must wrap the
+/// router's construction).
+struct ScopedEnv {
+  std::string name;
+  ScopedEnv(const char* n, const std::string& value) : name(n) {
+    ::setenv(n, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name.c_str()); }
+};
+
+/// Polls `done` every 10ms until it returns true or `timeout` elapses.
+bool wait_until(const std::function<bool()>& done,
+                std::chrono::milliseconds timeout =
+                    std::chrono::seconds(15)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return done();
+}
+
+void push_wave(
+    dist::ShardRouter& router, const Fixture& fx,
+    const std::vector<std::pair<std::uint64_t, core::SensorBitmask>>& streams,
+    std::size_t first_frame, std::size_t last_frame) {
+  for (std::size_t f = first_frame; f < last_frame; ++f) {
+    for (const auto& [stream, mask] : streams) {
+      const numerics::Vector frame = fx.frame(stream, f);
+      router.push_frame(
+          stream, numerics::ConstVectorView(frame.data(), frame.size()), 1,
+          mask);
+    }
+  }
+}
+
+/// First live shard that has actually accepted frames (a meaningful chaos
+/// victim); falls back to any live shard other than `skip`.
+std::size_t pick_loaded_shard(dist::ShardRouter& router,
+                              std::size_t skip = SIZE_MAX) {
+  const dist::ClusterStats stats = router.stats();
+  for (const auto& shard : stats.shards) {
+    if (shard.shard == skip) continue;
+    if (shard.alive && shard.engine.frames_submitted > 0) return shard.shard;
+  }
+  for (const auto& shard : stats.shards) {
+    if (shard.shard != skip && shard.alive) return shard.shard;
+  }
+  return 0;
 }
 
 void expect_byte_identical(
@@ -431,10 +537,57 @@ TEST(DistRouter, ProducerSideValidationFailsFast) {
   EXPECT_EQ(collector.rows[0].size(), 1u);
 }
 
-TEST(DistRouter, ChaosKillOneShardLosesNothing) {
+TEST(DistRouter, InvalidOptionsRejectedLoudlyAtConstruction) {
+  Collector collector;
+  const auto expect_rejected = [&](dist::RouterOptions options) {
+    EXPECT_THROW(dist::ShardRouter(std::move(options), collector.callback()),
+                 std::invalid_argument);
+  };
+  auto base = [] { return test_router_options(2, 8); };
+
+  {
+    auto o = base();
+    o.shard_count = 0;
+    expect_rejected(std::move(o));
+  }
+  {
+    auto o = base();
+    o.worker_binary.clear();
+    expect_rejected(std::move(o));
+  }
+  {
+    auto o = base();
+    o.replay_capacity = 0;
+    expect_rejected(std::move(o));
+  }
+  {
+    auto o = base();
+    o.heartbeat_interval_ms = 0;
+    expect_rejected(std::move(o));
+  }
+  {
+    auto o = base();
+    o.heartbeat_timeout_ms = -1;
+    expect_rejected(std::move(o));
+  }
+  {
+    auto o = base();
+    o.connect_timeout_ms = 0;
+    expect_rejected(std::move(o));
+  }
+  {
+    // Respawn enabled with a non-positive backoff would spin-respawn.
+    auto o = base();
+    o.respawn_max_attempts = 2;
+    o.respawn_backoff_ms = 0;
+    expect_rejected(std::move(o));
+  }
+}
+
+TEST(DistRouter, ChaosKillOneShardRespawnsAndLosesNothing) {
   const Fixture fx;
   constexpr std::size_t kBatch = 8;
-  constexpr std::size_t kFrames = 36;
+  constexpr std::size_t kWave = 36;
   std::vector<std::pair<std::uint64_t, core::SensorBitmask>> streams;
   for (std::uint64_t s = 0; s < 8; ++s) {
     core::SensorBitmask mask;
@@ -446,22 +599,18 @@ TEST(DistRouter, ChaosKillOneShardLosesNothing) {
   }
 
   Collector collector;
-  dist::ShardRouter router(test_router_options(3, kBatch),
-                           collector.callback());
+  dist::RouterOptions options = test_router_options(3, kBatch);
+  options.respawn_max_attempts = 3;  // self-healing on
+  options.respawn_backoff_ms = 10;
+  dist::ShardRouter router(std::move(options), collector.callback());
   router.register_model(1, fx.rec.model());
 
-  // Open-loop load; a third of the way in, SIGKILL a shard that is
+  // Wave 1: open-loop load; a third of the way in, SIGKILL a shard that is
   // actually carrying streams, while frames for it are still in flight.
   std::size_t victim = 0;
-  for (std::size_t f = 0; f < kFrames; ++f) {
-    if (f == kFrames / 3) {
-      const dist::ClusterStats before = router.stats();
-      for (const auto& shard : before.shards) {
-        if (shard.alive && shard.engine.frames_submitted > 0) {
-          victim = shard.shard;
-          break;
-        }
-      }
+  for (std::size_t f = 0; f < kWave; ++f) {
+    if (f == kWave / 3) {
+      victim = pick_loaded_shard(router);
       router.kill_shard(victim);
     }
     for (const auto& [stream, mask] : streams) {
@@ -473,8 +622,86 @@ TEST(DistRouter, ChaosKillOneShardLosesNothing) {
   }
   router.drain();
 
-  // Zero dropped, duplicated, or out-of-order frames, byte-compared
-  // against the single-process golden run.
+  // Self-healing: the supervisor respawns the victim, re-teaches it the
+  // model, and re-inserts it into the ring. Wait on the monotonic respawn
+  // counter — alive_count alone could read 3 before the death is noticed.
+  ASSERT_TRUE(wait_until([&] {
+    return router.stats().router.workers_respawned >= 1 &&
+           router.alive_count() == 3;
+  })) << "victim never rejoined";
+
+  // Wave 2 lands on the restored ring — the rejoined shard carries its
+  // migrated-back streams again.
+  push_wave(router, fx, streams, kWave, 2 * kWave);
+  router.drain();
+
+  // Zero dropped, duplicated, or out-of-order frames across kill AND
+  // rejoin, byte-compared against the single-process golden run.
+  const auto golden = golden_run(fx, kBatch, streams, 2 * kWave);
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    EXPECT_FALSE(collector.order_violated);
+    expect_byte_identical(collector.rows, golden);
+  }
+
+  const dist::ClusterStats stats = router.stats();
+  EXPECT_EQ(router.alive_count(), 3u);
+  EXPECT_EQ(stats.router.shard_failures, 1u);
+  EXPECT_EQ(stats.router.workers_respawned, 1u);
+  EXPECT_EQ(stats.router.respawns_abandoned, 0u);
+  EXPECT_GE(stats.router.streams_rehashed, 1u);
+  EXPECT_GE(stats.router.streams_migrated_back, 1u);
+  EXPECT_EQ(stats.router.results_delivered, streams.size() * 2 * kWave);
+  // The rejoined shard is live and served wave-2 traffic (its pre-kill
+  // streams hash back to it on the restored ring).
+  bool victim_back = false;
+  for (const auto& shard : stats.shards) {
+    if (shard.shard == victim) {
+      victim_back = shard.alive && shard.engine.frames_submitted > 0;
+    }
+  }
+  EXPECT_TRUE(victim_back);
+}
+
+TEST(DistRouter, ChaosDoubleFailureBackToBackLosesNothing) {
+  const Fixture fx;
+  constexpr std::size_t kBatch = 8;
+  constexpr std::size_t kFrames = 36;
+  std::vector<std::pair<std::uint64_t, core::SensorBitmask>> streams;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    streams.emplace_back(s, core::SensorBitmask());
+  }
+
+  Collector collector;
+  dist::ShardRouter router(test_router_options(4, kBatch),
+                           collector.callback());
+  router.register_model(1, fx.rec.model());
+
+  // Kill two loaded shards back-to-back mid-traffic: the second failure
+  // lands while the first one's rehash/replay may still be in flight, so
+  // streams can hop victim-1 -> victim-2 -> survivor.
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    if (f == kFrames / 3) {
+      const std::size_t first = pick_loaded_shard(router);
+      router.kill_shard(first);
+      const std::size_t second = pick_loaded_shard(router, first);
+      router.kill_shard(second);
+    }
+    for (const auto& [stream, mask] : streams) {
+      const numerics::Vector frame = fx.frame(stream, f);
+      router.push_frame(
+          stream, numerics::ConstVectorView(frame.data(), frame.size()), 1,
+          mask);
+    }
+  }
+  router.drain();
+
+  // An idle victim's EOF can lag the drain; wait for both deaths to be
+  // booked before asserting on the counters.
+  ASSERT_TRUE(wait_until([&] {
+    return router.stats().router.shard_failures >= 2;
+  })) << "second failure never noticed";
+
   const auto golden = golden_run(fx, kBatch, streams, kFrames);
   {
     std::lock_guard<std::mutex> lock(collector.mutex);
@@ -484,14 +711,199 @@ TEST(DistRouter, ChaosKillOneShardLosesNothing) {
 
   const dist::ClusterStats stats = router.stats();
   EXPECT_EQ(router.alive_count(), 2u);
-  EXPECT_EQ(stats.router.shard_failures, 1u);
-  EXPECT_GE(stats.router.streams_rehashed, 1u);
+  EXPECT_EQ(stats.router.shard_failures, 2u);
   EXPECT_EQ(stats.router.results_delivered, streams.size() * kFrames);
-  bool victim_marked_dead = false;
-  for (const auto& shard : stats.shards) {
-    if (shard.shard == victim) victim_marked_dead = !shard.alive;
+}
+
+TEST(DistRouter, ChaosKillRespawnKillAgainLosesNothing) {
+  const Fixture fx;
+  constexpr std::size_t kBatch = 8;
+  constexpr std::size_t kWave = 12;
+  std::vector<std::pair<std::uint64_t, core::SensorBitmask>> streams;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    streams.emplace_back(s, core::SensorBitmask());
   }
-  EXPECT_TRUE(victim_marked_dead);
+
+  Collector collector;
+  dist::RouterOptions options = test_router_options(3, kBatch);
+  options.respawn_max_attempts = 3;
+  options.respawn_backoff_ms = 10;
+  dist::ShardRouter router(std::move(options), collector.callback());
+  router.register_model(1, fx.rec.model());
+
+  // Wave 1, then kill a loaded shard; its streams fail over.
+  push_wave(router, fx, streams, 0, kWave);
+  const std::size_t victim = pick_loaded_shard(router);
+  router.kill_shard(victim);
+  // Wave 2 rides through failover and (eventually) migrate-back. Wait on
+  // the monotonic respawn counter, not alive_count — the latter still
+  // reads 3 until the death is even noticed.
+  push_wave(router, fx, streams, kWave, 2 * kWave);
+  ASSERT_TRUE(wait_until([&] {
+    return router.stats().router.workers_respawned >= 1 &&
+           router.alive_count() == 3;
+  })) << "first rejoin never happened";
+
+  // Kill the SAME slot again — its second life. The streams that just
+  // migrated back now fail over a second time, exercising the rebase
+  // re-anchor on a survivor that has already served them once.
+  router.kill_shard(victim);
+  push_wave(router, fx, streams, 2 * kWave, 3 * kWave);
+  ASSERT_TRUE(wait_until([&] {
+    return router.stats().router.workers_respawned >= 2 &&
+           router.alive_count() == 3;
+  })) << "second rejoin never happened";
+  push_wave(router, fx, streams, 3 * kWave, 4 * kWave);
+  router.drain();
+
+  const auto golden = golden_run(fx, kBatch, streams, 4 * kWave);
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    EXPECT_FALSE(collector.order_violated);
+    expect_byte_identical(collector.rows, golden);
+  }
+
+  const dist::ClusterStats stats = router.stats();
+  EXPECT_EQ(router.alive_count(), 3u);
+  EXPECT_EQ(stats.router.shard_failures, 2u);
+  EXPECT_EQ(stats.router.workers_respawned, 2u);
+  EXPECT_EQ(stats.router.respawns_abandoned, 0u);
+  EXPECT_EQ(stats.router.results_delivered, streams.size() * 4 * kWave);
+}
+
+TEST(DistRouter, SingleShardFullOutageParksFramesUntilRespawn) {
+  const Fixture fx;
+  constexpr std::size_t kBatch = 4;
+  constexpr std::size_t kWave = 8;
+  std::vector<std::pair<std::uint64_t, core::SensorBitmask>> streams;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    streams.emplace_back(s, core::SensorBitmask());
+  }
+
+  Collector collector;
+  dist::RouterOptions options = test_router_options(1, kBatch);
+  options.respawn_max_attempts = 3;
+  options.respawn_backoff_ms = 10;
+  dist::ShardRouter router(std::move(options), collector.callback());
+  router.register_model(1, fx.rec.model());
+
+  // Route every stream once, then take down the only shard: a full
+  // outage with a respawn pending.
+  push_wave(router, fx, streams, 0, kWave);
+  router.kill_shard(0);
+
+  // Frames of already-routed streams are accepted during the outage —
+  // they park in the replay log and replay once the worker rejoins.
+  push_wave(router, fx, streams, kWave, 2 * kWave);
+
+  // drain() must ride through the outage: wait for the rejoin, replay,
+  // and only return once everything is delivered.
+  router.drain();
+
+  const auto golden = golden_run(fx, kBatch, streams, 2 * kWave);
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    EXPECT_FALSE(collector.order_violated);
+    expect_byte_identical(collector.rows, golden);
+  }
+
+  const dist::ClusterStats stats = router.stats();
+  EXPECT_EQ(router.alive_count(), 1u);
+  EXPECT_EQ(stats.router.shard_failures, 1u);
+  EXPECT_EQ(stats.router.workers_respawned, 1u);
+  EXPECT_EQ(stats.router.results_delivered, streams.size() * 2 * kWave);
+}
+
+TEST(DistRouter, WorkerErrorOnRoutedFrameEscalatesToFailover) {
+  // A worker that reports kWorkerError for an in-flight frame must be
+  // treated as failed: before this fix the router only logged the error,
+  // leaking the frame's replay slot — delivery was no longer exactly-once
+  // and drain() hung forever on the never-acked frame. drain() returning
+  // here IS the regression pin.
+  ScopedEnv inject("EIGENMAPS_DIST_INJECT_ERROR_SHARD", "0");
+  const Fixture fx;
+  constexpr std::size_t kBatch = 4;
+  constexpr std::size_t kFrames = 8;
+  std::vector<std::pair<std::uint64_t, core::SensorBitmask>> streams;
+  for (std::uint64_t s = 0; s < 12; ++s) {
+    streams.emplace_back(s, core::SensorBitmask());
+  }
+
+  Collector collector;
+  dist::ShardRouter router(test_router_options(3, kBatch),
+                           collector.callback());
+  router.register_model(1, fx.rec.model());
+  push_wave(router, fx, streams, 0, kFrames);
+  router.drain();  // would hang without the escalation fix
+
+  const auto golden = golden_run(fx, kBatch, streams, kFrames);
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    EXPECT_FALSE(collector.order_violated);
+    expect_byte_identical(collector.rows, golden);
+  }
+
+  const dist::ClusterStats stats = router.stats();
+  EXPECT_GE(stats.router.worker_errors, 1u);  // the injection fired
+  EXPECT_EQ(stats.router.shard_failures, 1u);
+  EXPECT_EQ(router.alive_count(), 2u);
+  EXPECT_EQ(stats.router.results_delivered, streams.size() * kFrames);
+}
+
+TEST(DistRouter, RespawnGivesUpAfterMaxAttempts) {
+  // Flap detection: a worker that dies right after its hello on every
+  // respawn must not be restarted forever. The die-file knob makes each
+  // respawned life exit immediately; the initial lives come up fine
+  // because the file does not exist yet.
+  const std::string die_file =
+      "/tmp/eigenmaps_die_" + std::to_string(::getpid());
+  std::remove(die_file.c_str());
+  ScopedEnv env("EIGENMAPS_DIST_DIE_FILE", die_file);
+
+  const Fixture fx;
+  constexpr std::size_t kBatch = 4;
+  constexpr std::size_t kFrames = 8;
+  std::vector<std::pair<std::uint64_t, core::SensorBitmask>> streams;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    streams.emplace_back(s, core::SensorBitmask());
+  }
+
+  Collector collector;
+  dist::RouterOptions options = test_router_options(3, kBatch);
+  options.respawn_max_attempts = 2;
+  options.respawn_backoff_ms = 10;
+  dist::ShardRouter router(std::move(options), collector.callback());
+  router.register_model(1, fx.rec.model());
+  push_wave(router, fx, streams, 0, kFrames / 2);
+
+  // Arm the flap and kill a shard: every respawned life now exits right
+  // after its hello, so the supervisor must burn its attempts and give up.
+  FILE* flag = std::fopen(die_file.c_str(), "w");
+  ASSERT_NE(flag, nullptr);
+  std::fclose(flag);
+  router.kill_shard(pick_loaded_shard(router));
+
+  ASSERT_TRUE(wait_until([&] {
+    return router.stats().router.respawns_abandoned >= 1;
+  })) << "supervisor never gave up";
+
+  // The slot stays abandoned and the cluster keeps serving on survivors.
+  push_wave(router, fx, streams, kFrames / 2, kFrames);
+  router.drain();
+  std::remove(die_file.c_str());
+
+  const auto golden = golden_run(fx, kBatch, streams, kFrames);
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    EXPECT_FALSE(collector.order_violated);
+    expect_byte_identical(collector.rows, golden);
+  }
+
+  const dist::ClusterStats stats = router.stats();
+  EXPECT_EQ(router.alive_count(), 2u);
+  EXPECT_EQ(stats.router.respawns_abandoned, 1u);
+  EXPECT_EQ(stats.router.workers_respawned, 0u);
+  EXPECT_EQ(stats.router.results_delivered, streams.size() * kFrames);
 }
 
 TEST(DistRouter, HotSwapBroadcastReachesEveryShard) {
