@@ -21,7 +21,7 @@
 #include "numerics/rng.h"
 #include "numerics/svd.h"
 #include "numerics/symmetric_eigen.h"
-#include "seed_kernels.h"
+#include "reference_kernels.h"
 #include "sparse/conjugate_gradient.h"
 #include "thermal/rc_model.h"
 
@@ -67,17 +67,22 @@ void BM_DenseMatmul(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseMatmul)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
-void BM_DenseMatmulSeedTripleLoop(benchmark::State& state) {
+/// The contraction-free scalar reference from reference_kernels.h — the
+/// same baseline kernel_bench's acc and perf modes use, so this bench and
+/// BENCH_kernels.json quote speedups against one implementation.
+void BM_DenseMatmulScalarReference(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const numerics::Matrix a = random_matrix(n, n, 1);
   const numerics::Matrix b = random_matrix(n, n, 2);
+  numerics::Matrix c(n, n);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bench::seed_matmul(a, b));
+    bench::ref_matmul(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.row_data(0));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
-BENCHMARK(BM_DenseMatmulSeedTripleLoop)->Arg(256)->Arg(512);
+BENCHMARK(BM_DenseMatmulScalarReference)->Arg(256)->Arg(512);
 
 /// Heap allocations per reconstructed frame across the timed loop; the
 /// headline number of the value-returning vs `_into` comparison.

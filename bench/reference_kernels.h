@@ -1,0 +1,208 @@
+// The contraction-free scalar reference kernels: one implementation per
+// hot kernel, shared by kernel_bench's acc/perf modes and the
+// micro_kernels baselines (this header replaced bench/seed_kernels.h,
+// which kept a separate copy of the seed GEMM).
+//
+// Any translation unit that compares bit patterns or ULP distances
+// against these references must be compiled with -ffp-contract=off: the
+// references define the exact results the golden-path SIMD kernels
+// (gram / matvec / QR reflector / Givens sweep) reproduce, and the ULP
+// baseline the contracted GEMM family is measured against. Timing-only
+// users (throughput_streaming, micro_kernels) may compile however they
+// like.
+#ifndef EIGENMAPS_BENCH_REFERENCE_KERNELS_H
+#define EIGENMAPS_BENCH_REFERENCE_KERNELS_H
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::bench {
+
+/// C = A * B (+ bias per column when non-null): per element the naive
+/// ascending-k left-associated sum — the order every library GEMM tier
+/// preserves, so differences are contraction roundings alone.
+inline void ref_matmul(numerics::ConstMatrixView a,
+                       numerics::ConstMatrixView b, numerics::MatrixView c,
+                       const double* bias = nullptr,
+                       bool accumulate = false) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = accumulate ? crow[j] : (bias != nullptr ? bias[j] : 0.0);
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        s += arow[k] * b(k, j);
+      }
+      crow[j] = s;
+    }
+  }
+}
+
+/// |A| * |B| (+ |bias|): the per-element magnitude sum that scales the
+/// ULP tolerance of the GEMM comparison.
+inline void ref_matmul_abs(numerics::ConstMatrixView a,
+                           numerics::ConstMatrixView b,
+                           numerics::MatrixView c,
+                           const double* bias = nullptr,
+                           bool accumulate = false) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = accumulate ? std::abs(crow[j])
+                            : (bias != nullptr ? std::abs(bias[j]) : 0.0);
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        s += std::abs(arow[k]) * std::abs(b(k, j));
+      }
+      crow[j] = s;
+    }
+  }
+}
+
+/// G = A^T A, upper triangle mirrored: per g(i, j) the contributions
+/// accumulate with the sample index ascending — the naive rank-1 update
+/// order every gram tier preserves bit-for-bit.
+inline void ref_gram(numerics::ConstMatrixView a, numerics::MatrixView g) {
+  const std::size_t n = a.cols();
+  for (std::size_t i = 0; i < n; ++i) g.row_view(i).fill(0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_data(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      double* grow = g.row_data(i);
+      for (std::size_t j = i; j < n; ++j) grow[j] += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+}
+
+/// y = A x, each element a plain ascending-j sum.
+inline void ref_matvec(numerics::ConstMatrixView a, const double* x,
+                       double* y) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_data(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+}
+
+/// y = A^T x, accumulated row by row with i ascending per y(j).
+inline void ref_matvec_transpose(numerics::ConstMatrixView a,
+                                 const double* x, double* y) {
+  for (std::size_t j = 0; j < a.cols(); ++j) y[j] = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    const double* row = a.row_data(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+}
+
+/// In-place scalar Householder factorisation — the classic per-column
+/// trailing update, which the library's two-pass reflector kernels
+/// reproduce bit-for-bit (columns are independent and every dot keeps its
+/// ascending-i order). Fills tau and diag like HouseholderQr.
+inline void ref_householder_qr(numerics::MatrixView qr,
+                               std::vector<double>& tau,
+                               std::vector<double>& diag) {
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
+  tau.assign(n, 0.0);
+  diag.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += qr(i, k) * qr(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    const double alpha = (qr(k, k) >= 0.0) ? -norm : norm;
+    const double vkk = qr(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) qr(i, k) /= vkk;
+    tau[k] = -vkk / alpha;
+    diag[k] = alpha;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = qr(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr(i, k) * qr(i, j);
+      s *= tau[k];
+      qr(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr(i, j) -= s * qr(i, k);
+    }
+    qr(k, k) = alpha;
+  }
+}
+
+/// Thin Q (m x n) accumulated from a ref_householder_qr packed factor,
+/// reflectors applied in reverse order — mirrors HouseholderQr::thin_q so
+/// bit-equal packed factors yield bit-equal Q.
+inline numerics::Matrix ref_thin_q(numerics::ConstMatrixView qr,
+                                   const std::vector<double>& tau) {
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
+  numerics::Matrix q(m, n);
+  for (std::size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    if (tau[k] == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = q(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr(i, k) * q(i, j);
+      s *= tau[k];
+      q(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) q(i, j) -= s * qr(i, k);
+    }
+  }
+  return q;
+}
+
+/// Scalar Givens sweep of the row downdate: rotations (c[i], s[i])
+/// applied bottom-up per column with the hyperbolic carry — the loop the
+/// vectorised sweep must match bit-for-bit.
+inline void ref_givens_sweep(numerics::MatrixView r, const double* c,
+                             const double* s) {
+  const std::size_t n = r.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double xx = 0.0;
+    for (std::size_t i = j + 1; i-- > 0;) {
+      const double t = c[i] * xx + s[i] * r(i, j);
+      r(i, j) = c[i] * r(i, j) - s[i] * xx;
+      xx = t;
+    }
+  }
+}
+
+/// Scalar row downdate (the full downdate_r_row algorithm with the sweep
+/// above): same leverage guard and rotation construction as the library,
+/// so on success the two differ only if a vectorised sweep broke
+/// bit-identity.
+inline bool ref_downdate_r_row(numerics::MatrixView r, const double* row) {
+  const std::size_t n = r.rows();
+  std::vector<double> q(n), c(n), s(n);
+  double leverage = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = row[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= r(j, i) * q[j];
+    if (r(i, i) == 0.0) return false;
+    q[i] = acc / r(i, i);
+    leverage += q[i] * q[i];
+  }
+  constexpr double kLeverageGuard = 1e-12;
+  if (leverage >= 1.0 - kLeverageGuard) return false;
+  double alpha = std::sqrt(1.0 - leverage);
+  for (std::size_t i = n; i-- > 0;) {
+    const double scale = alpha + std::abs(q[i]);
+    const double ca = alpha / scale;
+    const double sa = q[i] / scale;
+    const double norm = std::sqrt(ca * ca + sa * sa);
+    c[i] = ca / norm;
+    s[i] = sa / norm;
+    alpha = scale * norm;
+  }
+  ref_givens_sweep(r, c.data(), s.data());
+  return true;
+}
+
+}  // namespace eigenmaps::bench
+
+#endif  // EIGENMAPS_BENCH_REFERENCE_KERNELS_H

@@ -16,12 +16,15 @@
 #include <vector>
 
 #include "numerics/blas_internal.h"
+#include "numerics/isa.h"
+#include "numerics/simd_kernels.h"
 #include "support/env.h"
 
 namespace eigenmaps::numerics {
 
 namespace {
 
+using detail::kGramTile;
 using detail::parallel_bounded;
 using detail::threads_for;
 
@@ -41,11 +44,11 @@ std::size_t default_blas_threads() {
 /// sample loop innermost per tile; contributions accumulate with r
 /// ascending for every g(i, j), matching the naive rank-1 update order.
 EIGENMAPS_KERNEL_CLONES
-void gram_rows(ConstMatrixView a, MatrixView g, std::size_t i0,
-               std::size_t i1) {
+void gram_rows_portable(ConstMatrixView a, MatrixView g, std::size_t i0,
+                        std::size_t i1) {
   const std::size_t rows = a.rows();
   const std::size_t n = a.cols();
-  constexpr std::size_t kTile = 64;
+  constexpr std::size_t kTile = kGramTile;
   for (std::size_t ii = i0; ii < i1; ii += kTile) {
     const std::size_t iend = std::min(ii + kTile, i1);
     for (std::size_t jj = ii; jj < n; jj += kTile) {
@@ -61,6 +64,91 @@ void gram_rows(ConstMatrixView a, MatrixView g, std::size_t i0,
         }
       }
     }
+  }
+}
+
+/// Runtime tier selection for gram (DESIGN.md §13). Every tier computes
+/// each g(i, j) as a separate mul + add with the sample index ascending —
+/// no FMA — so the choice never moves a bit.
+void gram_rows(ConstMatrixView a, MatrixView g, std::size_t i0,
+               std::size_t i1) {
+  switch (active_isa()) {
+#if defined(EIGENMAPS_HAVE_X86_KERNELS)
+    case Isa::kAvx512:
+      detail::gram_rows_avx512(a, g, i0, i1);
+      return;
+    case Isa::kAvx2:
+      detail::gram_rows_avx2(a, g, i0, i1);
+      return;
+#endif
+    default:
+      gram_rows_portable(a, g, i0, i1);
+      return;
+  }
+}
+
+/// Rows [i0, i1) of y = A x, each y(i) a plain ascending-j sum.
+EIGENMAPS_KERNEL_CLONES
+void matvec_rows_portable(ConstMatrixView a, const double* x, double* y,
+                          std::size_t i0, std::size_t i1) {
+  const std::size_t n = a.cols();
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double* row = a.row_data(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+}
+
+/// Accumulates rows [i0, i1) of A into y = A^T x, i ascending per y(j).
+EIGENMAPS_KERNEL_CLONES
+void matvec_t_rows_portable(ConstMatrixView a, const double* x, double* y,
+                            std::size_t i0, std::size_t i1) {
+  const std::size_t n = a.cols();
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double xi = x[i];
+    const double* row = a.row_data(i);
+    for (std::size_t j = 0; j < n; ++j) y[j] += xi * row[j];
+  }
+}
+
+/// Runtime tier selection for matvec. The SIMD tiers vectorise across
+/// rows (one output element per lane) and keep each row's sum a plain
+/// ascending-j chain, so all tiers are bit-identical.
+void matvec_rows(ConstMatrixView a, const double* x, double* y,
+                 std::size_t i0, std::size_t i1) {
+  switch (active_isa()) {
+#if defined(EIGENMAPS_HAVE_X86_KERNELS)
+    case Isa::kAvx512:
+      detail::matvec_rows_avx512(a, x, y, i0, i1);
+      return;
+    case Isa::kAvx2:
+      detail::matvec_rows_avx2(a, x, y, i0, i1);
+      return;
+#endif
+    default:
+      matvec_rows_portable(a, x, y, i0, i1);
+      return;
+  }
+}
+
+/// Runtime tier selection for transposed matvec. The SIMD tiers vectorise
+/// along each row (lane j owns y(j)) with i ascending, bit-identical to
+/// the portable loop.
+void matvec_t_rows(ConstMatrixView a, const double* x, double* y,
+                   std::size_t i0, std::size_t i1) {
+  switch (active_isa()) {
+#if defined(EIGENMAPS_HAVE_X86_KERNELS)
+    case Isa::kAvx512:
+      detail::matvec_t_rows_avx512(a, x, y, i0, i1);
+      return;
+    case Isa::kAvx2:
+      detail::matvec_t_rows_avx2(a, x, y, i0, i1);
+      return;
+#endif
+    default:
+      matvec_t_rows_portable(a, x, y, i0, i1);
+      return;
   }
 }
 
@@ -115,10 +203,16 @@ void gram_into(ConstMatrixView a, MatrixView g) {
   }
   for (std::size_t i = 0; i < n; ++i) g.row_view(i).fill(0.0);
   const std::size_t threads = std::min(threads_for(a.rows() * n * n / 2), n);
-  parallel_bounded(triangle_bounds(n, std::max<std::size_t>(threads, 1)),
-                   [&](std::size_t i0, std::size_t i1) {
-                     gram_rows(a, g, i0, i1);
-                   });
+  if (threads <= 1) {
+    // Skip the bounds vector: the single-threaded path is the steady
+    // serving state and must stay heap-free (DESIGN.md §10).
+    gram_rows(a, g, 0, n);
+  } else {
+    parallel_bounded(triangle_bounds(n, threads),
+                     [&](std::size_t i0, std::size_t i1) {
+                       gram_rows(a, g, i0, i1);
+                     });
+  }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
   }
@@ -137,12 +231,7 @@ void matvec_into(ConstMatrixView a, ConstVectorView x, VectorView y) {
   if (y.size() != a.rows()) {
     throw std::invalid_argument("matvec_into: output size mismatch");
   }
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.row_data(i);
-    double s = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
-    y[i] = s;
-  }
+  matvec_rows(a, x.data(), y.data(), 0, a.rows());
 }
 
 Vector matvec(const Matrix& a, const Vector& x) {
@@ -161,11 +250,7 @@ void matvec_transpose_into(ConstMatrixView a, ConstVectorView x,
         "matvec_transpose_into: output size mismatch");
   }
   y.fill(0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double xi = x[i];
-    const double* row = a.row_data(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
-  }
+  matvec_t_rows(a, x.data(), y.data(), 0, a.rows());
 }
 
 Vector matvec_transpose(const Matrix& a, const Vector& x) {

@@ -17,20 +17,17 @@
 
 #include "numerics/blas.h"
 #include "numerics/blas_internal.h"
+#include "numerics/isa.h"
+#include "numerics/simd_kernels.h"
 
 namespace eigenmaps::numerics {
 
 namespace {
 
+using detail::kBlockJ;
+using detail::kBlockK;
 using detail::parallel_ranges;
 using detail::threads_for;
-
-// Panel sizes for the blocked products. A kBlockK x kBlockJ panel of B is
-// 256 KiB — resident in L2 while the i-loop sweeps over it — and a kBlockJ
-// row segment of C is 2 KiB, hot in L1 across the whole k-panel. See
-// DESIGN.md §8 for the measurements behind the choice.
-constexpr std::size_t kBlockK = 128;
-constexpr std::size_t kBlockJ = 256;
 
 /// Rows [i0, i1) of C = A * B (plus an optional per-column bias seeded
 /// into C on the first k-panel, fused so the output never streams through
@@ -45,8 +42,9 @@ constexpr std::size_t kBlockJ = 256;
 /// shapes (16 broadcasts) spill the 16 architectural registers and halve
 /// throughput.
 EIGENMAPS_KERNEL_CLONES
-void matmul_rows(ConstMatrixView a, ConstMatrixView b, MatrixView c,
-                 const double* bias, std::size_t i0, std::size_t i1) {
+void matmul_rows_portable(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                          const double* bias, std::size_t i0,
+                          std::size_t i1) {
   const std::size_t inner = a.cols();
   const std::size_t n = b.cols();
   for (std::size_t kk = 0; kk < inner; kk += kBlockK) {
@@ -121,6 +119,29 @@ void matmul_rows(ConstMatrixView a, ConstMatrixView b, MatrixView c,
   }
 }
 
+/// Runtime tier selection for the GEMM inner kernel (DESIGN.md §13): the
+/// explicit AVX-512 / AVX2 register-tile kernels where compiled and
+/// supported, else the target_clones portable path above. Every tier
+/// accumulates each c(i, j) in ascending-k left-associated order, so the
+/// choice moves last-bit roundings (FMA vs compiler contraction) but
+/// never determinism.
+void gemm_rows(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+               const double* bias, std::size_t i0, std::size_t i1) {
+  switch (active_isa()) {
+#if defined(EIGENMAPS_HAVE_X86_KERNELS)
+    case Isa::kAvx512:
+      detail::gemm_rows_avx512(a, b, c, bias, i0, i1);
+      return;
+    case Isa::kAvx2:
+      detail::gemm_rows_avx2(a, b, c, bias, i0, i1);
+      return;
+#endif
+    default:
+      matmul_rows_portable(a, b, c, bias, i0, i1);
+      return;
+  }
+}
+
 /// Rows [i0, i1) of C = A * B^T: c(i, j) = <a_row_i, b_row_j>. B's rows are
 /// tiled so a small panel stays L1-resident while the i-loop reuses it.
 EIGENMAPS_KERNEL_CLONES
@@ -178,7 +199,7 @@ void matmul_accumulate(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   const std::size_t threads = threads_for(a.rows() * a.cols() * b.cols());
   parallel_ranges(a.rows(), threads,
                   [&](std::size_t i0, std::size_t i1) {
-                    matmul_rows(a, b, c, nullptr, i0, i1);
+                    gemm_rows(a, b, c, nullptr, i0, i1);
                   });
 }
 
@@ -198,7 +219,7 @@ void matmul_bias_into(ConstMatrixView a, ConstMatrixView b,
   const std::size_t threads = threads_for(a.rows() * a.cols() * b.cols());
   parallel_ranges(a.rows(), threads,
                   [&](std::size_t i0, std::size_t i1) {
-                    matmul_rows(a, b, c, bias.data(), i0, i1);
+                    gemm_rows(a, b, c, bias.data(), i0, i1);
                   });
 }
 

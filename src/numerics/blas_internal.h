@@ -23,6 +23,16 @@
 
 namespace eigenmaps::numerics::detail {
 
+// Panel sizes shared by every GEMM path (portable and the explicit SIMD
+// kernels): a kBlockK x kBlockJ panel of B is 256 KiB — resident in L2
+// while the i-loop sweeps over it — and a kBlockJ row segment of C is
+// 2 KiB, hot in L1 across the whole k-panel. See DESIGN.md §8.
+constexpr std::size_t kBlockK = 128;
+constexpr std::size_t kBlockJ = 256;
+
+// Tile edge of the gram upper-triangle walk (portable and SIMD paths).
+constexpr std::size_t kGramTile = 64;
+
 // Below this many multiply-adds a product runs on the calling thread; the
 // work would not amortise thread start-up.
 constexpr std::size_t kThreadFlopThreshold = 1u << 20;

@@ -1,0 +1,127 @@
+#include "numerics/isa.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace eigenmaps::numerics {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // The kernels use zmm arithmetic plus masked 256-bit edge ops (vl) and
+  // kmovb (dq); require the whole set the TU is compiled with.
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+Isa parse_isa(const char* name, const std::string& value) {
+  if (value == "portable" || value == "scalar") return Isa::kPortable;
+  if (value == "avx2") return Isa::kAvx2;
+  if (value == "avx512") return Isa::kAvx512;
+  throw std::invalid_argument(std::string(name) + "=" + value +
+                              ": expected portable|scalar|avx2|avx512");
+}
+
+/// Env / hardware resolution, computed once per process. Throws (every
+/// call) when EIGENMAPS_FORCE_ISA asks for a tier this binary or CPU
+/// cannot run — a forced test run must never silently measure the wrong
+/// kernels.
+Isa resolve_default() {
+  if (const char* force = std::getenv("EIGENMAPS_FORCE_ISA");
+      force != nullptr && *force != '\0') {
+    const Isa isa = parse_isa("EIGENMAPS_FORCE_ISA", force);
+    if (!isa_runnable(isa)) {
+      throw std::invalid_argument(std::string("EIGENMAPS_FORCE_ISA=") +
+                                  force +
+                                  ": tier not compiled in or not supported "
+                                  "by this CPU");
+    }
+    return isa;
+  }
+  if (isa_runnable(Isa::kAvx512)) return Isa::kAvx512;
+  if (isa_runnable(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kPortable;
+}
+
+// -1 = no override; otherwise static_cast<int>(Isa).
+std::atomic<int> g_isa_override{-1};
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAvx2:
+      return "avx2";
+    default:
+      return "portable";
+  }
+}
+
+bool isa_compiled(Isa isa) {
+#if defined(EIGENMAPS_HAVE_X86_KERNELS)
+  (void)isa;
+  return true;
+#else
+  return isa == Isa::kPortable;
+#endif
+}
+
+bool isa_runnable(Isa isa) {
+  if (!isa_compiled(isa)) return false;
+  switch (isa) {
+    case Isa::kAvx512:
+      return cpu_has_avx512();
+    case Isa::kAvx2:
+      return cpu_has_avx2();
+    default:
+      return true;
+  }
+}
+
+std::vector<Isa> runnable_isas() {
+  std::vector<Isa> out{Isa::kPortable};
+  if (isa_runnable(Isa::kAvx2)) out.push_back(Isa::kAvx2);
+  if (isa_runnable(Isa::kAvx512)) out.push_back(Isa::kAvx512);
+  return out;
+}
+
+Isa active_isa() {
+  const int override_value = g_isa_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return static_cast<Isa>(override_value);
+  static const Isa resolved = resolve_default();
+  return resolved;
+}
+
+const char* isa_name() { return isa_name(active_isa()); }
+
+void set_isa_override(Isa isa) {
+  if (!isa_runnable(isa)) {
+    throw std::invalid_argument(
+        std::string("set_isa_override: ") + isa_name(isa) +
+        " is not compiled in or not supported by this CPU");
+  }
+  g_isa_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_isa_override() {
+  g_isa_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace eigenmaps::numerics

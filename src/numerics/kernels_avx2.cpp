@@ -1,0 +1,415 @@
+// Explicit AVX2+FMA micro-kernels (256-bit). Compiled with -mavx2 -mfma
+// and -ffp-contract=off: every arithmetic operation below is an explicit
+// intrinsic, so the compiler can neither fuse the separate mul/add pairs
+// of the bit-exact kernels nor reassociate the FMA chains of the GEMM
+// tiles. See simd_kernels.h for the per-kernel accuracy contract.
+#include "numerics/simd_kernels.h"
+
+#if defined(EIGENMAPS_HAVE_X86_KERNELS)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "numerics/blas_internal.h"
+
+namespace eigenmaps::numerics::detail {
+
+namespace {
+
+/// Load mask for the low `w` (1..3) lanes of a ymm of doubles.
+inline __m256i lane_mask(std::size_t w) {
+  alignas(32) static const long long kBits[8] = {-1, -1, -1, -1, 0, 0, 0, 0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kBits + (4 - w)));
+}
+
+inline __m256d load_cols(const double* p, std::size_t w) {
+  return w >= 4 ? _mm256_loadu_pd(p) : _mm256_maskload_pd(p, lane_mask(w));
+}
+
+inline void store_cols(double* p, std::size_t w, __m256d v) {
+  if (w >= 4) {
+    _mm256_storeu_pd(p, v);
+  } else {
+    _mm256_maskstore_pd(p, lane_mask(w), v);
+  }
+}
+
+// ---- GEMM ---------------------------------------------------------------
+
+/// Accumulator seed for a 4-column group of C at column j: the bias on the
+/// first k-panel of a bias product, the current C values otherwise
+/// (matmul_into pre-zeroes C; matmul_accumulate starts from the caller's
+/// values).
+inline __m256d seed_cols(const double* crow, const double* bias,
+                         std::size_t j, bool first_panel, std::size_t w) {
+  const double* src = (first_panel && bias != nullptr) ? bias : crow;
+  return load_cols(src + j, w);
+}
+
+/// 2 rows x 16 columns register tile over one k-panel: 8 accumulators,
+/// 4 B vectors shared by both rows, FMA chains in ascending-k order.
+inline void tile_2x16(const double* arow0, const double* arow1,
+                      double* crow0, double* crow1, ConstMatrixView b,
+                      const double* bias, bool first_panel, std::size_t kk,
+                      std::size_t kend, std::size_t j) {
+  __m256d acc00 = seed_cols(crow0, bias, j, first_panel, 4);
+  __m256d acc01 = seed_cols(crow0, bias, j + 4, first_panel, 4);
+  __m256d acc02 = seed_cols(crow0, bias, j + 8, first_panel, 4);
+  __m256d acc03 = seed_cols(crow0, bias, j + 12, first_panel, 4);
+  __m256d acc10 = seed_cols(crow1, bias, j, first_panel, 4);
+  __m256d acc11 = seed_cols(crow1, bias, j + 4, first_panel, 4);
+  __m256d acc12 = seed_cols(crow1, bias, j + 8, first_panel, 4);
+  __m256d acc13 = seed_cols(crow1, bias, j + 12, first_panel, 4);
+  for (std::size_t k = kk; k < kend; ++k) {
+    const double* brow = b.row_data(k) + j;
+    const __m256d b0 = _mm256_loadu_pd(brow);
+    const __m256d b1 = _mm256_loadu_pd(brow + 4);
+    const __m256d b2 = _mm256_loadu_pd(brow + 8);
+    const __m256d b3 = _mm256_loadu_pd(brow + 12);
+    const __m256d p = _mm256_broadcast_sd(arow0 + k);
+    acc00 = _mm256_fmadd_pd(p, b0, acc00);
+    acc01 = _mm256_fmadd_pd(p, b1, acc01);
+    acc02 = _mm256_fmadd_pd(p, b2, acc02);
+    acc03 = _mm256_fmadd_pd(p, b3, acc03);
+    const __m256d q = _mm256_broadcast_sd(arow1 + k);
+    acc10 = _mm256_fmadd_pd(q, b0, acc10);
+    acc11 = _mm256_fmadd_pd(q, b1, acc11);
+    acc12 = _mm256_fmadd_pd(q, b2, acc12);
+    acc13 = _mm256_fmadd_pd(q, b3, acc13);
+  }
+  _mm256_storeu_pd(crow0 + j, acc00);
+  _mm256_storeu_pd(crow0 + j + 4, acc01);
+  _mm256_storeu_pd(crow0 + j + 8, acc02);
+  _mm256_storeu_pd(crow0 + j + 12, acc03);
+  _mm256_storeu_pd(crow1 + j, acc10);
+  _mm256_storeu_pd(crow1 + j + 4, acc11);
+  _mm256_storeu_pd(crow1 + j + 8, acc12);
+  _mm256_storeu_pd(crow1 + j + 12, acc13);
+}
+
+/// 2 rows x (w <= 4) columns, masked on the column tail.
+inline void tile_2xw(const double* arow0, const double* arow1, double* crow0,
+                     double* crow1, ConstMatrixView b, const double* bias,
+                     bool first_panel, std::size_t kk, std::size_t kend,
+                     std::size_t j, std::size_t w) {
+  __m256d acc0 = seed_cols(crow0, bias, j, first_panel, w);
+  __m256d acc1 = seed_cols(crow1, bias, j, first_panel, w);
+  for (std::size_t k = kk; k < kend; ++k) {
+    const __m256d bv = load_cols(b.row_data(k) + j, w);
+    acc0 = _mm256_fmadd_pd(_mm256_broadcast_sd(arow0 + k), bv, acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_broadcast_sd(arow1 + k), bv, acc1);
+  }
+  store_cols(crow0 + j, w, acc0);
+  store_cols(crow1 + j, w, acc1);
+}
+
+/// 1 row x 16 columns (4 independent FMA chains hide the latency on the
+/// odd tail row and the batch-1 serving shape).
+inline void tile_1x16(const double* arow, double* crow, ConstMatrixView b,
+                      const double* bias, bool first_panel, std::size_t kk,
+                      std::size_t kend, std::size_t j) {
+  __m256d acc0 = seed_cols(crow, bias, j, first_panel, 4);
+  __m256d acc1 = seed_cols(crow, bias, j + 4, first_panel, 4);
+  __m256d acc2 = seed_cols(crow, bias, j + 8, first_panel, 4);
+  __m256d acc3 = seed_cols(crow, bias, j + 12, first_panel, 4);
+  for (std::size_t k = kk; k < kend; ++k) {
+    const double* brow = b.row_data(k) + j;
+    const __m256d p = _mm256_broadcast_sd(arow + k);
+    acc0 = _mm256_fmadd_pd(p, _mm256_loadu_pd(brow), acc0);
+    acc1 = _mm256_fmadd_pd(p, _mm256_loadu_pd(brow + 4), acc1);
+    acc2 = _mm256_fmadd_pd(p, _mm256_loadu_pd(brow + 8), acc2);
+    acc3 = _mm256_fmadd_pd(p, _mm256_loadu_pd(brow + 12), acc3);
+  }
+  _mm256_storeu_pd(crow + j, acc0);
+  _mm256_storeu_pd(crow + j + 4, acc1);
+  _mm256_storeu_pd(crow + j + 8, acc2);
+  _mm256_storeu_pd(crow + j + 12, acc3);
+}
+
+inline void tile_1xw(const double* arow, double* crow, ConstMatrixView b,
+                     const double* bias, bool first_panel, std::size_t kk,
+                     std::size_t kend, std::size_t j, std::size_t w) {
+  __m256d acc = seed_cols(crow, bias, j, first_panel, w);
+  for (std::size_t k = kk; k < kend; ++k) {
+    acc = _mm256_fmadd_pd(_mm256_broadcast_sd(arow + k),
+                          load_cols(b.row_data(k) + j, w), acc);
+  }
+  store_cols(crow + j, w, acc);
+}
+
+}  // namespace
+
+void gemm_rows_avx2(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                    const double* bias, std::size_t i0, std::size_t i1) {
+  const std::size_t inner = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t kk = 0; kk < inner; kk += kBlockK) {
+    const std::size_t kend = std::min(kk + kBlockK, inner);
+    const bool first_panel = kk == 0;
+    for (std::size_t jj = 0; jj < n; jj += kBlockJ) {
+      const std::size_t jend = std::min(jj + kBlockJ, n);
+      std::size_t i = i0;
+      for (; i + 2 <= i1; i += 2) {
+        const double* arow0 = a.row_data(i);
+        const double* arow1 = a.row_data(i + 1);
+        double* crow0 = c.row_data(i);
+        double* crow1 = c.row_data(i + 1);
+        std::size_t j = jj;
+        for (; j + 16 <= jend; j += 16) {
+          tile_2x16(arow0, arow1, crow0, crow1, b, bias, first_panel, kk,
+                    kend, j);
+        }
+        for (; j < jend; j += 4) {
+          tile_2xw(arow0, arow1, crow0, crow1, b, bias, first_panel, kk,
+                   kend, j, std::min<std::size_t>(4, jend - j));
+        }
+      }
+      if (i < i1) {
+        const double* arow = a.row_data(i);
+        double* crow = c.row_data(i);
+        std::size_t j = jj;
+        for (; j + 16 <= jend; j += 16) {
+          tile_1x16(arow, crow, b, bias, first_panel, kk, kend, j);
+        }
+        for (; j < jend; j += 4) {
+          tile_1xw(arow, crow, b, bias, first_panel, kk, kend, j,
+                   std::min<std::size_t>(4, jend - j));
+        }
+      }
+    }
+  }
+}
+
+// ---- gram ---------------------------------------------------------------
+
+void gram_rows_avx2(ConstMatrixView a, MatrixView g, std::size_t i0,
+                    std::size_t i1) {
+  const std::size_t rows = a.rows();
+  const std::size_t n = a.cols();
+  for (std::size_t ii = i0; ii < i1; ii += kGramTile) {
+    const std::size_t iend = std::min(ii + kGramTile, i1);
+    for (std::size_t jj = ii; jj < n; jj += kGramTile) {
+      const std::size_t jend = std::min(jj + kGramTile, n);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double* row = a.row_data(r);
+        for (std::size_t i = ii; i < iend; ++i) {
+          const __m256d ri = _mm256_broadcast_sd(row + i);
+          double* grow = g.row_data(i);
+          std::size_t j = std::max(i, jj);
+          for (; j + 4 <= jend; j += 4) {
+            const __m256d prod = _mm256_mul_pd(ri, _mm256_loadu_pd(row + j));
+            _mm256_storeu_pd(grow + j,
+                             _mm256_add_pd(_mm256_loadu_pd(grow + j), prod));
+          }
+          if (j < jend) {
+            const std::size_t w = jend - j;
+            const __m256d prod = _mm256_mul_pd(ri, load_cols(row + j, w));
+            store_cols(grow + j, w,
+                       _mm256_add_pd(load_cols(grow + j, w), prod));
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- matvec -------------------------------------------------------------
+
+namespace {
+
+/// Transposes 4 row vectors (loaded from rows i..i+3 at column j) into 4
+/// column vectors {a(i..i+3, j+c)}.
+inline void transpose_4x4(__m256d r0, __m256d r1, __m256d r2, __m256d r3,
+                          __m256d& c0, __m256d& c1, __m256d& c2,
+                          __m256d& c3) {
+  const __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+  const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+  const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+  const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+  c0 = _mm256_permute2f128_pd(t0, t2, 0x20);
+  c1 = _mm256_permute2f128_pd(t1, t3, 0x20);
+  c2 = _mm256_permute2f128_pd(t0, t2, 0x31);
+  c3 = _mm256_permute2f128_pd(t1, t3, 0x31);
+}
+
+}  // namespace
+
+void matvec_rows_avx2(ConstMatrixView a, const double* x, double* y,
+                      std::size_t i0, std::size_t i1) {
+  const std::size_t cols = a.cols();
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const double* a0 = a.row_data(i);
+    const double* a1 = a.row_data(i + 1);
+    const double* a2 = a.row_data(i + 2);
+    const double* a3 = a.row_data(i + 3);
+    // Lane l accumulates row i + l; within each 4-column group the
+    // products are added in ascending-j order, so every lane replays the
+    // scalar dot's exact sequence.
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      __m256d c0, c1, c2, c3;
+      transpose_4x4(_mm256_loadu_pd(a0 + j), _mm256_loadu_pd(a1 + j),
+                    _mm256_loadu_pd(a2 + j), _mm256_loadu_pd(a3 + j), c0, c1,
+                    c2, c3);
+      acc = _mm256_add_pd(acc,
+                          _mm256_mul_pd(c0, _mm256_broadcast_sd(x + j)));
+      acc = _mm256_add_pd(acc,
+                          _mm256_mul_pd(c1, _mm256_broadcast_sd(x + j + 1)));
+      acc = _mm256_add_pd(acc,
+                          _mm256_mul_pd(c2, _mm256_broadcast_sd(x + j + 2)));
+      acc = _mm256_add_pd(acc,
+                          _mm256_mul_pd(c3, _mm256_broadcast_sd(x + j + 3)));
+    }
+    alignas(32) double sums[4];
+    _mm256_store_pd(sums, acc);
+    const double* rows[4] = {a0, a1, a2, a3};
+    for (std::size_t r = 0; r < 4; ++r) {
+      double s = sums[r];
+      for (std::size_t jt = j; jt < cols; ++jt) s += rows[r][jt] * x[jt];
+      y[i + r] = s;
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* row = a.row_data(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+}
+
+void matvec_t_rows_avx2(ConstMatrixView a, const double* x, double* y,
+                        std::size_t i0, std::size_t i1) {
+  const std::size_t cols = a.cols();
+  for (std::size_t i = i0; i < i1; ++i) {
+    const __m256d xi = _mm256_broadcast_sd(x + i);
+    const double* row = a.row_data(i);
+    std::size_t j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      const __m256d prod = _mm256_mul_pd(xi, _mm256_loadu_pd(row + j));
+      _mm256_storeu_pd(y + j, _mm256_add_pd(_mm256_loadu_pd(y + j), prod));
+    }
+    if (j < cols) {
+      const std::size_t w = cols - j;
+      const __m256d prod = _mm256_mul_pd(xi, load_cols(row + j, w));
+      store_cols(y + j, w, _mm256_add_pd(load_cols(y + j, w), prod));
+    }
+  }
+}
+
+// ---- Householder reflector apply ---------------------------------------
+
+void qr_reflect_columns_avx2(MatrixView qr, std::size_t k, double tau,
+                             double* s) {
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
+  const std::size_t j0 = k + 1;
+  if (j0 >= n) return;
+  const std::size_t w = n - j0;
+  // s = (row k segment) + sum_i v_i * (row i segment), i ascending — the
+  // v·A sweep with each column's partial sum living in its own lane.
+  const double* rowk = qr.row_data(k) + j0;
+  for (std::size_t j = 0; j < w; ++j) s[j] = rowk[j];
+  for (std::size_t i = k + 1; i < m; ++i) {
+    const __m256d vi = _mm256_broadcast_sd(qr.row_data(i) + k);
+    const double* rowi = qr.row_data(i) + j0;
+    std::size_t j = 0;
+    for (; j + 4 <= w; j += 4) {
+      const __m256d prod = _mm256_mul_pd(vi, _mm256_loadu_pd(rowi + j));
+      _mm256_storeu_pd(s + j, _mm256_add_pd(_mm256_loadu_pd(s + j), prod));
+    }
+    if (j < w) {
+      const std::size_t ww = w - j;
+      const __m256d prod = _mm256_mul_pd(vi, load_cols(rowi + j, ww));
+      store_cols(s + j, ww, _mm256_add_pd(load_cols(s + j, ww), prod));
+    }
+  }
+  // s *= tau; row k -= s; rank-1 update rows k+1..m-1: row_i -= s * v_i.
+  double* rowk_mut = qr.row_data(k) + j0;
+  for (std::size_t j = 0; j < w; ++j) {
+    s[j] *= tau;
+    rowk_mut[j] -= s[j];
+  }
+  for (std::size_t i = k + 1; i < m; ++i) {
+    const __m256d vi = _mm256_broadcast_sd(qr.row_data(i) + k);
+    double* rowi = qr.row_data(i) + j0;
+    std::size_t j = 0;
+    for (; j + 4 <= w; j += 4) {
+      const __m256d prod = _mm256_mul_pd(_mm256_loadu_pd(s + j), vi);
+      _mm256_storeu_pd(rowi + j,
+                       _mm256_sub_pd(_mm256_loadu_pd(rowi + j), prod));
+    }
+    if (j < w) {
+      const std::size_t ww = w - j;
+      const __m256d prod = _mm256_mul_pd(load_cols(s + j, ww), vi);
+      store_cols(rowi + j, ww,
+                 _mm256_sub_pd(load_cols(rowi + j, ww), prod));
+    }
+  }
+}
+
+// ---- Givens downdate sweep ----------------------------------------------
+
+void givens_sweep_columns_avx2(MatrixView r, const double* c,
+                               const double* s) {
+  const std::size_t n = r.rows();
+  for (std::size_t j0 = 0; j0 < n; j0 += 4) {
+    const std::size_t width = std::min<std::size_t>(4, n - j0);
+    const __m256i lanes = _mm256_set_epi64x(
+        static_cast<long long>(j0) + 3, static_cast<long long>(j0) + 2,
+        static_cast<long long>(j0) + 1, static_cast<long long>(j0));
+    const __m256i mask_n =
+        width == 4 ? _mm256_set1_epi64x(-1)
+                   : _mm256_cmpgt_epi64(
+                         _mm256_set1_epi64x(static_cast<long long>(n)),
+                         lanes);
+    // Lane l carries column j0 + l; it stays inactive (xx = 0, row
+    // untouched) until i reaches its diagonal, exactly like the scalar
+    // sweep that starts each column at i = j.
+    __m256d xx = _mm256_setzero_pd();
+    std::size_t i = j0 + width;
+    // Rows above the block's bottom-right diagonal: triangular masks.
+    while (i-- > j0) {
+      const __m256i mask = _mm256_and_si256(
+          mask_n,
+          _mm256_cmpgt_epi64(lanes, _mm256_set1_epi64x(
+                                        static_cast<long long>(i) - 1)));
+      double* rowi = r.row_data(i) + j0;
+      const __m256d rv = _mm256_maskload_pd(rowi, mask);
+      const __m256d cv = _mm256_broadcast_sd(c + i);
+      const __m256d sv = _mm256_broadcast_sd(s + i);
+      const __m256d t =
+          _mm256_add_pd(_mm256_mul_pd(cv, xx), _mm256_mul_pd(sv, rv));
+      _mm256_maskstore_pd(
+          rowi, mask,
+          _mm256_sub_pd(_mm256_mul_pd(cv, rv), _mm256_mul_pd(sv, xx)));
+      xx = t;
+    }
+    // Rows at or above every lane's diagonal: full-width (within n).
+    i = j0;
+    while (i-- > 0) {
+      double* rowi = r.row_data(i) + j0;
+      const __m256d rv = width == 4 ? _mm256_loadu_pd(rowi)
+                                    : _mm256_maskload_pd(rowi, mask_n);
+      const __m256d cv = _mm256_broadcast_sd(c + i);
+      const __m256d sv = _mm256_broadcast_sd(s + i);
+      const __m256d t =
+          _mm256_add_pd(_mm256_mul_pd(cv, xx), _mm256_mul_pd(sv, rv));
+      const __m256d rnew =
+          _mm256_sub_pd(_mm256_mul_pd(cv, rv), _mm256_mul_pd(sv, xx));
+      if (width == 4) {
+        _mm256_storeu_pd(rowi, rnew);
+      } else {
+        _mm256_maskstore_pd(rowi, mask_n, rnew);
+      }
+      xx = t;
+    }
+  }
+}
+
+}  // namespace eigenmaps::numerics::detail
+
+#endif  // EIGENMAPS_HAVE_X86_KERNELS

@@ -1,0 +1,400 @@
+// Explicit AVX-512 micro-kernels (512-bit, masked edges). Compiled with
+// -mavx512f -mavx512dq -mavx512vl -mfma and -ffp-contract=off: every
+// arithmetic operation is an explicit intrinsic, so mul/add pairs of the
+// bit-exact kernels never fuse and FMA chains never reassociate. Column
+// tails use __mmask8 lane masks instead of scalar peeling, so strided
+// views of any width run the same code path. See simd_kernels.h for the
+// per-kernel accuracy contract.
+#include "numerics/simd_kernels.h"
+
+#if defined(EIGENMAPS_HAVE_X86_KERNELS)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "numerics/blas_internal.h"
+
+namespace eigenmaps::numerics::detail {
+
+namespace {
+
+/// Mask selecting the low `w` (1..7) lanes of a zmm of doubles.
+inline __mmask8 lane_mask8(std::size_t w) {
+  return static_cast<__mmask8>((1u << w) - 1u);
+}
+
+// ---- GEMM ---------------------------------------------------------------
+
+/// 8 rows x 8 columns register tile over one k-panel: 8 zmm accumulators,
+/// one B vector per k shared by all rows, FMA chains in ascending-k order.
+inline void tile_8x8(const double* const* ar, double* const* cr,
+                     ConstMatrixView b, const double* bias, bool first_panel,
+                     std::size_t kk, std::size_t kend, std::size_t j) {
+  __m512d acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7;
+  if (first_panel && bias != nullptr) {
+    const __m512d bv = _mm512_loadu_pd(bias + j);
+    acc0 = acc1 = acc2 = acc3 = acc4 = acc5 = acc6 = acc7 = bv;
+  } else {
+    acc0 = _mm512_loadu_pd(cr[0] + j);
+    acc1 = _mm512_loadu_pd(cr[1] + j);
+    acc2 = _mm512_loadu_pd(cr[2] + j);
+    acc3 = _mm512_loadu_pd(cr[3] + j);
+    acc4 = _mm512_loadu_pd(cr[4] + j);
+    acc5 = _mm512_loadu_pd(cr[5] + j);
+    acc6 = _mm512_loadu_pd(cr[6] + j);
+    acc7 = _mm512_loadu_pd(cr[7] + j);
+  }
+  for (std::size_t k = kk; k < kend; ++k) {
+    const __m512d bv = _mm512_loadu_pd(b.row_data(k) + j);
+    acc0 = _mm512_fmadd_pd(_mm512_set1_pd(ar[0][k]), bv, acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_set1_pd(ar[1][k]), bv, acc1);
+    acc2 = _mm512_fmadd_pd(_mm512_set1_pd(ar[2][k]), bv, acc2);
+    acc3 = _mm512_fmadd_pd(_mm512_set1_pd(ar[3][k]), bv, acc3);
+    acc4 = _mm512_fmadd_pd(_mm512_set1_pd(ar[4][k]), bv, acc4);
+    acc5 = _mm512_fmadd_pd(_mm512_set1_pd(ar[5][k]), bv, acc5);
+    acc6 = _mm512_fmadd_pd(_mm512_set1_pd(ar[6][k]), bv, acc6);
+    acc7 = _mm512_fmadd_pd(_mm512_set1_pd(ar[7][k]), bv, acc7);
+  }
+  _mm512_storeu_pd(cr[0] + j, acc0);
+  _mm512_storeu_pd(cr[1] + j, acc1);
+  _mm512_storeu_pd(cr[2] + j, acc2);
+  _mm512_storeu_pd(cr[3] + j, acc3);
+  _mm512_storeu_pd(cr[4] + j, acc4);
+  _mm512_storeu_pd(cr[5] + j, acc5);
+  _mm512_storeu_pd(cr[6] + j, acc6);
+  _mm512_storeu_pd(cr[7] + j, acc7);
+}
+
+/// 8 rows x (w < 8) masked edge columns.
+inline void tile_8xw(const double* const* ar, double* const* cr,
+                     ConstMatrixView b, const double* bias, bool first_panel,
+                     std::size_t kk, std::size_t kend, std::size_t j,
+                     std::size_t w) {
+  const __mmask8 mask = lane_mask8(w);
+  __m512d acc[8];
+  if (first_panel && bias != nullptr) {
+    const __m512d bv = _mm512_maskz_loadu_pd(mask, bias + j);
+    for (int r = 0; r < 8; ++r) acc[r] = bv;
+  } else {
+    for (int r = 0; r < 8; ++r) {
+      acc[r] = _mm512_maskz_loadu_pd(mask, cr[r] + j);
+    }
+  }
+  for (std::size_t k = kk; k < kend; ++k) {
+    const __m512d bv = _mm512_maskz_loadu_pd(mask, b.row_data(k) + j);
+    for (int r = 0; r < 8; ++r) {
+      acc[r] = _mm512_fmadd_pd(_mm512_set1_pd(ar[r][k]), bv, acc[r]);
+    }
+  }
+  for (int r = 0; r < 8; ++r) _mm512_mask_storeu_pd(cr[r] + j, mask, acc[r]);
+}
+
+/// One row across [jj, jend): 1 x 32 tiles (4 independent FMA chains — the
+/// batch-1 serving latency path), then 1 x 8, then a masked tail.
+inline void row_1xn(const double* arow, double* crow, ConstMatrixView b,
+                    const double* bias, bool first_panel, std::size_t kk,
+                    std::size_t kend, std::size_t jj, std::size_t jend) {
+  const double* seed_src = (first_panel && bias != nullptr) ? bias : crow;
+  std::size_t j = jj;
+  for (; j + 32 <= jend; j += 32) {
+    __m512d a0 = _mm512_loadu_pd(seed_src + j);
+    __m512d a1 = _mm512_loadu_pd(seed_src + j + 8);
+    __m512d a2 = _mm512_loadu_pd(seed_src + j + 16);
+    __m512d a3 = _mm512_loadu_pd(seed_src + j + 24);
+    for (std::size_t k = kk; k < kend; ++k) {
+      const __m512d p = _mm512_set1_pd(arow[k]);
+      const double* brow = b.row_data(k) + j;
+      a0 = _mm512_fmadd_pd(p, _mm512_loadu_pd(brow), a0);
+      a1 = _mm512_fmadd_pd(p, _mm512_loadu_pd(brow + 8), a1);
+      a2 = _mm512_fmadd_pd(p, _mm512_loadu_pd(brow + 16), a2);
+      a3 = _mm512_fmadd_pd(p, _mm512_loadu_pd(brow + 24), a3);
+    }
+    _mm512_storeu_pd(crow + j, a0);
+    _mm512_storeu_pd(crow + j + 8, a1);
+    _mm512_storeu_pd(crow + j + 16, a2);
+    _mm512_storeu_pd(crow + j + 24, a3);
+  }
+  for (; j + 8 <= jend; j += 8) {
+    __m512d acc = _mm512_loadu_pd(seed_src + j);
+    for (std::size_t k = kk; k < kend; ++k) {
+      acc = _mm512_fmadd_pd(_mm512_set1_pd(arow[k]),
+                            _mm512_loadu_pd(b.row_data(k) + j), acc);
+    }
+    _mm512_storeu_pd(crow + j, acc);
+  }
+  if (j < jend) {
+    const __mmask8 mask = lane_mask8(jend - j);
+    __m512d acc = _mm512_maskz_loadu_pd(mask, seed_src + j);
+    for (std::size_t k = kk; k < kend; ++k) {
+      acc = _mm512_fmadd_pd(_mm512_set1_pd(arow[k]),
+                            _mm512_maskz_loadu_pd(mask, b.row_data(k) + j),
+                            acc);
+    }
+    _mm512_mask_storeu_pd(crow + j, mask, acc);
+  }
+}
+
+}  // namespace
+
+void gemm_rows_avx512(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                      const double* bias, std::size_t i0, std::size_t i1) {
+  const std::size_t inner = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t kk = 0; kk < inner; kk += kBlockK) {
+    const std::size_t kend = std::min(kk + kBlockK, inner);
+    const bool first_panel = kk == 0;
+    for (std::size_t jj = 0; jj < n; jj += kBlockJ) {
+      const std::size_t jend = std::min(jj + kBlockJ, n);
+      std::size_t i = i0;
+      for (; i + 8 <= i1; i += 8) {
+        const double* ar[8];
+        double* cr[8];
+        for (std::size_t r = 0; r < 8; ++r) {
+          ar[r] = a.row_data(i + r);
+          cr[r] = c.row_data(i + r);
+        }
+        std::size_t j = jj;
+        for (; j + 8 <= jend; j += 8) {
+          tile_8x8(ar, cr, b, bias, first_panel, kk, kend, j);
+        }
+        if (j < jend) {
+          tile_8xw(ar, cr, b, bias, first_panel, kk, kend, j, jend - j);
+        }
+      }
+      for (; i < i1; ++i) {
+        row_1xn(a.row_data(i), c.row_data(i), b, bias, first_panel, kk,
+                kend, jj, jend);
+      }
+    }
+  }
+}
+
+// ---- gram ---------------------------------------------------------------
+
+void gram_rows_avx512(ConstMatrixView a, MatrixView g, std::size_t i0,
+                      std::size_t i1) {
+  const std::size_t rows = a.rows();
+  const std::size_t n = a.cols();
+  for (std::size_t ii = i0; ii < i1; ii += kGramTile) {
+    const std::size_t iend = std::min(ii + kGramTile, i1);
+    for (std::size_t jj = ii; jj < n; jj += kGramTile) {
+      const std::size_t jend = std::min(jj + kGramTile, n);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double* row = a.row_data(r);
+        for (std::size_t i = ii; i < iend; ++i) {
+          const __m512d ri = _mm512_set1_pd(row[i]);
+          double* grow = g.row_data(i);
+          std::size_t j = std::max(i, jj);
+          for (; j + 8 <= jend; j += 8) {
+            const __m512d prod = _mm512_mul_pd(ri, _mm512_loadu_pd(row + j));
+            _mm512_storeu_pd(
+                grow + j, _mm512_add_pd(_mm512_loadu_pd(grow + j), prod));
+          }
+          if (j < jend) {
+            const __mmask8 mask = lane_mask8(jend - j);
+            const __m512d prod =
+                _mm512_mul_pd(ri, _mm512_maskz_loadu_pd(mask, row + j));
+            _mm512_mask_storeu_pd(
+                grow + j, mask,
+                _mm512_add_pd(_mm512_maskz_loadu_pd(mask, grow + j), prod));
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- matvec -------------------------------------------------------------
+
+namespace {
+
+/// Transposes 8 row vectors (rows i..i+7 at column j) into 8 column
+/// vectors {a(i..i+7, j + c)}: unpack pairs, then two rounds of 128-bit
+/// lane shuffles.
+inline void transpose_8x8(const __m512d r[8], __m512d col[8]) {
+  const __m512d t0 = _mm512_unpacklo_pd(r[0], r[1]);
+  const __m512d t1 = _mm512_unpackhi_pd(r[0], r[1]);
+  const __m512d t2 = _mm512_unpacklo_pd(r[2], r[3]);
+  const __m512d t3 = _mm512_unpackhi_pd(r[2], r[3]);
+  const __m512d t4 = _mm512_unpacklo_pd(r[4], r[5]);
+  const __m512d t5 = _mm512_unpackhi_pd(r[4], r[5]);
+  const __m512d t6 = _mm512_unpacklo_pd(r[6], r[7]);
+  const __m512d t7 = _mm512_unpackhi_pd(r[6], r[7]);
+  const __m512d x0 = _mm512_shuffle_f64x2(t0, t2, 0x88);
+  const __m512d x1 = _mm512_shuffle_f64x2(t1, t3, 0x88);
+  const __m512d x2 = _mm512_shuffle_f64x2(t0, t2, 0xDD);
+  const __m512d x3 = _mm512_shuffle_f64x2(t1, t3, 0xDD);
+  const __m512d y0 = _mm512_shuffle_f64x2(t4, t6, 0x88);
+  const __m512d y1 = _mm512_shuffle_f64x2(t5, t7, 0x88);
+  const __m512d y2 = _mm512_shuffle_f64x2(t4, t6, 0xDD);
+  const __m512d y3 = _mm512_shuffle_f64x2(t5, t7, 0xDD);
+  col[0] = _mm512_shuffle_f64x2(x0, y0, 0x88);
+  col[1] = _mm512_shuffle_f64x2(x1, y1, 0x88);
+  col[2] = _mm512_shuffle_f64x2(x2, y2, 0x88);
+  col[3] = _mm512_shuffle_f64x2(x3, y3, 0x88);
+  col[4] = _mm512_shuffle_f64x2(x0, y0, 0xDD);
+  col[5] = _mm512_shuffle_f64x2(x1, y1, 0xDD);
+  col[6] = _mm512_shuffle_f64x2(x2, y2, 0xDD);
+  col[7] = _mm512_shuffle_f64x2(x3, y3, 0xDD);
+}
+
+}  // namespace
+
+void matvec_rows_avx512(ConstMatrixView a, const double* x, double* y,
+                        std::size_t i0, std::size_t i1) {
+  const std::size_t cols = a.cols();
+  std::size_t i = i0;
+  for (; i + 8 <= i1; i += 8) {
+    const double* rows[8];
+    for (std::size_t r = 0; r < 8; ++r) rows[r] = a.row_data(i + r);
+    // Lane l accumulates row i + l; products are added in ascending-j
+    // order within each 8-column group, replaying the scalar dot exactly.
+    __m512d acc = _mm512_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      __m512d rv[8], col[8];
+      for (std::size_t r = 0; r < 8; ++r) {
+        rv[r] = _mm512_loadu_pd(rows[r] + j);
+      }
+      transpose_8x8(rv, col);
+      for (std::size_t cjs = 0; cjs < 8; ++cjs) {
+        acc = _mm512_add_pd(
+            acc, _mm512_mul_pd(col[cjs], _mm512_set1_pd(x[j + cjs])));
+      }
+    }
+    alignas(64) double sums[8];
+    _mm512_store_pd(sums, acc);
+    for (std::size_t r = 0; r < 8; ++r) {
+      double s = sums[r];
+      for (std::size_t jt = j; jt < cols; ++jt) s += rows[r][jt] * x[jt];
+      y[i + r] = s;
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* row = a.row_data(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+}
+
+void matvec_t_rows_avx512(ConstMatrixView a, const double* x, double* y,
+                          std::size_t i0, std::size_t i1) {
+  const std::size_t cols = a.cols();
+  for (std::size_t i = i0; i < i1; ++i) {
+    const __m512d xi = _mm512_set1_pd(x[i]);
+    const double* row = a.row_data(i);
+    std::size_t j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      const __m512d prod = _mm512_mul_pd(xi, _mm512_loadu_pd(row + j));
+      _mm512_storeu_pd(y + j, _mm512_add_pd(_mm512_loadu_pd(y + j), prod));
+    }
+    if (j < cols) {
+      const __mmask8 mask = lane_mask8(cols - j);
+      const __m512d prod =
+          _mm512_mul_pd(xi, _mm512_maskz_loadu_pd(mask, row + j));
+      _mm512_mask_storeu_pd(
+          y + j, mask,
+          _mm512_add_pd(_mm512_maskz_loadu_pd(mask, y + j), prod));
+    }
+  }
+}
+
+// ---- Householder reflector apply ---------------------------------------
+
+void qr_reflect_columns_avx512(MatrixView qr, std::size_t k, double tau,
+                               double* s) {
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
+  const std::size_t j0 = k + 1;
+  if (j0 >= n) return;
+  const std::size_t w = n - j0;
+  const double* rowk = qr.row_data(k) + j0;
+  for (std::size_t j = 0; j < w; ++j) s[j] = rowk[j];
+  for (std::size_t i = k + 1; i < m; ++i) {
+    const __m512d vi = _mm512_set1_pd(qr.row_data(i)[k]);
+    const double* rowi = qr.row_data(i) + j0;
+    std::size_t j = 0;
+    for (; j + 8 <= w; j += 8) {
+      const __m512d prod = _mm512_mul_pd(vi, _mm512_loadu_pd(rowi + j));
+      _mm512_storeu_pd(s + j, _mm512_add_pd(_mm512_loadu_pd(s + j), prod));
+    }
+    if (j < w) {
+      const __mmask8 mask = lane_mask8(w - j);
+      const __m512d prod =
+          _mm512_mul_pd(vi, _mm512_maskz_loadu_pd(mask, rowi + j));
+      _mm512_mask_storeu_pd(
+          s + j, mask,
+          _mm512_add_pd(_mm512_maskz_loadu_pd(mask, s + j), prod));
+    }
+  }
+  double* rowk_mut = qr.row_data(k) + j0;
+  for (std::size_t j = 0; j < w; ++j) {
+    s[j] *= tau;
+    rowk_mut[j] -= s[j];
+  }
+  for (std::size_t i = k + 1; i < m; ++i) {
+    const __m512d vi = _mm512_set1_pd(qr.row_data(i)[k]);
+    double* rowi = qr.row_data(i) + j0;
+    std::size_t j = 0;
+    for (; j + 8 <= w; j += 8) {
+      const __m512d prod = _mm512_mul_pd(_mm512_loadu_pd(s + j), vi);
+      _mm512_storeu_pd(rowi + j,
+                       _mm512_sub_pd(_mm512_loadu_pd(rowi + j), prod));
+    }
+    if (j < w) {
+      const __mmask8 mask = lane_mask8(w - j);
+      const __m512d prod =
+          _mm512_mul_pd(_mm512_maskz_loadu_pd(mask, s + j), vi);
+      _mm512_mask_storeu_pd(
+          rowi + j, mask,
+          _mm512_sub_pd(_mm512_maskz_loadu_pd(mask, rowi + j), prod));
+    }
+  }
+}
+
+// ---- Givens downdate sweep ----------------------------------------------
+
+namespace {
+
+/// Lanes of block [j0, j0 + width) active at row i: column j0 + l is
+/// rotated only once i reaches its diagonal (i <= j0 + l).
+inline __mmask8 givens_mask(std::size_t j0, std::size_t width,
+                            std::size_t i) {
+  const unsigned full = (1u << width) - 1u;
+  if (i <= j0) return static_cast<__mmask8>(full);
+  return static_cast<__mmask8>(full & ~((1u << (i - j0)) - 1u));
+}
+
+}  // namespace
+
+void givens_sweep_columns_avx512(MatrixView r, const double* c,
+                                 const double* s) {
+  const std::size_t n = r.rows();
+  for (std::size_t j0 = 0; j0 < n; j0 += 8) {
+    const std::size_t width = std::min<std::size_t>(8, n - j0);
+    // Inactive lanes keep xx = 0 (maskz loads feed zeros) and their rows
+    // untouched, exactly like the scalar sweep that starts each column's
+    // rotations at its diagonal.
+    __m512d xx = _mm512_setzero_pd();
+    std::size_t i = j0 + width;
+    while (i-- > 0) {
+      const __mmask8 mask = givens_mask(j0, width, i);
+      double* rowi = r.row_data(i) + j0;
+      const __m512d rv = _mm512_maskz_loadu_pd(mask, rowi);
+      const __m512d cv = _mm512_set1_pd(c[i]);
+      const __m512d sv = _mm512_set1_pd(s[i]);
+      const __m512d t =
+          _mm512_add_pd(_mm512_mul_pd(cv, xx), _mm512_mul_pd(sv, rv));
+      _mm512_mask_storeu_pd(
+          rowi, mask,
+          _mm512_sub_pd(_mm512_mul_pd(cv, rv), _mm512_mul_pd(sv, xx)));
+      xx = t;
+    }
+  }
+}
+
+}  // namespace eigenmaps::numerics::detail
+
+#endif  // EIGENMAPS_HAVE_X86_KERNELS

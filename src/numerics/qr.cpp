@@ -4,8 +4,98 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "numerics/isa.h"
+#include "numerics/simd_kernels.h"
 
 namespace eigenmaps::numerics {
+
+namespace {
+
+/// Applies reflector k to the trailing columns of the packed factor:
+/// s_j = tau * (qr(k, j) + sum_{i>k} qr(i, k) qr(i, j)), then the rank-1
+/// update. Two passes over rows — the dot products accumulate with i
+/// ascending per column, exactly the order of the classic per-column
+/// loop, so restructuring moves no bits. `s` holds n scratch doubles.
+void qr_reflect_columns_portable(MatrixView qr, std::size_t k, double tau,
+                                 double* s) {
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
+  double* krow = qr.row_data(k);
+  for (std::size_t j = k + 1; j < n; ++j) s[j] = krow[j];
+  for (std::size_t i = k + 1; i < m; ++i) {
+    const double vik = qr(i, k);
+    const double* row = qr.row_data(i);
+    for (std::size_t j = k + 1; j < n; ++j) s[j] += vik * row[j];
+  }
+  for (std::size_t j = k + 1; j < n; ++j) {
+    s[j] *= tau;
+    krow[j] -= s[j];
+  }
+  for (std::size_t i = k + 1; i < m; ++i) {
+    const double vik = qr(i, k);
+    double* row = qr.row_data(i);
+    for (std::size_t j = k + 1; j < n; ++j) row[j] -= s[j] * vik;
+  }
+}
+
+/// Runtime tier selection for the reflector apply (DESIGN.md §13). Lane j
+/// owns column j in the SIMD tiers and every sum stays an ascending-i
+/// mul + add chain, so all tiers are bit-identical.
+void qr_reflect_columns(MatrixView qr, std::size_t k, double tau,
+                        double* s) {
+  switch (active_isa()) {
+#if defined(EIGENMAPS_HAVE_X86_KERNELS)
+    case Isa::kAvx512:
+      detail::qr_reflect_columns_avx512(qr, k, tau, s);
+      return;
+    case Isa::kAvx2:
+      detail::qr_reflect_columns_avx2(qr, k, tau, s);
+      return;
+#endif
+    default:
+      qr_reflect_columns_portable(qr, k, tau, s);
+      return;
+  }
+}
+
+/// Applies the downdating rotations J_0..J_j to every column j of R,
+/// threading the hyperbolic carry xx top-down exactly like the scalar
+/// per-column loop.
+void givens_sweep_columns_portable(MatrixView r, const double* c,
+                                   const double* s) {
+  const std::size_t n = r.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double xx = 0.0;
+    for (std::size_t i = j + 1; i-- > 0;) {
+      const double t = c[i] * xx + s[i] * r(i, j);
+      r(i, j) = c[i] * r(i, j) - s[i] * xx;
+      xx = t;
+    }
+  }
+}
+
+/// Runtime tier selection for the downdate column sweep. Lane j owns
+/// column j; the carry recurrence per column is the same separate
+/// mul/add/sub sequence in every tier, so the sweep stays bit-identical.
+void givens_sweep_columns(MatrixView r, const double* c, const double* s) {
+  switch (active_isa()) {
+#if defined(EIGENMAPS_HAVE_X86_KERNELS)
+    case Isa::kAvx512:
+      detail::givens_sweep_columns_avx512(r, c, s);
+      return;
+    case Isa::kAvx2:
+      detail::givens_sweep_columns_avx2(r, c, s);
+      return;
+#endif
+    default:
+      givens_sweep_columns_portable(r, c, s);
+      return;
+  }
+}
+
+}  // namespace
 
 HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
   const std::size_t m = qr_.rows();
@@ -15,6 +105,7 @@ HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
   }
   tau_.assign(n, 0.0);
   diag_.assign(n, 0.0);
+  std::vector<double> reflect_scratch(n, 0.0);
   for (std::size_t k = 0; k < n; ++k) {
     // Householder vector for column k, rows k..m-1.
     double norm = 0.0;
@@ -32,13 +123,7 @@ HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
     tau_[k] = -vkk / alpha;  // beta = 2 / (v^T v) with v[k] = 1 scaling.
     diag_[k] = alpha;
     // Apply reflector to the remaining columns.
-    for (std::size_t j = k + 1; j < n; ++j) {
-      double s = qr_(k, j);
-      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
-      s *= tau_[k];
-      qr_(k, j) -= s;
-      for (std::size_t i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
-    }
+    qr_reflect_columns(qr_.view(), k, tau_[k], reflect_scratch.data());
     qr_(k, k) = alpha;
   }
 }
@@ -190,14 +275,7 @@ bool downdate_r_row(MatrixView r, const double* row, VectorView scratch) {
   }
   // Apply the same rotations to R, column by column, hyperbolically
   // removing the deleted row's contribution.
-  for (std::size_t j = 0; j < n; ++j) {
-    double xx = 0.0;
-    for (std::size_t i = j + 1; i-- > 0;) {
-      const double t = c[i] * xx + s[i] * r(i, j);
-      r(i, j) = c[i] * r(i, j) - s[i] * xx;
-      xx = t;
-    }
-  }
+  givens_sweep_columns(r, c, s);
   return true;
 }
 

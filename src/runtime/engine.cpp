@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "numerics/blas.h"
+#include "numerics/isa.h"
 
 namespace eigenmaps::runtime {
 
@@ -191,6 +193,15 @@ ReconstructionEngine::ReconstructionEngine(
     throw std::invalid_argument(
         "ReconstructionEngine: queue_capacity must be > 0");
   }
+  // Log the dispatched kernel tier once per process: the serving numbers
+  // below depend on it, and a container that silently loses AVX support
+  // should be visible in the first lines of the log (DESIGN.md §13).
+  static const bool logged_isa = [] {
+    std::fprintf(stderr, "eigenmaps engine: kernel isa %s\n",
+                 numerics::isa_name());
+    return true;
+  }();
+  (void)logged_isa;
   queue_ = std::make_unique<BoundedWorkQueue<Job>>(options_.queue_capacity);
   std::size_t workers = options_.worker_count;
   if (workers == 0) workers = default_worker_count();

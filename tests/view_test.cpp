@@ -2,6 +2,10 @@
 // (bit-identical — strides reroute addressing, never accumulation order),
 // safe aliasing of disjoint sub-blocks, `_into` equivalence with the
 // owning forms, and the size-mismatch throws.
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/allocation.h"
@@ -10,6 +14,7 @@
 #include "core/model.h"
 #include "core/workspace.h"
 #include "numerics/blas.h"
+#include "numerics/isa.h"
 #include "numerics/qr.h"
 #include "numerics/rng.h"
 
@@ -155,6 +160,124 @@ TEST(Views, StridedQrSolveBatchBitIdenticalToContiguous) {
   for (std::size_t i = 0; i < x.rows(); ++i) {
     for (std::size_t j = 0; j < x.cols(); ++j) {
       EXPECT_EQ(x(i, j), golden(i, j));
+    }
+  }
+}
+
+/// Every compiled dispatch tier, on strided inputs, across the register
+/// tile edges of the SIMD kernels (DESIGN.md §13): column counts off the
+/// 8/16/32-lane boundaries, row counts off the 2/4/8-row tiles, and
+/// stride > cols throughout. The golden kernels (gram, matvec, both QR
+/// kernels) must match the portable tier bit for bit on every shape; the
+/// contracted GEMM family must stay within the contraction ULP bound.
+TEST(Views, SimdTiersMatchPortableAcrossTileEdges) {
+  struct GemmShape {
+    std::size_t m, k, n;
+  };
+  // n hits 16a+b edges for AVX2 (16-wide tiles) and 8a+b / 32a+b for
+  // AVX-512; m hits the 2-row (AVX2) and 8-row (AVX-512) remainders.
+  const GemmShape gemm_shapes[] = {
+      {1, 3, 33}, {2, 16, 16}, {5, 7, 13}, {8, 16, 8},
+      {9, 5, 21}, {11, 7, 37}, {17, 16, 48},
+  };
+  for (const numerics::Isa isa : numerics::runnable_isas()) {
+    SCOPED_TRACE(numerics::isa_name(isa));
+    for (const GemmShape& s : gemm_shapes) {
+      SCOPED_TRACE(std::to_string(s.m) + "x" + std::to_string(s.k) + "x" +
+                   std::to_string(s.n));
+      const numerics::Matrix a = random_matrix(s.m, s.k, 31);
+      const numerics::Matrix b = random_matrix(s.k, s.n, 32);
+      numerics::Rng rng(33);
+      const numerics::Vector bias = rng.normal_vector(s.n);
+      const StridedCopy sa(a);
+      const StridedCopy sb(b);
+
+      // Contraction-free reference sum and magnitude sum per element.
+      numerics::Matrix ref(s.m, s.n), ref_abs(s.m, s.n);
+      for (std::size_t i = 0; i < s.m; ++i) {
+        for (std::size_t j = 0; j < s.n; ++j) {
+          double sum = bias[j];
+          double mag = std::abs(bias[j]);
+          for (std::size_t kk = 0; kk < s.k; ++kk) {
+            sum += a(i, kk) * b(kk, j);
+            mag += std::abs(a(i, kk)) * std::abs(b(kk, j));
+          }
+          ref(i, j) = sum;
+          ref_abs(i, j) = mag;
+        }
+      }
+
+      numerics::set_isa_override(isa);
+      numerics::Matrix c(s.m, s.n);
+      numerics::matmul_bias_into(sa.view, sb.view, bias, c.view());
+      numerics::clear_isa_override();
+
+      // Same ULP contract as kernel_bench acc: each fused or reordered
+      // rounding is |a||b|-bounded, k + bias of them per element.
+      const double eps = std::numeric_limits<double>::epsilon();
+      const double bound = static_cast<double>(2 * s.k + 8) * eps;
+      for (std::size_t i = 0; i < s.m; ++i) {
+        for (std::size_t j = 0; j < s.n; ++j) {
+          EXPECT_LE(std::abs(c(i, j) - ref(i, j)), bound * ref_abs(i, j))
+              << i << "," << j;
+        }
+      }
+    }
+
+    // Golden kernels: strided inputs, bit-compared against the portable
+    // tier on the same strided inputs.
+    struct TallShape {
+      std::size_t rows, cols;
+    };
+    const TallShape tall_shapes[] = {{9, 7}, {23, 9}, {29, 21}, {40, 13}};
+    for (const TallShape& s : tall_shapes) {
+      SCOPED_TRACE(std::to_string(s.rows) + "x" + std::to_string(s.cols));
+      const numerics::Matrix a = random_matrix(s.rows, s.cols, 41);
+      const StridedCopy sa(a);
+      numerics::Rng rng(42);
+      const numerics::Vector x = rng.normal_vector(s.cols);
+      const numerics::Vector xt = rng.normal_vector(s.rows);
+
+      numerics::set_isa_override(numerics::Isa::kPortable);
+      numerics::Matrix g_port(s.cols, s.cols);
+      numerics::gram_into(sa.view, g_port.view());
+      numerics::Vector y_port(s.rows), yt_port(s.cols);
+      numerics::matvec_into(sa.view, x, y_port);
+      numerics::matvec_transpose_into(sa.view, xt, yt_port);
+      const numerics::HouseholderQr qr_port(a);
+      numerics::Matrix r_port = qr_port.r();
+      const numerics::Matrix q_port = qr_port.thin_q();
+      numerics::Vector scratch(3 * s.cols);
+      const bool down_port =
+          numerics::downdate_r_row(r_port.view(), a.row_data(0), scratch);
+
+      numerics::set_isa_override(isa);
+      numerics::Matrix g(s.cols, s.cols);
+      numerics::gram_into(sa.view, g.view());
+      numerics::Vector y(s.rows), yt(s.cols);
+      numerics::matvec_into(sa.view, x, y);
+      numerics::matvec_transpose_into(sa.view, xt, yt);
+      const numerics::HouseholderQr qr(a);
+      numerics::Matrix r = qr.r();
+      const numerics::Matrix q = qr.thin_q();
+      const bool down = numerics::downdate_r_row(r.view(), a.row_data(0),
+                                                 scratch);
+      numerics::clear_isa_override();
+
+      for (std::size_t i = 0; i < s.cols; ++i) {
+        for (std::size_t j = 0; j < s.cols; ++j) {
+          EXPECT_EQ(g(i, j), g_port(i, j)) << "gram " << i << "," << j;
+          EXPECT_EQ(r(i, j), r_port(i, j)) << "r " << i << "," << j;
+        }
+        EXPECT_EQ(yt[i], yt_port[i]) << "matvec_t " << i;
+      }
+      for (std::size_t i = 0; i < s.rows; ++i) {
+        EXPECT_EQ(y[i], y_port[i]) << "matvec " << i;
+        for (std::size_t j = 0; j < s.cols; ++j) {
+          EXPECT_EQ(q(i, j), q_port(i, j)) << "thin_q " << i << "," << j;
+        }
+      }
+      EXPECT_EQ(down, down_port);
     }
   }
 }

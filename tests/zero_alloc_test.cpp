@@ -17,6 +17,8 @@
 #include "core/reconstructor.h"
 #include "core/workspace.h"
 #include "numerics/blas.h"
+#include "numerics/isa.h"
+#include "numerics/qr.h"
 #include "numerics/rng.h"
 #include "runtime/engine.h"
 
@@ -97,6 +99,54 @@ TEST(ZeroAlloc, BatchedReconstructIntoAndMaskedCachePath) {
   }
   EXPECT_EQ(testhook::allocation_count() - before, 0u)
       << "warmed batch paths (full and masked) must not touch the heap";
+}
+
+/// The dispatched SIMD kernels themselves (DESIGN.md §13): once inputs
+/// and outputs exist, every `_into` kernel runs heap-free on every
+/// compiled dispatch tier. Shapes sit off the register-tile boundaries so
+/// the masked edge paths are the ones being exercised.
+TEST(ZeroAlloc, SimdKernelsHeapFreeOnEveryTier) {
+  numerics::set_blas_threads(1);  // keep parallel_ranges from spawning
+  const std::size_t m = 19, k = 13, n = 21;
+  numerics::Rng rng(17);
+  numerics::Matrix a(m, k), b(k, n), c(m, n), g(k, k), r0(k, k), r(k, k);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) a(i, j) = rng.normal();
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  const numerics::Vector bias = rng.normal_vector(n);
+  const numerics::Vector x = rng.normal_vector(k);
+  const numerics::Vector xt = rng.normal_vector(m);
+  numerics::Vector y(m), yt(k), scratch(3 * k);
+  {
+    const numerics::HouseholderQr qr(a);
+    const numerics::Matrix full_r = qr.r();
+    for (std::size_t i = 0; i < k; ++i) r0.set_row(i, full_r.row_view(i));
+  }
+
+  for (const numerics::Isa isa : numerics::runnable_isas()) {
+    SCOPED_TRACE(numerics::isa_name(isa));
+    numerics::set_isa_override(isa);
+    const auto all_kernels = [&] {
+      numerics::matmul_into(a.view(), b.view(), c.view());
+      numerics::matmul_bias_into(a.view(), b.view(), bias, c.view());
+      numerics::matmul_accumulate(a.view(), b.view(), c.view());
+      numerics::gram_into(a.view(), g.view());
+      numerics::matvec_into(a.view(), x, y);
+      numerics::matvec_transpose_into(a.view(), xt, yt);
+      for (std::size_t i = 0; i < k; ++i) r.set_row(i, r0.row_view(i));
+      numerics::downdate_r_row(r.view(), a.row_data(0), scratch);
+    };
+    all_kernels();  // warm
+    const std::uint64_t before = testhook::allocation_count();
+    for (int i = 0; i < 100; ++i) all_kernels();
+    EXPECT_EQ(testhook::allocation_count() - before, 0u)
+        << "warmed kernels must not touch the heap";
+    numerics::clear_isa_override();
+  }
+  numerics::set_blas_threads(0);
 }
 
 TEST(ZeroAlloc, WarmedEngineBatchCycle) {
