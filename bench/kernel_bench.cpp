@@ -13,15 +13,19 @@
 //
 // acc compares every tier against the contraction-free scalar references
 // in reference_kernels.h: bit-for-bit for the golden-path kernels (gram,
-// matvec, matvec_t, qr, downdate), ULP-bounded for the -ffp-contract=fast
-// GEMM family (matmul, matmul_bias, matmul_acc). GEMM and gram acc also
-// run on strided views (row stride > cols) to exercise the masked edge
-// columns. This translation unit must stay -ffp-contract=off so the
-// references define exact bit patterns.
+// matvec, matvec_t, qr, downdate) and for spmm over a non-fully-dense
+// blocked operator, ULP-bounded for the -ffp-contract=fast GEMM family
+// (matmul, matmul_bias, matmul_acc; float-epsilon-bounded for gemm_f32,
+// and for spmm at 100% density, where it delegates to the dense GEMM).
+// GEMM, gram, spmm and gemm_f32 acc also run on strided views (row
+// stride > cols) to exercise the masked edge columns. This translation
+// unit must stay -ffp-contract=off so the references define exact bit
+// patterns.
 //
 // Kernels and shapes:
-//   matmul m k n | matmul_bias m k n | matmul_acc m k n
-//   gram m n | matvec m n | matvec_t m n | qr m n | downdate n
+//   matmul m k n | matmul_bias m k n | matmul_acc m k n | gemm_f32 m k n
+//   spmm m k n density% | gram m n | matvec m n | matvec_t m n
+//   qr m n | downdate n
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -36,10 +40,13 @@
 #include <vector>
 
 #include "numerics/blas.h"
+#include "numerics/gemm_f32.h"
 #include "numerics/isa.h"
 #include "numerics/qr.h"
 #include "numerics/rng.h"
+#include "numerics/spmm.h"
 #include "reference_kernels.h"
+#include "sparse/blocked_csr.h"
 
 namespace {
 
@@ -62,6 +69,36 @@ Matrix random_matrix(std::size_t rows, std::size_t cols,
 
 bool bits_equal(double a, double b) {
   return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// A k x n operator whose 8-wide column blocks are zeroed with probability
+/// (100 - density_pct)% under a deterministic per-block LCG, so a
+/// BlockedCsr built from it with a tiny relative threshold stores ~that
+/// fraction of blocks — the density knob of the spmm cases.
+Matrix blocked_sparse_operator(std::size_t k, std::size_t n,
+                               std::size_t density_pct, std::uint64_t seed) {
+  Matrix b = random_matrix(k, n, seed);
+  const std::size_t blocks_per_row = (n + 7) / 8;
+  std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t blk = 0; blk < blocks_per_row; ++blk) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      if ((state >> 33) % 100 < density_pct) continue;
+      const std::size_t j0 = blk * 8;
+      const std::size_t j1 = j0 + 8 < n ? j0 + 8 : n;
+      for (std::size_t j = j0; j < j1; ++j) b(i, j) = 0.0;
+    }
+  }
+  return b;
+}
+
+/// Relative threshold small enough to keep every nonzero normal draw but
+/// drop the all-zero blocks blocked_sparse_operator planted.
+constexpr double kSpmmThreshold = 1e-12;
+
+numerics::BlockedOperatorView operator_view(const sparse::BlockedCsr& csr) {
+  return numerics::BlockedOperatorView{csr.values(), csr.block_cols(),
+                                       csr.row_ptr(), csr.rows(), csr.cols()};
 }
 
 // ---- sweep table --------------------------------------------------------
@@ -92,6 +129,18 @@ const std::vector<Case>& sweep() {
       {"matmul", {9, 5, 21}, Mode::kAccOnly},
       {"matmul_acc", {32, 16, 3360}, Mode::kBoth},
       {"matmul_acc", {11, 13, 7}, Mode::kAccOnly},
+      {"gemm_f32", {1, 16, 3360}, Mode::kBoth},
+      {"gemm_f32", {32, 16, 3360}, Mode::kBoth},
+      {"gemm_f32", {128, 16, 3360}, Mode::kBoth},
+      {"gemm_f32", {64, 64, 64}, Mode::kBoth},
+      {"gemm_f32", {5, 7, 13}, Mode::kAccOnly},
+      {"gemm_f32", {17, 3, 29}, Mode::kAccOnly},
+      {"spmm", {32, 16, 3360, 50}, Mode::kBoth},
+      {"spmm", {128, 16, 3360, 25}, Mode::kBoth},
+      {"spmm", {32, 48, 3360, 50}, Mode::kBoth},
+      {"spmm", {32, 16, 3360, 100}, Mode::kAccOnly},  // dense delegation
+      {"spmm", {5, 7, 29, 50}, Mode::kAccOnly},
+      {"spmm", {17, 3, 61, 40}, Mode::kAccOnly},
       {"gram", {3360, 16}, Mode::kBoth},
       {"gram", {3360, 48}, Mode::kBoth},
       {"gram", {256, 64}, Mode::kBoth},
@@ -127,9 +176,14 @@ std::string shape_name(const std::vector<std::size_t>& dims) {
 double flops_for(const std::string& kernel,
                  const std::vector<std::size_t>& d) {
   if (kernel == "matmul" || kernel == "matmul_bias" ||
-      kernel == "matmul_acc") {
+      kernel == "matmul_acc" || kernel == "gemm_f32") {
     return 2.0 * static_cast<double>(d[0]) * static_cast<double>(d[1]) *
            static_cast<double>(d[2]);
+  }
+  if (kernel == "spmm") {
+    // Effective flops: only stored blocks are touched.
+    return 2.0 * static_cast<double>(d[0]) * static_cast<double>(d[1]) *
+           static_cast<double>(d[2]) * static_cast<double>(d[3]) / 100.0;
   }
   if (kernel == "gram") {
     return static_cast<double>(d[0]) * static_cast<double>(d[1]) *
@@ -158,12 +212,13 @@ struct AccStats {
 /// Compares a GEMM-family result against the scalar reference: per element
 /// |c - ref| <= (2k + 8) eps |A||B| — the standard bound for reassociation-
 /// free contraction differences along an ascending-k chain of length k.
+/// `eps` defaults to double precision; the fp32 kernels pass float epsilon
+/// (their accumulation, conversion and reassociation all round at fp32).
 AccStats check_gemm(ConstMatrixView c, ConstMatrixView ref,
-                    ConstMatrixView absprod, std::size_t inner) {
+                    ConstMatrixView absprod, std::size_t inner,
+                    double eps = std::numeric_limits<double>::epsilon()) {
   AccStats st;
-  const double scale =
-      (2.0 * static_cast<double>(inner) + 8.0) *
-      std::numeric_limits<double>::epsilon();
+  const double scale = (2.0 * static_cast<double>(inner) + 8.0) * eps;
   for (std::size_t i = 0; i < c.rows(); ++i) {
     for (std::size_t j = 0; j < c.cols(); ++j) {
       const double tol = scale * absprod(i, j);
@@ -259,6 +314,92 @@ bool run_acc_case(const std::string& kernel,
     std::snprintf(buf, sizeof(buf), "max |diff|/tol %.3f",
                   st.max_rel_tol_used);
     detail = buf;
+  } else if (kernel == "gemm_f32") {
+    const std::size_t m = dims[0], k = dims[1], n = dims[2];
+    const Matrix a = random_matrix(m, k, 11);
+    const Matrix b = random_matrix(k, n, 22);
+    const Vector bias = numerics::Rng(33).normal_vector(n);
+    // Converted-once fp32 operator and bias, exactly like the fp32 model
+    // backend; the fp64 reference runs over the *widened* fp32 operands so
+    // the comparison isolates the kernel's fp32 accumulation.
+    std::vector<float> bf(k * n), biasf(n);
+    Matrix bw(k, n);
+    Vector biasw(n);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        bf[i * n + j] = static_cast<float>(b(i, j));
+        bw(i, j) = static_cast<double>(bf[i * n + j]);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      biasf[j] = static_cast<float>(bias[j]);
+      biasw[j] = static_cast<double>(biasf[j]);
+    }
+    const numerics::ConstF32MatrixView bview{bf.data(), k, n, n};
+    Matrix ref(m, n), absprod(m, n), c(m, n);
+    bench::ref_matmul(a.view(), bw.view(), ref.view(), biasw.data(), false);
+    bench::ref_matmul_abs(a.view(), bw.view(), absprod.view(), biasw.data(),
+                          false);
+    AccStats st;
+    if (strided) {
+      Matrix pa(m, k + 3), pc(m, n + 5);
+      copy_into_strided(strided_view(pa, m, k), a.view());
+      MatrixView cv = strided_view(pc, m, n);
+      numerics::matmul_bias_f32_into(strided_view(pa, m, k), bview,
+                                     biasf.data(), cv);
+      st = check_gemm(cv, ref.view(), absprod.view(), k,
+                      std::numeric_limits<float>::epsilon());
+    } else {
+      numerics::matmul_bias_f32_into(a.view(), bview, biasf.data(), c.view());
+      st = check_gemm(c.view(), ref.view(), absprod.view(), k,
+                      std::numeric_limits<float>::epsilon());
+    }
+    pass = st.pass;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "max |diff|/tol %.3f (fp32)",
+                  st.max_rel_tol_used);
+    detail = buf;
+  } else if (kernel == "spmm") {
+    const std::size_t m = dims[0], k = dims[1], n = dims[2];
+    const std::size_t density = dims[3];
+    const Matrix a = random_matrix(m, k, 11);
+    const Matrix bd = blocked_sparse_operator(k, n, density, 22);
+    const Vector bias = numerics::Rng(33).normal_vector(n);
+    const sparse::BlockedCsr csr(bd.view(),
+                                 density >= 100 ? 0.0 : kSpmmThreshold);
+    Matrix ref(m, n), c(m, n);
+    bench::ref_spmm(a.view(), csr.values(), csr.block_cols(), csr.row_ptr(),
+                    n, bias.data(), ref.view());
+    ConstMatrixView result = c.view();
+    Matrix pa(m, k + 3), pc(m, n + 5);
+    if (strided) {
+      copy_into_strided(strided_view(pa, m, k), a.view());
+      MatrixView cv = strided_view(pc, m, n);
+      numerics::spmm_bias_into(strided_view(pa, m, k), operator_view(csr),
+                               bias, cv);
+      result = cv;
+    } else {
+      numerics::spmm_bias_into(a.view(), operator_view(csr), bias, c.view());
+    }
+    if (csr.fully_dense()) {
+      // Delegated to the contracted dense GEMM; ref_spmm's ascending-k
+      // order matches ref_matmul's, so the usual ULP bound applies.
+      Matrix absprod(m, n);
+      bench::ref_matmul_abs(a.view(), bd.view(), absprod.view(), bias.data(),
+                            false);
+      const AccStats st = check_gemm(result, ref.view(), absprod.view(), k);
+      pass = st.pass;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "max |diff|/tol %.3f (dense delegation)",
+                    st.max_rel_tol_used);
+      detail = buf;
+    } else {
+      pass = check_bitwise(result, ref.view());
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "bitwise, stored density %.2f",
+                    csr.stored_density());
+      detail = buf;
+    }
   } else if (kernel == "gram") {
     const std::size_t m = dims[0], n = dims[1];
     const Matrix a = random_matrix(m, n, 55);
@@ -428,6 +569,8 @@ void run_perf_round(const std::string& kernel,
   std::function<void()> ref_fn, lib_fn;
   Matrix a, b, c, ref_c, r0;
   Vector bias, x, y, scratch;
+  std::vector<float> bf, biasf;
+  sparse::BlockedCsr csr;
   if (kernel == "matmul" || kernel == "matmul_bias" ||
       kernel == "matmul_acc") {
     a = random_matrix(dims[0], dims[1], 11);
@@ -449,6 +592,49 @@ void run_perf_round(const std::string& kernel,
       } else {
         numerics::matmul_into(a.view(), b.view(), c.view());
       }
+    };
+  } else if (kernel == "gemm_f32") {
+    const std::size_t m = dims[0], k = dims[1], n = dims[2];
+    a = random_matrix(m, k, 11);
+    b = random_matrix(k, n, 22);
+    bias = numerics::Rng(33).normal_vector(n);
+    bf.resize(k * n);
+    biasf.resize(n);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        bf[i * n + j] = static_cast<float>(b(i, j));
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      biasf[j] = static_cast<float>(bias[j]);
+    }
+    c = Matrix(m, n);
+    ref_c = Matrix(m, n);
+    // The scalar baseline is the fp64 reference GEMM, so speedup_vs_scalar
+    // reads as "fp32 tier vs fp64 scalar" — the precision win and the SIMD
+    // win together, which is what the serving tail actually gains.
+    ref_fn = [&] {
+      bench::ref_matmul(a.view(), b.view(), ref_c.view(), bias.data(), false);
+    };
+    lib_fn = [&, k, n] {
+      const numerics::ConstF32MatrixView bview{bf.data(), k, n, n};
+      numerics::matmul_bias_f32_into(a.view(), bview, biasf.data(), c.view());
+    };
+  } else if (kernel == "spmm") {
+    const std::size_t m = dims[0], k = dims[1], n = dims[2];
+    const std::size_t density = dims[3];
+    a = random_matrix(m, k, 11);
+    b = blocked_sparse_operator(k, n, density, 22);
+    bias = numerics::Rng(33).normal_vector(n);
+    csr = sparse::BlockedCsr(b.view(), density >= 100 ? 0.0 : kSpmmThreshold);
+    c = Matrix(m, n);
+    ref_c = Matrix(m, n);
+    ref_fn = [&, n] {
+      bench::ref_spmm(a.view(), csr.values(), csr.block_cols(), csr.row_ptr(),
+                      n, bias.data(), ref_c.view());
+    };
+    lib_fn = [&] {
+      numerics::spmm_bias_into(a.view(), operator_view(csr), bias, c.view());
     };
   } else if (kernel == "gram") {
     a = random_matrix(dims[0], dims[1], 55);
@@ -633,13 +819,15 @@ int run_check(const char* path) {
                 committed_isa.c_str(), numerics::isa_name());
     return 0;
   }
-  // Gate the GEMM family only: the serving-tail kernels this harness
-  // exists for, whose 5-8x speedups dwarf timer noise. The small O(n^2)
-  // kernels (matvec at 1.3x, downdate at 1.4x) swing tens of percent
-  // run-to-run on a busy host and would make the gate flaky.
+  // Gate the GEMM family plus the two serving-tail backends (spmm and the
+  // fp32 GEMM): the kernels this harness exists for, whose speedups dwarf
+  // timer noise. The small O(n^2) kernels (matvec at 1.3x, downdate at
+  // 1.4x) swing tens of percent run-to-run on a busy host and would make
+  // the gate flaky.
   auto gated = [](const std::string& kernel) {
     return kernel == "matmul" || kernel == "matmul_bias" ||
-           kernel == "matmul_acc";
+           kernel == "matmul_acc" || kernel == "gemm_f32" ||
+           kernel == "spmm";
   };
   std::vector<PerfRecord> fresh;
   for (const Case& c : sweep()) {
@@ -737,6 +925,7 @@ int usage() {
                "[kernel [shape...]]\n"
                "  kernels: matmul m k n | matmul_bias m k n | "
                "matmul_acc m k n |\n"
+               "           gemm_f32 m k n | spmm m k n density%% |\n"
                "           gram m n | matvec m n | matvec_t m n | "
                "qr m n | downdate n\n");
   return 2;
@@ -803,7 +992,8 @@ int main(int argc, char** argv) {
         all_pass &= run_acc_case(c.kernel, c.dims, false);
         const std::string kernel = c.kernel;
         if (kernel == "matmul" || kernel == "matmul_bias" ||
-            kernel == "matmul_acc" || kernel == "gram") {
+            kernel == "matmul_acc" || kernel == "gram" ||
+            kernel == "gemm_f32" || kernel == "spmm") {
           all_pass &= run_acc_case(c.kernel, c.dims, true);
         }
         numerics::clear_isa_override();

@@ -11,11 +11,14 @@
 // absent; micro_kernels has the counterpart google-benchmark kernels.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <unistd.h>
@@ -91,6 +94,20 @@ struct BenchJson {
   std::uint64_t engine_p99_ns = 0;
   double dropout_fps = 0.0;
   double dropout_cache_hit_rate = 0.0;
+  std::uint64_t dropout_factor_cache_bytes = 0;
+
+  // Expansion-backend comparison (DESIGN.md §14): batch-32 serving fps and
+  // operator memory per backend at the paper size.
+  double backend_dense_fps = 0.0;
+  double backend_sparse_fps = 0.0;
+  double backend_fp32_fps = 0.0;
+  std::uint64_t dense_expansion_bytes = 0;
+  std::uint64_t sparse_expansion_bytes = 0;
+  std::uint64_t fp32_expansion_bytes = 0;
+  double sparse_stored_density = 0.0;
+  double sparse_dropped_mass = 0.0;
+  double fp32_memory_reduction = 0.0;  // 1 - fp32 bytes / dense bytes
+  double fp32_measured_error = 0.0;
   double router_single_engine_fps = 0.0;  // in-process reference, batch 32
   double router_2shard_fps = 0.0;         // 0 when the worker binary is absent
   std::uint64_t router_p50_ns = 0;
@@ -132,6 +149,26 @@ struct BenchJson {
     std::fprintf(out, "  \"dropout_fps\": %.1f,\n", dropout_fps);
     std::fprintf(out, "  \"dropout_cache_hit_rate\": %.4f,\n",
                  dropout_cache_hit_rate);
+    std::fprintf(out, "  \"dropout_factor_cache_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(dropout_factor_cache_bytes));
+    std::fprintf(out, "  \"backend_dense_fps\": %.1f,\n", backend_dense_fps);
+    std::fprintf(out, "  \"backend_sparse_fps\": %.1f,\n",
+                 backend_sparse_fps);
+    std::fprintf(out, "  \"backend_fp32_fps\": %.1f,\n", backend_fp32_fps);
+    std::fprintf(out, "  \"dense_expansion_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(dense_expansion_bytes));
+    std::fprintf(out, "  \"sparse_expansion_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(sparse_expansion_bytes));
+    std::fprintf(out, "  \"fp32_expansion_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(fp32_expansion_bytes));
+    std::fprintf(out, "  \"sparse_stored_density\": %.4f,\n",
+                 sparse_stored_density);
+    std::fprintf(out, "  \"sparse_dropped_mass\": %.6f,\n",
+                 sparse_dropped_mass);
+    std::fprintf(out, "  \"fp32_memory_reduction\": %.4f,\n",
+                 fp32_memory_reduction);
+    std::fprintf(out, "  \"fp32_measured_error\": %.3e,\n",
+                 fp32_measured_error);
     std::fprintf(out, "  \"router_single_engine_fps\": %.1f,\n",
                  router_single_engine_fps);
     std::fprintf(out, "  \"router_2shard_fps\": %.1f,\n", router_2shard_fps);
@@ -257,6 +294,73 @@ int main() {
   }
   json.per_frame_fps = per_frame_fps;
 
+  // --- expansion backends: dense64 vs sparse64 vs fp32, batch 32 ----------
+  {
+    constexpr std::size_t kBatch = 32;
+    std::printf("# expansion backends, batch %zu (operator bytes vs dense "
+                "fp64 baseline)\n", kBatch);
+    const auto bench_backend =
+        [&](const core::ExpansionOptions& opts)
+        -> std::pair<std::shared_ptr<const core::ReconstructionModel>,
+                     double> {
+      const auto model = std::make_shared<const core::ReconstructionModel>(
+          basis, kOrder, sensors, mean, opts);
+      core::Workspace workspace;
+      numerics::Matrix out(kBatch, model->cell_count());
+      const double elapsed = timed_best([&] {
+        for (std::size_t f = 0; f + kBatch <= kFrames; f += kBatch) {
+          const numerics::ConstMatrixView chunk(readings.row_data(f), kBatch,
+                                                kSensors, kSensors);
+          model->reconstruct_batch_into(chunk, out.view(), workspace);
+        }
+        consume(out.view());
+      });
+      const double fps =
+          static_cast<double>(kFrames - kFrames % kBatch) / elapsed;
+      const double reduction =
+          1.0 - static_cast<double>(model->expansion_bytes()) /
+                    static_cast<double>(model->dense_expansion_bytes());
+      std::printf("backend %-9s %14.0f frames/s  (%7.1f KiB operator, "
+                  "%5.1f%% smaller than dense",
+                  core::expansion_backend_name(opts.backend), fps,
+                  static_cast<double>(model->expansion_bytes()) / 1024.0,
+                  100.0 * reduction);
+      if (opts.backend == core::ExpansionBackend::kSparse64) {
+        std::printf(", density %.2f, dropped mass %.1e",
+                    model->sparse_stored_density(),
+                    model->sparse_dropped_mass());
+      } else if (opts.backend == core::ExpansionBackend::kFp32) {
+        std::printf(", measured error %.1e", model->fp32_measured_error());
+      }
+      std::printf(")\n");
+      return {model, fps};
+    };
+
+    core::ExpansionOptions dense_opts;
+    const auto [dense_model, dense_fps] = bench_backend(dense_opts);
+    json.backend_dense_fps = dense_fps;
+    json.dense_expansion_bytes = dense_model->dense_expansion_bytes();
+
+    core::ExpansionOptions sparse_opts;
+    sparse_opts.backend = core::ExpansionBackend::kSparse64;
+    sparse_opts.sparse_threshold = 0.05;
+    const auto [sparse_model, sparse_fps] = bench_backend(sparse_opts);
+    json.backend_sparse_fps = sparse_fps;
+    json.sparse_expansion_bytes = sparse_model->expansion_bytes();
+    json.sparse_stored_density = sparse_model->sparse_stored_density();
+    json.sparse_dropped_mass = sparse_model->sparse_dropped_mass();
+
+    core::ExpansionOptions fp32_opts;
+    fp32_opts.backend = core::ExpansionBackend::kFp32;
+    const auto [fp32_model, fp32_fps] = bench_backend(fp32_opts);
+    json.backend_fp32_fps = fp32_fps;
+    json.fp32_expansion_bytes = fp32_model->expansion_bytes();
+    json.fp32_measured_error = fp32_model->fp32_measured_error();
+    json.fp32_memory_reduction =
+        1.0 - static_cast<double>(fp32_model->expansion_bytes()) /
+                  static_cast<double>(fp32_model->dense_expansion_bytes());
+  }
+
   // --- engine: batches across the worker pool ----------------------------
   for (const std::size_t workers : {1ul, 2ul, 4ul}) {
     runtime::EngineOptions options;
@@ -318,6 +422,7 @@ int main() {
     }
 
     double last_hit_rate = 0.0;
+    std::uint64_t last_cache_bytes = 0;
     const auto run_scenario = [&](bool dropout) {
       // A fresh registry (hence factor cache) per scenario keeps the
       // reported counters scenario-local.
@@ -348,6 +453,7 @@ int main() {
               : static_cast<double>(model.cache_hits) /
                     static_cast<double>(model.cache_hits + model.cache_misses);
       last_hit_rate = hit_rate;
+      last_cache_bytes = model.factor_cache_bytes;
       std::printf("%-26s %10.0f frames/s  (cache hit rate %.4f, "
                   "%llu hits / %llu misses / %llu full-mask)\n",
                   dropout ? "dropout 25%, random masks" : "fixed mask baseline",
@@ -365,6 +471,10 @@ int main() {
     const double dropout_fps = run_scenario(true);
     json.dropout_fps = dropout_fps;
     json.dropout_cache_hit_rate = last_hit_rate;
+    json.dropout_factor_cache_bytes = last_cache_bytes;
+    std::printf("%-26s %10.1f KiB resident (%zu distinct masks)\n",
+                "dropout factor cache",
+                static_cast<double>(last_cache_bytes) / 1024.0, kStreams);
     std::printf("%-26s %10.2fx of fixed-mask fps\n", "dropout throughput",
                 dropout_fps / baseline_fps);
   }

@@ -147,6 +147,19 @@ numerics::Matrix MaskedFactor::solve_batch(
   return qr_ ? qr_->solve_batch(centered) : seminormal_->solve_batch(centered);
 }
 
+std::size_t MaskedFactor::resident_bytes() const {
+  std::size_t doubles = 0;
+  if (qr_) {
+    // Packed factor + tau + diag.
+    doubles = qr_->rows() * qr_->cols() + 2 * qr_->cols();
+  } else if (seminormal_) {
+    // n x n triangular R + the m x n surviving rows.
+    doubles = seminormal_->cols() * seminormal_->cols() +
+              seminormal_->rows() * seminormal_->cols();
+  }
+  return doubles * sizeof(double) + active_.size() * sizeof(std::size_t);
+}
+
 // ---- FactorCache -------------------------------------------------------
 
 FactorCache::FactorCache(std::shared_ptr<const ReconstructionModel> model,
@@ -387,6 +400,16 @@ FactorCacheStats FactorCache::stats() const {
 std::size_t FactorCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return lru_.size();
+}
+
+std::size_t FactorCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = full_r_.storage().size() * sizeof(double);
+  if (full_factor_) bytes += full_factor_->resident_bytes();
+  for (const LruEntry& entry : lru_) {
+    bytes += entry.second->resident_bytes();
+  }
+  return bytes;
 }
 
 }  // namespace eigenmaps::core

@@ -144,6 +144,11 @@ class MaskedFactor {
   /// always within ReconstructionModel::workspace_doubles' scratch term.
   std::size_t solve_scratch_doubles() const;
 
+  /// Heap bytes this factor holds beyond the model it serves: the solver
+  /// matrices plus the survivor-slot map. The full-sensor variant borrows
+  /// the model's factor and reports only its own bookkeeping.
+  std::size_t resident_bytes() const;
+
   /// Coefficients for centered compacted readings (frames x active) into
   /// `alpha` (frames x k), allocation-free given `scratch`.
   void solve_batch_into(numerics::ConstMatrixView centered,
@@ -213,6 +218,10 @@ class FactorCache {
   FactorCacheStats stats() const;
   /// Resident dropout patterns (full-sensor pattern excluded).
   std::size_t size() const;
+  /// Heap bytes the cache currently holds: the downdate seed R plus every
+  /// resident factor's solver storage (per-model memory accounting,
+  /// surfaced through ModelStats::factor_cache_bytes).
+  std::size_t resident_bytes() const;
 
  private:
   std::shared_ptr<const MaskedFactor> lookup_or_build(

@@ -1,9 +1,17 @@
 #include "core/model.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "numerics/blas.h"
+#include "numerics/gemm_f32.h"
+#include "numerics/spmm.h"
 #include "numerics/svd.h"
+#include "support/env.h"
 
 namespace eigenmaps::core {
 
@@ -32,7 +40,81 @@ numerics::Matrix sampled_basis_rows(const Basis& basis, std::size_t k,
   return sampled;
 }
 
+/// Deterministic coefficient probe for the fp32 error measurement: a fixed
+/// LCG fills an 8 x k batch with values in [-1, 1], both operators expand
+/// it, and the error is max |fp32 - fp64| / max |fp64|. No wall clock, no
+/// global RNG — the same model bytes always measure the same error.
+double measure_fp32_error(numerics::ConstMatrixView subspace_t,
+                          const numerics::Vector& mean,
+                          const numerics::ConstF32MatrixView& f32_op,
+                          const float* f32_bias) {
+  constexpr std::size_t kProbeFrames = 8;
+  const std::size_t k = subspace_t.rows();
+  const std::size_t n = subspace_t.cols();
+  numerics::Matrix alpha(kProbeFrames, k);
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (std::size_t f = 0; f < kProbeFrames; ++f) {
+    for (std::size_t j = 0; j < k; ++j) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const double unit =
+          static_cast<double>(state >> 11) / 9007199254740992.0;  // [0, 1)
+      alpha(f, j) = 2.0 * unit - 1.0;
+    }
+  }
+  numerics::Matrix ref(kProbeFrames, n);
+  numerics::Matrix got(kProbeFrames, n);
+  numerics::matmul_bias_into(alpha, subspace_t, mean, ref.view());
+  numerics::matmul_bias_f32_into(alpha, f32_op, f32_bias, got.view());
+  double max_diff = 0.0;
+  double max_ref = 0.0;
+  for (std::size_t f = 0; f < kProbeFrames; ++f) {
+    const double* r = ref.row_data(f);
+    const double* g = got.row_data(f);
+    for (std::size_t j = 0; j < n; ++j) {
+      max_diff = std::max(max_diff, std::fabs(g[j] - r[j]));
+      max_ref = std::max(max_ref, std::fabs(r[j]));
+    }
+  }
+  return max_ref > 0.0 ? max_diff / max_ref : max_diff;
+}
+
 }  // namespace
+
+const char* expansion_backend_name(ExpansionBackend backend) {
+  switch (backend) {
+    case ExpansionBackend::kDense64:
+      return "dense64";
+    case ExpansionBackend::kSparse64:
+      return "sparse64";
+    case ExpansionBackend::kFp32:
+      return "fp32";
+  }
+  return "unknown";
+}
+
+ExpansionOptions default_expansion_options() {
+  ExpansionOptions opts;
+  if (const char* name = std::getenv("EIGENMAPS_EXPANSION_BACKEND");
+      name != nullptr && *name != '\0') {
+    const std::string value(name);
+    if (value == "dense64") {
+      opts.backend = ExpansionBackend::kDense64;
+    } else if (value == "sparse64") {
+      opts.backend = ExpansionBackend::kSparse64;
+    } else if (value == "fp32") {
+      opts.backend = ExpansionBackend::kFp32;
+    } else {
+      throw std::invalid_argument(
+          "EIGENMAPS_EXPANSION_BACKEND: unknown backend \"" + value +
+          "\" (expected dense64, sparse64 or fp32)");
+    }
+  }
+  opts.sparse_threshold =
+      support::env_double_or("EIGENMAPS_SPARSE_THRESHOLD", 0.0, 0.0, 1.0);
+  opts.fp32_error_budget = support::env_double_or(
+      "EIGENMAPS_FP32_ERROR_BUDGET", opts.fp32_error_budget, 0.0, 1.0);
+  return opts;
+}
 
 ReconstructionModel::SampledFactor ReconstructionModel::factor_sampled(
     const Basis& basis, std::size_t k, const SensorLocations& sensors) {
@@ -52,9 +134,17 @@ ReconstructionModel::SampledFactor ReconstructionModel::factor_sampled(
 ReconstructionModel::ReconstructionModel(const Basis& basis, std::size_t k,
                                          SensorLocations sensors,
                                          numerics::Vector mean_map)
+    : ReconstructionModel(basis, k, std::move(sensors), std::move(mean_map),
+                          ExpansionOptions{}) {}
+
+ReconstructionModel::ReconstructionModel(const Basis& basis, std::size_t k,
+                                         SensorLocations sensors,
+                                         numerics::Vector mean_map,
+                                         const ExpansionOptions& expansion)
     : k_(k),
       sensors_(std::move(sensors)),
       mean_map_(std::move(mean_map)),
+      expansion_(expansion),
       factor_(factor_sampled(basis, k, sensors_)) {
   if (mean_map_.size() != basis.cell_count()) {
     throw std::invalid_argument("ReconstructionModel: mean map size mismatch");
@@ -64,15 +154,49 @@ ReconstructionModel::ReconstructionModel(const Basis& basis, std::size_t k,
   for (std::size_t s = 0; s < sensors_.size(); ++s) {
     mean_at_sensors_[s] = mean_map_[sensors_[s]];
   }
-  subspace_ = numerics::Matrix(basis.cell_count(), k);
-  subspace_t_ = numerics::Matrix(k, basis.cell_count());
+  const std::size_t n = basis.cell_count();
+  subspace_ = numerics::Matrix(n, k);
+  subspace_t_ = numerics::Matrix(k, n);
   const numerics::Matrix& v = basis.vectors();
-  for (std::size_t i = 0; i < basis.cell_count(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const double* row = v.row_data(i);
     double* dst = subspace_.row_data(i);
     for (std::size_t j = 0; j < k; ++j) {
       dst[j] = row[j];
       subspace_t_(j, i) = row[j];
+    }
+  }
+
+  // Non-dense backends build their operator from the fp64 transpose, then
+  // release it — subspace_ (the retrainer's warm start and the single-map
+  // golden path's operand) stays resident on every backend.
+  switch (expansion_.backend) {
+    case ExpansionBackend::kDense64:
+      break;
+    case ExpansionBackend::kSparse64:
+      sparse_operator_ =
+          sparse::BlockedCsr(subspace_t_.view(), expansion_.sparse_threshold);
+      subspace_t_ = numerics::Matrix();
+      break;
+    case ExpansionBackend::kFp32: {
+      f32_operator_.resize(k * n);
+      for (std::size_t j = 0; j < k; ++j) {
+        const double* src = subspace_t_.row_data(j);
+        float* dst = f32_operator_.data() + j * n;
+        for (std::size_t i = 0; i < n; ++i) {
+          dst[i] = static_cast<float>(src[i]);
+        }
+      }
+      f32_bias_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        f32_bias_[i] = static_cast<float>(mean_map_[i]);
+      }
+      fp32_measured_error_ = measure_fp32_error(
+          subspace_t_.view(), mean_map_,
+          numerics::ConstF32MatrixView{f32_operator_.data(), k, n, n},
+          f32_bias_.data());
+      subspace_t_ = numerics::Matrix();
+      break;
     }
   }
 }
@@ -129,14 +253,22 @@ void ReconstructionModel::reconstruct_into(numerics::ConstVectorView readings,
     centered[s] = readings[s] - mean_at_sensors_[s];
   }
   factor_.solver.solve_into(centered, alpha, scratch);
-  // Per-cell dot products rather than the blocked GEMM: a single map is
-  // far below the kernel's threading threshold, and this accumulation
-  // order is the historical (golden) one.
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const double* row = subspace_.row_data(i);
-    double s = 0.0;
-    for (std::size_t j = 0; j < k_; ++j) s += row[j] * alpha[j];
-    out[i] = mean_map_[i] + s;
+  if (expansion_.backend == ExpansionBackend::kDense64) {
+    // Per-cell dot products rather than the blocked GEMM: a single map is
+    // far below the kernel's threading threshold, and this accumulation
+    // order is the historical (golden) one.
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double* row = subspace_.row_data(i);
+      double s = 0.0;
+      for (std::size_t j = 0; j < k_; ++j) s += row[j] * alpha[j];
+      out[i] = mean_map_[i] + s;
+    }
+  } else {
+    // Non-dense backends expand single maps through the same operator as
+    // batches, so a model's single-frame and batch answers agree.
+    expand_into(
+        numerics::ConstMatrixView(alpha.data(), 1, k_, k_),
+        numerics::MatrixView(out.data(), 1, out.size(), out.size()));
   }
 }
 
@@ -195,8 +327,50 @@ void ReconstructionModel::expand_into(numerics::ConstMatrixView alpha,
         "ReconstructionModel::expand: output shape mismatch");
   }
   // The mean map is seeded inside the kernel so the (large) output is
-  // streamed exactly once.
-  numerics::matmul_bias_into(alpha, subspace_t_, mean_map_, out);
+  // streamed exactly once, whichever backend runs the product.
+  switch (expansion_.backend) {
+    case ExpansionBackend::kDense64:
+      numerics::matmul_bias_into(alpha, subspace_t_, mean_map_, out);
+      break;
+    case ExpansionBackend::kSparse64: {
+      const numerics::BlockedOperatorView op{
+          sparse_operator_.values(), sparse_operator_.block_cols(),
+          sparse_operator_.row_ptr(), sparse_operator_.rows(),
+          sparse_operator_.cols()};
+      numerics::spmm_bias_into(alpha, op, mean_map_, out);
+      break;
+    }
+    case ExpansionBackend::kFp32: {
+      const numerics::ConstF32MatrixView op{
+          f32_operator_.data(), k_, mean_map_.size(), mean_map_.size()};
+      numerics::matmul_bias_f32_into(alpha, op, f32_bias_.data(), out);
+      break;
+    }
+  }
+}
+
+std::size_t ReconstructionModel::expansion_bytes() const {
+  switch (expansion_.backend) {
+    case ExpansionBackend::kSparse64:
+      return sparse_operator_.bytes();
+    case ExpansionBackend::kFp32:
+      return (f32_operator_.size() + f32_bias_.size()) * sizeof(float);
+    case ExpansionBackend::kDense64:
+      break;
+  }
+  return subspace_t_.storage().size() * sizeof(double);
+}
+
+double ReconstructionModel::sparse_stored_density() const {
+  return expansion_.backend == ExpansionBackend::kSparse64
+             ? sparse_operator_.stored_density()
+             : 1.0;
+}
+
+double ReconstructionModel::sparse_dropped_mass() const {
+  return expansion_.backend == ExpansionBackend::kSparse64
+             ? sparse_operator_.dropped_mass()
+             : 0.0;
 }
 
 numerics::Matrix ReconstructionModel::expand(

@@ -5,13 +5,55 @@
 #define EIGENMAPS_CORE_MODEL_H
 
 #include <cstddef>
+#include <vector>
 
 #include "core/allocation.h"
 #include "core/basis.h"
 #include "core/workspace.h"
 #include "numerics/qr.h"
+#include "sparse/blocked_csr.h"
 
 namespace eigenmaps::core {
+
+/// Which operator the expansion tail (out = mean + alpha V_k^T) runs
+/// through. Masked solves always stay fp64 — only the expansion operator
+/// changes representation (DESIGN.md §14).
+enum class ExpansionBackend {
+  /// Dense fp64 GEMM: the default and the golden path. Byte-identical to
+  /// every result this library ever produced.
+  kDense64 = 0,
+  /// Thresholded blocked-CSR, still fp64: bit-identical to kDense64 at
+  /// threshold 0, bounded-error at nonzero thresholds, memory scales with
+  /// the stored density.
+  kSparse64 = 1,
+  /// Converted-once fp32 operator + fp32 SIMD GEMM: half the operator
+  /// bytes and roughly twice the lanes; expansion error is measured
+  /// against the fp64 operator at construction and enforced against the
+  /// budget when the model is published to a registry.
+  kFp32 = 2,
+};
+
+/// Stable lowercase name ("dense64" / "sparse64" / "fp32").
+const char* expansion_backend_name(ExpansionBackend backend);
+
+/// Per-model expansion-tail configuration, frozen at construction.
+struct ExpansionOptions {
+  ExpansionBackend backend = ExpansionBackend::kDense64;
+  /// kSparse64: drop 8-wide operator blocks whose entries all fall below
+  /// sparse_threshold * max|V_k|. 0 keeps everything (bit-identical).
+  double sparse_threshold = 0.0;
+  /// kFp32: the largest acceptable measured expansion error
+  /// (max |fp32 - fp64| / max |fp64| over a deterministic probe batch).
+  /// ModelRegistry::register_model throws when the measured error
+  /// exceeds it.
+  double fp32_error_budget = 1e-4;
+};
+
+/// ExpansionOptions resolved from the environment: backend from
+/// EIGENMAPS_EXPANSION_BACKEND ("dense64" / "sparse64" / "fp32", default
+/// dense64), threshold from EIGENMAPS_SPARSE_THRESHOLD, budget from
+/// EIGENMAPS_FP32_ERROR_BUDGET. Malformed values throw (support/env.h).
+ExpansionOptions default_expansion_options();
 
 /// Everything a trained reconstruction needs, frozen at construction: the
 /// order-k basis slice V_k (and its transpose for the batched GEMM), the
@@ -29,8 +71,15 @@ namespace eigenmaps::core {
 /// delegate to them through a thread-local workspace.
 class ReconstructionModel {
  public:
+  /// Dense fp64 expansion (the historical constructor; golden paths build
+  /// through this and stay byte-identical).
   ReconstructionModel(const Basis& basis, std::size_t k,
                       SensorLocations sensors, numerics::Vector mean_map);
+  /// Expansion backend chosen per model. kDense64 options reproduce the
+  /// four-argument form exactly.
+  ReconstructionModel(const Basis& basis, std::size_t k,
+                      SensorLocations sensors, numerics::Vector mean_map,
+                      const ExpansionOptions& expansion);
 
   std::size_t order() const { return k_; }
   std::size_t sensor_count() const { return sensors_.size(); }
@@ -54,6 +103,30 @@ class ReconstructionModel {
 
   /// QR of the full-sensor Psi~, shared by the no-dropout hot path.
   const numerics::HouseholderQr& full_factor() const { return factor_.solver; }
+
+  /// The expansion-tail configuration this model was built with; the
+  /// online retrainer copies it into replacement models.
+  const ExpansionOptions& expansion_options() const { return expansion_; }
+  ExpansionBackend expansion_backend() const { return expansion_.backend; }
+
+  /// Resident bytes of the active expansion operator (dense transpose,
+  /// blocked-CSR arrays, or fp32 operator + bias copy).
+  std::size_t expansion_bytes() const;
+  /// Bytes the dense fp64 operator (k x N doubles) would take — the
+  /// baseline sparse/fp32 memory reductions are measured against.
+  std::size_t dense_expansion_bytes() const {
+    return k_ * mean_map_.size() * sizeof(double);
+  }
+  /// kSparse64: stored blocks / total blocks (1.0 otherwise).
+  double sparse_stored_density() const;
+  /// kSparse64: relative Frobenius mass dropped by thresholding (0.0
+  /// otherwise).
+  double sparse_dropped_mass() const;
+  /// kFp32: expansion error measured against the fp64 operator over a
+  /// deterministic probe batch at construction (0.0 otherwise). The
+  /// registry enforces expansion_options().fp32_error_budget against this
+  /// at publish time.
+  double fp32_measured_error() const { return fp32_measured_error_; }
 
   /// Workspace doubles reconstruct_into / reconstruct_batch_into need for
   /// up to `frames` frames. Also covers the masked paths a FactorCache
@@ -104,8 +177,16 @@ class ReconstructionModel {
   SensorLocations sensors_;
   numerics::Vector mean_map_;
   numerics::Vector mean_at_sensors_;
+  ExpansionOptions expansion_;
   numerics::Matrix subspace_;    // N x k copy of the leading basis columns
-  numerics::Matrix subspace_t_;  // k x N transpose, for the batched GEMM
+  // k x N transpose for the batched GEMM. Only the dense backend keeps it;
+  // sparse/fp32 models release it after building their operator, which is
+  // where the memory win comes from.
+  numerics::Matrix subspace_t_;
+  sparse::BlockedCsr sparse_operator_;  // kSparse64
+  std::vector<float> f32_operator_;     // kFp32: k x N row-major
+  std::vector<float> f32_bias_;         // kFp32: mean map, N floats
+  double fp32_measured_error_ = 0.0;
   SampledFactor factor_;
 };
 

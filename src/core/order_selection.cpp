@@ -30,12 +30,17 @@ OrderSelection select_order(const Basis& basis, const SensorLocations& sensors,
   const std::size_t top =
       std::min({k_max, sensors.size(), basis.max_order()});
 
+  // Resolve the expansion backend once, outside the feasibility loop: a
+  // malformed EIGENMAPS_EXPANSION_BACKEND/… throws here naming the
+  // variable instead of being swallowed as "rank deficient at k".
+  const ExpansionOptions expansion = default_expansion_options();
+
   OrderSelection best;
   bool found = false;
   for (std::size_t k = 1; k <= top; ++k) {
     double mse = 0.0;
     try {
-      const Reconstructor rec(basis, k, sensors, mean_map);
+      const Reconstructor rec(basis, k, sensors, mean_map, expansion);
       if (noisy) {
         // Same seed for every k: candidates face identical noise draws.
         NoiseModel noise(options.snr_db, options.signal_energy_per_cell,

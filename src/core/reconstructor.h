@@ -16,10 +16,19 @@ namespace eigenmaps::core {
 /// one trained model without copying its N x k subspace.
 class Reconstructor {
  public:
+  /// Expansion backend from the environment (default_expansion_options):
+  /// dense64 unless EIGENMAPS_EXPANSION_BACKEND opts into sparse64/fp32,
+  /// so existing builds stay byte-identical with no env set.
   Reconstructor(const Basis& basis, std::size_t k, SensorLocations sensors,
                 numerics::Vector mean_map)
+      : Reconstructor(basis, k, std::move(sensors), std::move(mean_map),
+                      default_expansion_options()) {}
+
+  /// Explicit per-model expansion backend (DESIGN.md §14).
+  Reconstructor(const Basis& basis, std::size_t k, SensorLocations sensors,
+                numerics::Vector mean_map, const ExpansionOptions& expansion)
       : model_(std::make_shared<const ReconstructionModel>(
-            basis, k, std::move(sensors), std::move(mean_map))) {}
+            basis, k, std::move(sensors), std::move(mean_map), expansion)) {}
 
   /// The shared immutable model; register this with a ModelRegistry or
   /// build a FactorCache on it for dropout-tolerant serving.

@@ -455,6 +455,14 @@ void encode_engine_stats(const runtime::EngineStats& stats,
     w.u64(m.adaptation.retrains_completed);
     w.u64(m.adaptation.retrains_failed);
     w.u64(m.adaptation.swaps_published);
+    w.u32(m.expansion_backend);
+    w.u64(m.dense_expansion_bytes);
+    w.u64(m.sparse_expansion_bytes);
+    w.u64(m.fp32_expansion_bytes);
+    w.u64(m.factor_cache_bytes);
+    w.f64(m.sparse_stored_density);
+    w.f64(m.sparse_dropped_mass);
+    w.f64(m.fp32_measured_error);
   }
 }
 
@@ -490,6 +498,14 @@ runtime::EngineStats decode_engine_stats(const std::uint8_t* data,
     m.adaptation.retrains_completed = r.u64();
     m.adaptation.retrains_failed = r.u64();
     m.adaptation.swaps_published = r.u64();
+    m.expansion_backend = r.u32();
+    m.dense_expansion_bytes = r.u64();
+    m.sparse_expansion_bytes = r.u64();
+    m.fp32_expansion_bytes = r.u64();
+    m.factor_cache_bytes = r.u64();
+    m.sparse_stored_density = r.f64();
+    m.sparse_dropped_mass = r.f64();
+    m.fp32_measured_error = r.f64();
   }
   r.expect_end();
   return stats;

@@ -39,7 +39,9 @@ class ProtocolError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x454D5031;  // "EMP1"
-inline constexpr std::uint16_t kProtocolVersion = 2;  // v2: submit rebase flag
+// v2: submit rebase flag; v3: log-linear latency histogram + per-model
+// expansion-backend memory accounting in the stats payload.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 /// Sanity ceiling on one payload; a length past it is a corrupt header.
 inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
 

@@ -410,6 +410,190 @@ void givens_sweep_columns_avx2(MatrixView r, const double* c,
   }
 }
 
+// ---- blocked-CSR expansion ----------------------------------------------
+
+void spmm_rows_avx2(ConstMatrixView a, const BlockedOperatorView& b,
+                    const double* bias, MatrixView c, std::size_t i0,
+                    std::size_t i1) {
+  const std::size_t inner = b.rows;
+  const std::size_t n = b.cols;
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      _mm256_storeu_pd(crow + j, _mm256_loadu_pd(bias + j));
+    }
+    for (; j < n; ++j) crow[j] = bias[j];
+    for (std::size_t k = 0; k < inner; ++k) {
+      const __m256d aik = _mm256_broadcast_sd(arow + k);
+      const std::uint32_t bend = b.row_ptr[k + 1];
+      for (std::uint32_t blk = b.row_ptr[k]; blk < bend; ++blk) {
+        const std::size_t j0 =
+            static_cast<std::size_t>(b.block_cols[blk]) * 8;
+        const double* v = b.values + static_cast<std::size_t>(blk) * 8;
+        if (j0 + 8 <= n) {
+          _mm256_storeu_pd(
+              crow + j0,
+              _mm256_add_pd(_mm256_loadu_pd(crow + j0),
+                            _mm256_mul_pd(aik, _mm256_loadu_pd(v))));
+          _mm256_storeu_pd(
+              crow + j0 + 4,
+              _mm256_add_pd(_mm256_loadu_pd(crow + j0 + 4),
+                            _mm256_mul_pd(aik, _mm256_loadu_pd(v + 4))));
+        } else {  // final partial block: masked halves
+          const std::size_t w = n - j0;
+          const std::size_t w0 = w < 4 ? w : 4;
+          store_cols(crow + j0, w0,
+                     _mm256_add_pd(load_cols(crow + j0, w0),
+                                   _mm256_mul_pd(aik, load_cols(v, w0))));
+          if (w > 4) {
+            store_cols(
+                crow + j0 + 4, w - 4,
+                _mm256_add_pd(load_cols(crow + j0 + 4, w - 4),
+                              _mm256_mul_pd(aik, load_cols(v + 4, w - 4))));
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- fp32 expansion GEMM ------------------------------------------------
+
+namespace {
+
+/// 8 consecutive doubles narrowed to 8 fp32 lanes. Exact on the expansion
+/// path: every value stored in C is a widened float, so the k-panel RMW
+/// round-trip never moves a bit.
+inline __m256 load8d_ps(const double* p) {
+  const __m128 lo = _mm256_cvtpd_ps(_mm256_loadu_pd(p));
+  const __m128 hi = _mm256_cvtpd_ps(_mm256_loadu_pd(p + 4));
+  return _mm256_set_m128(hi, lo);
+}
+
+inline void store8ps_d(double* p, __m256 v) {
+  _mm256_storeu_pd(p, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+  _mm256_storeu_pd(p + 4, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+}
+
+inline __m256 seed8_f32(const double* crow, const float* bias,
+                        std::size_t j, bool first_panel) {
+  return first_panel ? _mm256_loadu_ps(bias + j) : load8d_ps(crow + j);
+}
+
+/// 4 rows x 16 fp32 columns over one k-panel: 8 ymm accumulators fed by 2
+/// shared B vectors per k step, fp32 FMA chains in ascending-k order.
+/// `af` holds the 4 rows' converted A panels, kBlockK floats apart.
+inline void tile_4x16_f32(const float* af, double* const* crows,
+                          const ConstF32MatrixView& b, const float* bias,
+                          bool first_panel, std::size_t kk, std::size_t kend,
+                          std::size_t j) {
+  __m256 acc[8];
+  for (int r = 0; r < 4; ++r) {
+    acc[2 * r] = seed8_f32(crows[r], bias, j, first_panel);
+    acc[2 * r + 1] = seed8_f32(crows[r], bias, j + 8, first_panel);
+  }
+  for (std::size_t k = kk; k < kend; ++k) {
+    const float* brow = b.row_data(k) + j;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    for (int r = 0; r < 4; ++r) {
+      const __m256 p = _mm256_set1_ps(af[r * kBlockK + (k - kk)]);
+      acc[2 * r] = _mm256_fmadd_ps(p, b0, acc[2 * r]);
+      acc[2 * r + 1] = _mm256_fmadd_ps(p, b1, acc[2 * r + 1]);
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    store8ps_d(crows[r] + j, acc[2 * r]);
+    store8ps_d(crows[r] + j + 8, acc[2 * r + 1]);
+  }
+}
+
+inline void tile_1x16_f32(const float* af, double* crow,
+                          const ConstF32MatrixView& b, const float* bias,
+                          bool first_panel, std::size_t kk, std::size_t kend,
+                          std::size_t j) {
+  __m256 acc0 = seed8_f32(crow, bias, j, first_panel);
+  __m256 acc1 = seed8_f32(crow, bias, j + 8, first_panel);
+  for (std::size_t k = kk; k < kend; ++k) {
+    const float* brow = b.row_data(k) + j;
+    const __m256 p = _mm256_set1_ps(af[k - kk]);
+    acc0 = _mm256_fmadd_ps(p, _mm256_loadu_ps(brow), acc0);
+    acc1 = _mm256_fmadd_ps(p, _mm256_loadu_ps(brow + 8), acc1);
+  }
+  store8ps_d(crow + j, acc0);
+  store8ps_d(crow + j + 8, acc1);
+}
+
+/// Columns [j0, n) of one row, scalar fp32 (separate mul/add) — the sub-16
+/// column tail.
+inline void cols_tail_f32(const float* af, double* crow,
+                          const ConstF32MatrixView& b, const float* bias,
+                          bool first_panel, std::size_t kk, std::size_t kend,
+                          std::size_t j0, std::size_t n) {
+  for (std::size_t j = j0; j < n; ++j) {
+    float acc = first_panel ? bias[j] : static_cast<float>(crow[j]);
+    for (std::size_t k = kk; k < kend; ++k) {
+      acc = acc + af[k - kk] * b.row_data(k)[j];
+    }
+    crow[j] = static_cast<double>(acc);
+  }
+}
+
+}  // namespace
+
+void gemm_f32_rows_avx2(ConstMatrixView a, const ConstF32MatrixView& b,
+                        const float* bias, MatrixView c, std::size_t i0,
+                        std::size_t i1) {
+  const std::size_t inner = b.rows;
+  const std::size_t n = b.cols;
+  float af[4 * kBlockK];
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    double* crows[4] = {c.row_data(i), c.row_data(i + 1), c.row_data(i + 2),
+                        c.row_data(i + 3)};
+    for (std::size_t kk = 0; kk < inner; kk += kBlockK) {
+      const std::size_t kend = std::min(kk + kBlockK, inner);
+      const bool first_panel = kk == 0;
+      for (int r = 0; r < 4; ++r) {
+        const double* arow = a.row_data(i + static_cast<std::size_t>(r));
+        for (std::size_t k = kk; k < kend; ++k) {
+          af[r * kBlockK + (k - kk)] = static_cast<float>(arow[k]);
+        }
+      }
+      std::size_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        tile_4x16_f32(af, crows, b, bias, first_panel, kk, kend, j);
+      }
+      if (j < n) {
+        for (int r = 0; r < 4; ++r) {
+          cols_tail_f32(af + r * kBlockK, crows[r], b, bias, first_panel,
+                        kk, kend, j, n);
+        }
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t kk = 0; kk < inner; kk += kBlockK) {
+      const std::size_t kend = std::min(kk + kBlockK, inner);
+      const bool first_panel = kk == 0;
+      for (std::size_t k = kk; k < kend; ++k) {
+        af[k - kk] = static_cast<float>(arow[k]);
+      }
+      std::size_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        tile_1x16_f32(af, crow, b, bias, first_panel, kk, kend, j);
+      }
+      if (j < n) {
+        cols_tail_f32(af, crow, b, bias, first_panel, kk, kend, j, n);
+      }
+    }
+  }
+}
+
 }  // namespace eigenmaps::numerics::detail
 
 #endif  // EIGENMAPS_HAVE_X86_KERNELS

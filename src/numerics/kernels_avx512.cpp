@@ -395,6 +395,210 @@ void givens_sweep_columns_avx512(MatrixView r, const double* c,
   }
 }
 
+// ---- blocked-CSR expansion ----------------------------------------------
+
+void spmm_rows_avx512(ConstMatrixView a, const BlockedOperatorView& b,
+                      const double* bias, MatrixView c, std::size_t i0,
+                      std::size_t i1) {
+  const std::size_t inner = b.rows;
+  const std::size_t n = b.cols;
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      _mm512_storeu_pd(crow + j, _mm512_loadu_pd(bias + j));
+    }
+    if (j < n) {
+      const __mmask8 mask = lane_mask8(n - j);
+      _mm512_mask_storeu_pd(crow + j, mask,
+                            _mm512_maskz_loadu_pd(mask, bias + j));
+    }
+    for (std::size_t k = 0; k < inner; ++k) {
+      const __m512d aik = _mm512_set1_pd(arow[k]);
+      const std::uint32_t bend = b.row_ptr[k + 1];
+      for (std::uint32_t blk = b.row_ptr[k]; blk < bend; ++blk) {
+        const std::size_t j0 =
+            static_cast<std::size_t>(b.block_cols[blk]) * 8;
+        // The stored block always holds 8 (zero-padded) values; only the
+        // output access masks on the final partial block.
+        const __m512d prod = _mm512_mul_pd(
+            aik, _mm512_loadu_pd(b.values +
+                                 static_cast<std::size_t>(blk) * 8));
+        if (j0 + 8 <= n) {
+          _mm512_storeu_pd(crow + j0,
+                           _mm512_add_pd(_mm512_loadu_pd(crow + j0), prod));
+        } else {
+          const __mmask8 mask = lane_mask8(n - j0);
+          _mm512_mask_storeu_pd(
+              crow + j0, mask,
+              _mm512_add_pd(_mm512_maskz_loadu_pd(mask, crow + j0), prod));
+        }
+      }
+    }
+  }
+}
+
+// ---- fp32 expansion GEMM ------------------------------------------------
+
+namespace {
+
+inline __mmask16 lane_mask16(std::size_t w) {
+  return static_cast<__mmask16>((1u << w) - 1u);
+}
+
+/// 16 consecutive doubles narrowed to 16 fp32 lanes. Exact on the
+/// expansion path: every value stored in C is a widened float.
+inline __m512 load16d_ps(const double* p) {
+  const __m256 lo = _mm512_cvtpd_ps(_mm512_loadu_pd(p));
+  const __m256 hi = _mm512_cvtpd_ps(_mm512_loadu_pd(p + 8));
+  return _mm512_insertf32x8(_mm512_castps256_ps512(lo), hi, 1);
+}
+
+inline void store16ps_d(double* p, __m512 v) {
+  _mm512_storeu_pd(p, _mm512_cvtps_pd(_mm512_castps512_ps256(v)));
+  _mm512_storeu_pd(p + 8, _mm512_cvtps_pd(_mm512_extractf32x8_ps(v, 1)));
+}
+
+inline __m512 load16d_ps_masked(const double* p, __mmask16 m) {
+  const __mmask8 mlo = static_cast<__mmask8>(m & 0xFF);
+  const __mmask8 mhi = static_cast<__mmask8>(m >> 8);
+  const __m256 lo = _mm512_cvtpd_ps(_mm512_maskz_loadu_pd(mlo, p));
+  const __m256 hi = _mm512_cvtpd_ps(_mm512_maskz_loadu_pd(mhi, p + 8));
+  return _mm512_insertf32x8(_mm512_castps256_ps512(lo), hi, 1);
+}
+
+inline void store16ps_d_masked(double* p, __mmask16 m, __m512 v) {
+  _mm512_mask_storeu_pd(p, static_cast<__mmask8>(m & 0xFF),
+                        _mm512_cvtps_pd(_mm512_castps512_ps256(v)));
+  _mm512_mask_storeu_pd(p + 8, static_cast<__mmask8>(m >> 8),
+                        _mm512_cvtps_pd(_mm512_extractf32x8_ps(v, 1)));
+}
+
+/// 8 rows x 16 fp32 columns over one k-panel: 8 zmm accumulators, one B
+/// vector per k shared by all rows. `af` holds the 8 coefficient rows
+/// converted fp32, kBlockK floats apart.
+inline void tile_8x16_f32(const float* af, double* const* cr,
+                          const ConstF32MatrixView& b, const float* bias,
+                          bool first_panel, std::size_t kk, std::size_t kend,
+                          std::size_t j) {
+  __m512 acc[8];
+  if (first_panel) {
+    const __m512 bv = _mm512_loadu_ps(bias + j);
+    for (int r = 0; r < 8; ++r) acc[r] = bv;
+  } else {
+    for (int r = 0; r < 8; ++r) acc[r] = load16d_ps(cr[r] + j);
+  }
+  for (std::size_t k = kk; k < kend; ++k) {
+    const __m512 bv = _mm512_loadu_ps(b.row_data(k) + j);
+    for (int r = 0; r < 8; ++r) {
+      acc[r] = _mm512_fmadd_ps(
+          _mm512_set1_ps(af[static_cast<std::size_t>(r) * kBlockK + k - kk]),
+          bv, acc[r]);
+    }
+  }
+  for (int r = 0; r < 8; ++r) store16ps_d(cr[r] + j, acc[r]);
+}
+
+/// 8 rows x (w < 16) masked edge columns.
+inline void tile_8xw_f32(const float* af, double* const* cr,
+                         const ConstF32MatrixView& b, const float* bias,
+                         bool first_panel, std::size_t kk, std::size_t kend,
+                         std::size_t j, std::size_t w) {
+  const __mmask16 mask = lane_mask16(w);
+  __m512 acc[8];
+  if (first_panel) {
+    const __m512 bv = _mm512_maskz_loadu_ps(mask, bias + j);
+    for (int r = 0; r < 8; ++r) acc[r] = bv;
+  } else {
+    for (int r = 0; r < 8; ++r) acc[r] = load16d_ps_masked(cr[r] + j, mask);
+  }
+  for (std::size_t k = kk; k < kend; ++k) {
+    const __m512 bv = _mm512_maskz_loadu_ps(mask, b.row_data(k) + j);
+    for (int r = 0; r < 8; ++r) {
+      acc[r] = _mm512_fmadd_ps(
+          _mm512_set1_ps(af[static_cast<std::size_t>(r) * kBlockK + k - kk]),
+          bv, acc[r]);
+    }
+  }
+  for (int r = 0; r < 8; ++r) store16ps_d_masked(cr[r] + j, mask, acc[r]);
+}
+
+/// One row across all columns for one k-panel: 16-wide tiles then a
+/// masked tail.
+inline void row_f32(const float* af, double* crow,
+                    const ConstF32MatrixView& b, const float* bias,
+                    bool first_panel, std::size_t kk, std::size_t kend,
+                    std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m512 acc = first_panel ? _mm512_loadu_ps(bias + j)
+                             : load16d_ps(crow + j);
+    for (std::size_t k = kk; k < kend; ++k) {
+      acc = _mm512_fmadd_ps(_mm512_set1_ps(af[k - kk]),
+                            _mm512_loadu_ps(b.row_data(k) + j), acc);
+    }
+    store16ps_d(crow + j, acc);
+  }
+  if (j < n) {
+    const __mmask16 mask = lane_mask16(n - j);
+    __m512 acc = first_panel ? _mm512_maskz_loadu_ps(mask, bias + j)
+                             : load16d_ps_masked(crow + j, mask);
+    for (std::size_t k = kk; k < kend; ++k) {
+      acc = _mm512_fmadd_ps(_mm512_set1_ps(af[k - kk]),
+                            _mm512_maskz_loadu_ps(mask, b.row_data(k) + j),
+                            acc);
+    }
+    store16ps_d_masked(crow + j, mask, acc);
+  }
+}
+
+}  // namespace
+
+void gemm_f32_rows_avx512(ConstMatrixView a, const ConstF32MatrixView& b,
+                          const float* bias, MatrixView c, std::size_t i0,
+                          std::size_t i1) {
+  const std::size_t inner = b.rows;
+  const std::size_t n = b.cols;
+  float af[8 * kBlockK];
+  std::size_t i = i0;
+  for (; i + 8 <= i1; i += 8) {
+    const double* ar[8];
+    double* cr[8];
+    for (std::size_t r = 0; r < 8; ++r) {
+      ar[r] = a.row_data(i + r);
+      cr[r] = c.row_data(i + r);
+    }
+    for (std::size_t kk = 0; kk < inner; kk += kBlockK) {
+      const std::size_t kend = std::min(kk + kBlockK, inner);
+      const bool first_panel = kk == 0;
+      for (std::size_t r = 0; r < 8; ++r) {
+        for (std::size_t k = kk; k < kend; ++k) {
+          af[r * kBlockK + k - kk] = static_cast<float>(ar[r][k]);
+        }
+      }
+      std::size_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        tile_8x16_f32(af, cr, b, bias, first_panel, kk, kend, j);
+      }
+      if (j < n) {
+        tile_8xw_f32(af, cr, b, bias, first_panel, kk, kend, j, n - j);
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t kk = 0; kk < inner; kk += kBlockK) {
+      const std::size_t kend = std::min(kk + kBlockK, inner);
+      for (std::size_t k = kk; k < kend; ++k) {
+        af[k - kk] = static_cast<float>(arow[k]);
+      }
+      row_f32(af, crow, b, bias, kk == 0, kk, kend, n);
+    }
+  }
+}
+
 }  // namespace eigenmaps::numerics::detail
 
 #endif  // EIGENMAPS_HAVE_X86_KERNELS

@@ -17,12 +17,20 @@
 //    loops on every input — lanes map to independent output elements and
 //    each lane replays the exact scalar operation sequence (separate
 //    mul/add, never FMA).
+//  - spmm_rows_*: bit-for-bit identical to the portable blocked-CSR loop
+//    (separate mul/add, k-ascending per output element, same stored-block
+//    walk on every tier).
+//  - gemm_f32_rows_*: fp32-FMA-tiled; no cross-tier bitwise contract —
+//    the fp32 backend is gated by its measured error budget instead
+//    (DESIGN.md §14). Deterministic per tier.
 #ifndef EIGENMAPS_NUMERICS_SIMD_KERNELS_H
 #define EIGENMAPS_NUMERICS_SIMD_KERNELS_H
 
 #include <cstddef>
 
+#include "numerics/gemm_f32.h"
 #include "numerics/matrix.h"
+#include "numerics/spmm.h"
 
 namespace eigenmaps::numerics::detail {
 
@@ -36,6 +44,29 @@ void gemm_rows_avx2(ConstMatrixView a, ConstMatrixView b, MatrixView c,
                     const double* bias, std::size_t i0, std::size_t i1);
 void gemm_rows_avx512(ConstMatrixView a, ConstMatrixView b, MatrixView c,
                       const double* bias, std::size_t i0, std::size_t i1);
+
+// ---- blocked-CSR expansion (C rows [i0, i1) = bias + A * B) ------------
+// Bias-seeded output rows, then k ascending over B's stored 8-wide blocks
+// with separate mul/add — every tier replays the portable loop exactly.
+void spmm_rows_avx2(ConstMatrixView a, const BlockedOperatorView& b,
+                    const double* bias, MatrixView c, std::size_t i0,
+                    std::size_t i1);
+void spmm_rows_avx512(ConstMatrixView a, const BlockedOperatorView& b,
+                      const double* bias, MatrixView c, std::size_t i0,
+                      std::size_t i1);
+
+// ---- fp32 expansion GEMM (C rows [i0, i1) = bias + A * B, fp32 acc) ----
+// Register tiles mirror the fp64 GEMM at twice the lane width: 2 rows x 16
+// columns (4 ymm) for AVX2, 8 rows x 16 columns (8 zmm) for AVX-512.
+// Coefficients convert fp64 -> fp32 into per-k-panel stack buffers; the
+// double output round-trips through fp32 exactly (every stored value is a
+// widened float), so panel RMW never changes fp32 accumulation semantics.
+void gemm_f32_rows_avx2(ConstMatrixView a, const ConstF32MatrixView& b,
+                        const float* bias, MatrixView c, std::size_t i0,
+                        std::size_t i1);
+void gemm_f32_rows_avx512(ConstMatrixView a, const ConstF32MatrixView& b,
+                          const float* bias, MatrixView c, std::size_t i0,
+                          std::size_t i1);
 
 // ---- gram (upper-triangle tiles of G = A^T A, rows [i0, i1)) -----------
 void gram_rows_avx2(ConstMatrixView a, MatrixView g, std::size_t i0,

@@ -1,0 +1,114 @@
+// Blocked-CSR expansion product: portable kernel and runtime dispatch.
+//
+// Compiled with the library-wide -ffp-contract=off: the portable loop's
+// separate multiply and add below never fuse, so it accumulates each
+// output element exactly like the explicit AVX2/AVX-512 spmm kernels
+// (mul_pd + add_pd) and every tier is bit-identical (DESIGN.md §14).
+#include "numerics/spmm.h"
+
+#include <stdexcept>
+
+#include "numerics/blas.h"
+#include "numerics/blas_internal.h"
+#include "numerics/isa.h"
+#include "numerics/simd_kernels.h"
+
+namespace eigenmaps::numerics {
+
+namespace {
+
+using detail::parallel_ranges;
+using detail::threads_for;
+
+constexpr std::size_t kBlockWidth = 8;
+
+/// Rows [i0, i1) of C = bias + A * B: bias-seed the output row, then walk
+/// k ascending and that row's stored blocks ascending, adding
+/// a(i, k) * block into the resident output row. Per output element the
+/// contributions arrive k-ascending with separate mul/add — the order the
+/// SIMD tiers replay lane-for-lane.
+EIGENMAPS_KERNEL_CLONES
+void spmm_rows_portable(ConstMatrixView a, const BlockedOperatorView& b,
+                        const double* bias, MatrixView c, std::size_t i0,
+                        std::size_t i1) {
+  const std::size_t inner = b.rows;
+  const std::size_t n = b.cols;
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t j = 0; j < n; ++j) crow[j] = bias[j];
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double aik = arow[k];
+      const std::uint32_t bend = b.row_ptr[k + 1];
+      for (std::uint32_t blk = b.row_ptr[k]; blk < bend; ++blk) {
+        const std::size_t j0 =
+            static_cast<std::size_t>(b.block_cols[blk]) * kBlockWidth;
+        const double* v = b.values + static_cast<std::size_t>(blk) * kBlockWidth;
+        const std::size_t w = n - j0 < kBlockWidth ? n - j0 : kBlockWidth;
+        double* cj = crow + j0;
+        for (std::size_t l = 0; l < w; ++l) cj[l] = cj[l] + aik * v[l];
+      }
+    }
+  }
+}
+
+void spmm_rows(ConstMatrixView a, const BlockedOperatorView& b,
+               const double* bias, MatrixView c, std::size_t i0,
+               std::size_t i1) {
+  switch (active_isa()) {
+#if defined(EIGENMAPS_HAVE_X86_KERNELS)
+    case Isa::kAvx512:
+      detail::spmm_rows_avx512(a, b, bias, c, i0, i1);
+      return;
+    case Isa::kAvx2:
+      detail::spmm_rows_avx2(a, b, bias, c, i0, i1);
+      return;
+#endif
+    default:
+      spmm_rows_portable(a, b, bias, c, i0, i1);
+      return;
+  }
+}
+
+}  // namespace
+
+void spmm_bias_into(ConstMatrixView a, const BlockedOperatorView& b,
+                    ConstVectorView bias, MatrixView c) {
+  if (a.cols() != b.rows) {
+    throw std::invalid_argument("spmm_bias_into: inner dimension mismatch");
+  }
+  if (c.rows() != a.rows() || c.cols() != b.cols) {
+    throw std::invalid_argument("spmm_bias_into: output shape mismatch");
+  }
+  if (bias.size() != b.cols) {
+    throw std::invalid_argument("spmm_bias_into: bias size mismatch");
+  }
+  if (c.rows() == 0 || b.cols == 0) return;
+
+  // Fully stored operator: with ascending unique block columns, every row
+  // holding all ceil(n/8) blocks means the value array is a dense
+  // row-major matrix — delegate to the dense GEMM so a threshold-0 build
+  // reproduces the fp64-dense backend bit-for-bit.
+  const std::size_t blocks_per_row =
+      (b.cols + kBlockWidth - 1) / kBlockWidth;
+  bool fully_dense = true;
+  for (std::size_t k = 0; k < b.rows && fully_dense; ++k) {
+    fully_dense = b.row_ptr[k + 1] - b.row_ptr[k] == blocks_per_row;
+  }
+  if (fully_dense) {
+    matmul_bias_into(a,
+                     ConstMatrixView(b.values, b.rows, b.cols,
+                                     blocks_per_row * kBlockWidth),
+                     bias, c);
+    return;
+  }
+
+  const std::size_t stored =
+      static_cast<std::size_t>(b.row_ptr[b.rows]) * kBlockWidth;
+  const std::size_t threads = threads_for(a.rows() * stored);
+  parallel_ranges(a.rows(), threads, [&](std::size_t i0, std::size_t i1) {
+    spmm_rows(a, b, bias.data(), c, i0, i1);
+  });
+}
+
+}  // namespace eigenmaps::numerics

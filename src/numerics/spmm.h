@@ -1,0 +1,44 @@
+// Sparse expansion product: C = bias + A * B with B a row-panel blocked-CSR
+// operator (sparse::BlockedCsr's raw arrays — numerics stays independent of
+// the sparse layer by taking the view struct below instead of the type).
+//
+// Accuracy contract (DESIGN.md §14): every tier accumulates each c(i, j)
+// with k ascending using separate multiply and add (never FMA), and every
+// tier walks the same stored blocks — so portable, AVX2 and AVX-512 results
+// are bit-for-bit identical. When the operator stores every block (built
+// with threshold 0) its value array is literally a dense row-major matrix
+// and spmm_bias_into delegates to matmul_bias_into over that view, making
+// the sparse backend bit-identical to the fp64-dense backend by
+// construction rather than by numerical accident.
+#ifndef EIGENMAPS_NUMERICS_SPMM_H
+#define EIGENMAPS_NUMERICS_SPMM_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::numerics {
+
+/// Non-owning view of a row-panel blocked-CSR operator (k rows x n cols,
+/// 8-wide column blocks). Row i's blocks are [row_ptr[i], row_ptr[i+1]);
+/// block b covers columns [block_cols[b]*8, block_cols[b]*8 + 8) with its
+/// 8 values at values + b*8 (zero-padded past column n). Block columns
+/// must be ascending and unique within each row.
+struct BlockedOperatorView {
+  const double* values = nullptr;
+  const std::uint32_t* block_cols = nullptr;
+  const std::uint32_t* row_ptr = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+/// c(i, j) = bias[j] + sum_k a(i, k) * b(k, j) over the stored blocks of
+/// `b`. Same shape/alias rules as matmul_bias_into; the hot path allocates
+/// nothing.
+void spmm_bias_into(ConstMatrixView a, const BlockedOperatorView& b,
+                    ConstVectorView bias, MatrixView c);
+
+}  // namespace eigenmaps::numerics
+
+#endif  // EIGENMAPS_NUMERICS_SPMM_H

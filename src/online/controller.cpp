@@ -319,9 +319,15 @@ AdaptationController::RetrainOutcome AdaptationController::retrain_once() {
     // re-checks Theorem 1's rank condition for the *existing* placement
     // against the fresh basis, and the ceiling re-checks conditioning —
     // the sensors are hardware, so a placement the new basis cannot
-    // support must fail the retrain, not move the sensors.
+    // support must fail the retrain, not move the sensors. The expansion
+    // backend follows the model being replaced, not the environment: a
+    // sparse or fp32 model stays sparse or fp32 across retrains, and an
+    // fp32 replacement the fresh basis pushes over its error budget fails
+    // at register_model below (counted as a failed retrain, old model
+    // keeps serving).
     auto fresh = std::make_shared<const core::ReconstructionModel>(
-        basis, k, current->sensors(), training.mean());
+        basis, k, current->sensors(), training.mean(),
+        current->expansion_options());
     if (fresh->condition_number() > options_.condition_ceiling) {
       throw std::invalid_argument("retrain: conditioning past the ceiling");
     }

@@ -175,28 +175,80 @@ struct ModelStats {
   /// BatchObserver (online::AdaptationController) when one is attached;
   /// zero otherwise.
   AdaptationCounters adaptation;
+
+  // -- expansion-backend identity and memory accounting (DESIGN.md §14) --
+  // Gauges, not counters: sampled from the currently registered version at
+  // stats() time, so a hot swap re-reads them from the replacement model.
+  /// core::ExpansionBackend of the registered model (0 dense64, 1
+  /// sparse64, 2 fp32).
+  std::uint32_t expansion_backend = 0;
+  /// Bytes the dense fp64 operator (k x N doubles) would occupy — the
+  /// baseline every reduction is quoted against. Always filled.
+  std::uint64_t dense_expansion_bytes = 0;
+  /// Blocked-CSR operator bytes (values + block columns + row pointers);
+  /// nonzero only for the sparse64 backend.
+  std::uint64_t sparse_expansion_bytes = 0;
+  /// fp32 operator + bias bytes; nonzero only for the fp32 backend.
+  std::uint64_t fp32_expansion_bytes = 0;
+  /// Resident bytes of the model's FactorCache: downdate seed R plus every
+  /// cached per-mask factor.
+  std::uint64_t factor_cache_bytes = 0;
+  /// sparse64: stored blocks / total blocks (1.0 otherwise).
+  double sparse_stored_density = 1.0;
+  /// sparse64: relative Frobenius mass dropped by thresholding.
+  double sparse_dropped_mass = 0.0;
+  /// fp32: expansion error measured against the fp64 operator at model
+  /// construction (what the registry's publish gate enforced).
+  double fp32_measured_error = 0.0;
 };
 
-/// Log-spaced batch-latency histogram: bucket i counts latencies in
-/// [kFirstBucketNs * 2^i, kFirstBucketNs * 2^(i+1)), ~1 us to ~1 hour.
-/// Fixed storage (no heap) so recording stays inside the zero-allocation
-/// steady state; mergeable by bucket addition, which is how the shard
-/// router aggregates latency across worker processes.
+/// Log-linear batch-latency histogram: each power-of-two octave above
+/// kFirstBucketNs is split into kSubBuckets equal-width sub-buckets
+/// (bucket 0 holds everything below the first octave), covering ~1 us to
+/// ~20 hours. The old doubling-width buckets quantised p50/p99 to a full
+/// octave — a latency regression had to double before the percentile
+/// moved; sub-bucketing plus interpolated readout bounds the relative
+/// quantisation error by 1/kSubBuckets instead. Fixed storage (no heap)
+/// so recording stays inside the zero-allocation steady state; mergeable
+/// by bucket addition, which is how the shard router aggregates latency
+/// across worker processes.
 struct LatencyHistogram {
-  static constexpr std::size_t kBuckets = 42;
+  static constexpr std::size_t kSubBuckets = 16;  // per octave
+  static constexpr std::size_t kOctaves = 36;     // 2^36 * 1 us ~ 20 h
+  static constexpr std::size_t kBuckets = 1 + kOctaves * kSubBuckets;
   static constexpr std::uint64_t kFirstBucketNs = 1024;  // ~1 us
 
   std::array<std::uint64_t, kBuckets> counts{};
   std::uint64_t total = 0;
 
-  void record(std::uint64_t ns) {
-    std::size_t bucket = 0;
-    std::uint64_t upper = kFirstBucketNs;
-    while (bucket + 1 < kBuckets && ns >= upper) {
-      upper <<= 1;
-      ++bucket;
+  /// Which bucket `ns` lands in. Latencies past the top octave clamp into
+  /// its last sub-bucket.
+  static std::size_t bucket_for(std::uint64_t ns) {
+    if (ns < kFirstBucketNs) return 0;
+    std::size_t octave = 0;
+    std::uint64_t v = ns / kFirstBucketNs;
+    while (v > 1 && octave + 1 < kOctaves) {
+      v >>= 1;
+      ++octave;
     }
-    ++counts[bucket];
+    const std::uint64_t base = kFirstBucketNs << octave;
+    std::size_t sub =
+        static_cast<std::size_t>((ns - base) / (base / kSubBuckets));
+    if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // clamped top octave
+    return 1 + octave * kSubBuckets + sub;
+  }
+
+  /// Inclusive lower edge of `bucket` (the exclusive upper edge is the
+  /// lower edge of bucket + 1; passing kBuckets yields the top edge).
+  static std::uint64_t bucket_lower_ns(std::size_t bucket) {
+    if (bucket == 0) return 0;
+    const std::size_t i = bucket - 1;
+    const std::uint64_t octave_base = kFirstBucketNs << (i / kSubBuckets);
+    return octave_base + (i % kSubBuckets) * (octave_base / kSubBuckets);
+  }
+
+  void record(std::uint64_t ns) {
+    ++counts[bucket_for(ns)];
     ++total;
   }
 
@@ -205,23 +257,31 @@ struct LatencyHistogram {
     total += other.total;
   }
 
-  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]); 0
-  /// when nothing was recorded. An over-estimate by at most one bucket
-  /// width — honest for p50/p99 reporting on log-spaced buckets.
+  /// q-quantile (q in [0, 1]) with linear interpolation inside the hit
+  /// bucket; 0 when nothing was recorded. Worst case it misreads a
+  /// latency by one sub-bucket width (1/kSubBuckets relative), not one
+  /// octave like the pre-interpolation readout.
   std::uint64_t quantile_ns(double q) const {
     if (total == 0) return 0;
     if (q < 0.0) q = 0.0;
     if (q > 1.0) q = 1.0;
-    const std::uint64_t rank =
-        static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+    const double target = q * static_cast<double>(total - 1);
     std::uint64_t seen = 0;
-    std::uint64_t upper = kFirstBucketNs;
     for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      const double first = static_cast<double>(seen);
       seen += counts[i];
-      if (seen > rank) return upper;
-      upper <<= 1;
+      if (static_cast<double>(seen) > target) {
+        const std::uint64_t lower = bucket_lower_ns(i);
+        const std::uint64_t upper = bucket_lower_ns(i + 1);
+        double frac = (target - first) / static_cast<double>(counts[i]);
+        if (frac < 0.0) frac = 0.0;
+        if (frac > 1.0) frac = 1.0;
+        return lower + static_cast<std::uint64_t>(
+                           frac * static_cast<double>(upper - lower));
+      }
     }
-    return upper;
+    return bucket_lower_ns(kBuckets);
   }
 };
 

@@ -1,6 +1,7 @@
 #include "runtime/registry.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "support/env.h"
 
@@ -10,6 +11,21 @@ std::uint64_t ModelRegistry::register_model(
     ModelId id, std::shared_ptr<const core::ReconstructionModel> model) {
   if (!model) {
     throw std::invalid_argument("ModelRegistry::register_model: null model");
+  }
+  // fp32 publish gate: the expansion error was measured against the fp64
+  // operator at construction; a model over its budget never reaches the
+  // serving table (DESIGN.md §14). The online controller's retrain path
+  // funnels through here too, so a drifting basis that degrades the fp32
+  // representation fails the swap instead of silently serving it.
+  if (model->expansion_backend() == core::ExpansionBackend::kFp32 &&
+      model->fp32_measured_error() >
+          model->expansion_options().fp32_error_budget) {
+    throw std::invalid_argument(
+        "ModelRegistry::register_model: model " + std::to_string(id) +
+        " fp32 expansion error " +
+        std::to_string(model->fp32_measured_error()) +
+        " exceeds EIGENMAPS_FP32_ERROR_BUDGET " +
+        std::to_string(model->expansion_options().fp32_error_budget));
   }
   // Build the entry (and its cache's full-R seed) outside the lock.
   auto entry = std::make_shared<RegisteredModel>();

@@ -61,6 +61,9 @@ class ModelRegistry {
   void unsubscribe(std::uint64_t token);
 
   /// Registers (or hot-swaps) `model` under `id`; returns the new version.
+  /// Throws std::invalid_argument when an fp32-backend model's measured
+  /// expansion error exceeds its fp32_error_budget — an over-budget model
+  /// never becomes resolvable.
   std::uint64_t register_model(
       ModelId id, std::shared_ptr<const core::ReconstructionModel> model);
 

@@ -1,0 +1,91 @@
+#include "sparse/blocked_csr.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace eigenmaps::sparse {
+
+BlockedCsr::BlockedCsr(numerics::ConstMatrixView dense,
+                       double relative_threshold) {
+  if (!(relative_threshold >= 0.0) || relative_threshold > 1.0) {
+    throw std::invalid_argument(
+        "BlockedCsr: relative_threshold must be in [0, 1]");
+  }
+  rows_ = dense.rows();
+  cols_ = dense.cols();
+  blocks_per_row_ = (cols_ + kBlockWidth - 1) / kBlockWidth;
+  row_ptr_.assign(rows_ + 1, 0);
+  if (rows_ == 0 || cols_ == 0) {
+    fully_dense_ = true;
+    return;
+  }
+
+  double max_abs = 0.0;
+  double total_sq = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = dense.row_data(i);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const double a = std::fabs(row[j]);
+      if (a > max_abs) max_abs = a;
+      total_sq += a * a;
+    }
+  }
+  const double cutoff = relative_threshold * max_abs;
+
+  block_col_.reserve(rows_ * blocks_per_row_);
+  double dropped_sq = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = dense.row_data(i);
+    for (std::size_t b = 0; b < blocks_per_row_; ++b) {
+      const std::size_t j0 = b * kBlockWidth;
+      const std::size_t width =
+          (cols_ - j0 < kBlockWidth) ? cols_ - j0 : kBlockWidth;
+      bool keep = false;
+      double block_sq = 0.0;
+      for (std::size_t l = 0; l < width; ++l) {
+        const double a = std::fabs(row[j0 + l]);
+        // >= so cutoff 0 keeps all-zero blocks: threshold 0 must reproduce
+        // the dense operator exactly, padding included.
+        if (a >= cutoff) keep = true;
+        block_sq += a * a;
+      }
+      if (keep) {
+        block_col_.push_back(static_cast<std::uint32_t>(b));
+        for (std::size_t l = 0; l < kBlockWidth; ++l) {
+          values_.push_back(l < width ? row[j0 + l] : 0.0);
+        }
+      } else {
+        dropped_sq += block_sq;
+      }
+    }
+    row_ptr_[i + 1] = static_cast<std::uint32_t>(block_col_.size());
+  }
+
+  fully_dense_ = block_col_.size() == rows_ * blocks_per_row_;
+  dropped_mass_ =
+      total_sq > 0.0 ? std::sqrt(dropped_sq) / std::sqrt(total_sq) : 0.0;
+}
+
+double BlockedCsr::stored_density() const {
+  const std::size_t total = rows_ * blocks_per_row_;
+  return total == 0 ? 1.0
+                    : static_cast<double>(block_col_.size()) /
+                          static_cast<double>(total);
+}
+
+std::size_t BlockedCsr::bytes() const {
+  return values_.size() * sizeof(double) +
+         block_col_.size() * sizeof(std::uint32_t) +
+         row_ptr_.size() * sizeof(std::uint32_t);
+}
+
+numerics::ConstMatrixView BlockedCsr::dense_view() const {
+  if (!fully_dense_) {
+    throw std::logic_error("BlockedCsr::dense_view: operator is not dense");
+  }
+  return numerics::ConstMatrixView(values_.data(), rows_, cols_,
+                                   blocks_per_row_ * kBlockWidth);
+}
+
+}  // namespace eigenmaps::sparse

@@ -1,0 +1,86 @@
+// Row-panel blocked CSR for the thresholded expansion operator U^T.
+//
+// The serving tail expands `out = mean + alpha · U^T` (DESIGN.md §14) and
+// trained eigenmap bases are highly thresholdable: most of each basis map's
+// energy concentrates near its dominant spatial mode. BlockedCsr stores the
+// k×N operator as 8-wide column blocks per row — a block survives when any
+// of its 8 entries clears the threshold, and a stored block keeps all 8
+// original values (zero-padded past column N). Eight doubles is one AVX-512
+// vector / two AVX-2 vectors, so the spmm kernels stream whole blocks with
+// no per-entry index arithmetic (the SparseLib blocked-CSR shape).
+//
+// The value array is row-contiguous: row i's blocks occupy
+// values()[row_ptr()[i]*8 .. row_ptr()[i+1]*8). When nothing was dropped
+// (threshold 0, or a basis with no small entries) every row stores all
+// ceil(N/8) blocks in ascending order, and the value array is literally a
+// dense row-major matrix with stride ceil(N/8)*8 — dense_view() exposes it
+// so the caller can delegate to the dense GEMM and stay bit-identical to
+// the fp64-dense backend by construction.
+#ifndef EIGENMAPS_SPARSE_BLOCKED_CSR_H
+#define EIGENMAPS_SPARSE_BLOCKED_CSR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "numerics/matrix.h"
+
+namespace eigenmaps::sparse {
+
+class BlockedCsr {
+ public:
+  /// Column-block width: one AVX-512 double vector.
+  static constexpr std::size_t kBlockWidth = 8;
+
+  BlockedCsr() = default;
+
+  /// Thresholds `dense` (k×N, any row stride) at
+  /// `relative_threshold * max|dense|`: an 8-wide block is dropped only
+  /// when every entry in it falls strictly below the absolute threshold.
+  /// relative_threshold 0 keeps every block (fully_dense() == true).
+  BlockedCsr(numerics::ConstMatrixView dense, double relative_threshold);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// ceil(cols / kBlockWidth): blocks in a fully stored row.
+  std::size_t blocks_per_row() const { return blocks_per_row_; }
+  std::size_t stored_blocks() const { return block_col_.size(); }
+
+  /// rows()+1 entries; row i's blocks are [row_ptr()[i], row_ptr()[i+1]).
+  const std::uint32_t* row_ptr() const { return row_ptr_.data(); }
+  /// Block-column index (j / kBlockWidth) per stored block, ascending
+  /// within each row.
+  const std::uint32_t* block_cols() const { return block_col_.data(); }
+  /// stored_blocks() * kBlockWidth doubles, row-contiguous.
+  const double* values() const { return values_.data(); }
+
+  /// Stored blocks / total blocks — the fraction of the (padded) operator
+  /// actually resident.
+  double stored_density() const;
+  /// Relative Frobenius mass of the dropped blocks:
+  /// ||dropped|| / ||dense||, 0 when nothing was dropped.
+  double dropped_mass() const { return dropped_mass_; }
+  /// Resident bytes: values + block columns + row pointers.
+  std::size_t bytes() const;
+
+  /// True when every row stores all blocks_per_row() blocks — the value
+  /// array is then a dense row-major matrix (see dense_view()).
+  bool fully_dense() const { return fully_dense_; }
+  /// Dense rows()×cols() view over the value array (stride
+  /// blocks_per_row()*kBlockWidth). Only valid when fully_dense().
+  numerics::ConstMatrixView dense_view() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t blocks_per_row_ = 0;
+  bool fully_dense_ = false;
+  double dropped_mass_ = 0.0;
+  std::vector<std::uint32_t> row_ptr_;
+  std::vector<std::uint32_t> block_col_;
+  std::vector<double> values_;
+};
+
+}  // namespace eigenmaps::sparse
+
+#endif  // EIGENMAPS_SPARSE_BLOCKED_CSR_H
