@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "numerics/svd.h"
+#include "obs/trace.h"
 
 namespace eigenmaps::core {
 
@@ -381,7 +382,13 @@ void FactorCache::reconstruct_batch_into(numerics::ConstMatrixView readings,
       dst[i] = src[slots[i]] - mean[slots[i]];
     }
   }
-  f->solve_batch_into(centered, alpha, scratch);
+  {
+    // Stage attribution for the masked path (the full-mask path is timed
+    // inside the model's own batch solve); expansion is timed by
+    // expand_into itself.
+    obs::ScopedStageSpan span(obs::Stage::kSolve);
+    f->solve_batch_into(centered, alpha, scratch);
+  }
   model_->expand_into(alpha, out);
 }
 

@@ -10,6 +10,7 @@
 #include "numerics/blas.h"
 #include "numerics/gemm_f32.h"
 #include "numerics/spmm.h"
+#include "obs/trace.h"
 #include "numerics/svd.h"
 #include "support/env.h"
 
@@ -305,7 +306,10 @@ void ReconstructionModel::reconstruct_batch_into(
   }
   // One multi-RHS solve against the cached QR factor, then one blocked
   // GEMM expands all coefficient rows through the subspace at once.
-  factor_.solver.solve_batch_into(centered, alpha, scratch);
+  {
+    obs::ScopedStageSpan span(obs::Stage::kSolve);
+    factor_.solver.solve_batch_into(centered, alpha, scratch);
+  }
   expand_into(alpha, out);
 }
 
@@ -327,7 +331,9 @@ void ReconstructionModel::expand_into(numerics::ConstMatrixView alpha,
         "ReconstructionModel::expand: output shape mismatch");
   }
   // The mean map is seeded inside the kernel so the (large) output is
-  // streamed exactly once, whichever backend runs the product.
+  // streamed exactly once, whichever backend runs the product. The stage
+  // timer is free when no engine batch context is set on this thread.
+  obs::ScopedStageSpan span(obs::Stage::kExpand);
   switch (expansion_.backend) {
     case ExpansionBackend::kDense64:
       numerics::matmul_bias_into(alpha, subspace_t_, mean_map_, out);

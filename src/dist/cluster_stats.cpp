@@ -52,6 +52,14 @@ void merge_engine_stats(runtime::EngineStats& into,
   into.max_batch_latency_ns =
       std::max(into.max_batch_latency_ns, from.max_batch_latency_ns);
   into.latency.merge(from.latency);
+  for (std::size_t s = 0; s < obs::kEngineStageCount; ++s) {
+    into.stage_latency[s].merge(from.stage_latency[s]);
+  }
+  // Events concatenate: each shard's ring snapshot keeps its own (shard,
+  // index) identity, so the merged list stays de-duplicable and a reader
+  // can re-order by ts_ns (one CLOCK_MONOTONIC across the host).
+  into.events.insert(into.events.end(), from.events.begin(),
+                     from.events.end());
   for (const auto& [model, stats] : from.models) {
     merge_model_stats(into.models[model], stats);
   }

@@ -305,12 +305,15 @@ void encode_submit_frame(std::uint64_t stream, std::uint64_t seq,
                          runtime::ModelId model,
                          const core::SensorBitmask& mask,
                          numerics::ConstVectorView readings,
-                         std::vector<std::uint8_t>& out, bool rebase) {
+                         std::vector<std::uint8_t>& out, bool rebase,
+                         bool traced, std::uint64_t origin_ns) {
   WireWriter w(out);
   w.u64(stream);
   w.u64(seq);
   w.u64(model);
   w.u8(rebase ? 1 : 0);
+  w.u8(traced ? 1 : 0);
+  w.u64(origin_ns);
   w.bitmask(mask);
   w.doubles(readings.data(), readings.size());
 }
@@ -322,6 +325,8 @@ void decode_submit_frame(const std::uint8_t* data, std::size_t size,
   msg.seq = r.u64();
   msg.model = r.u64();
   msg.rebase = r.u8() != 0;
+  msg.traced = r.u8() != 0;
+  msg.origin_ns = r.u64();
   msg.mask = r.bitmask();
   r.doubles(msg.readings);
   r.expect_end();
@@ -439,6 +444,22 @@ void encode_engine_stats(const runtime::EngineStats& stats,
   w.u32(static_cast<std::uint32_t>(runtime::LatencyHistogram::kBuckets));
   w.u64(stats.latency.total);
   for (const std::uint64_t count : stats.latency.counts) w.u64(count);
+  // v4: per-stage histograms (same bucket layout, count checked above) and
+  // the worker's structured event-ring snapshot.
+  w.u32(static_cast<std::uint32_t>(obs::kEngineStageCount));
+  for (const runtime::LatencyHistogram& h : stats.stage_latency) {
+    w.u64(h.total);
+    for (const std::uint64_t count : h.counts) w.u64(count);
+  }
+  w.u32(static_cast<std::uint32_t>(stats.events.size()));
+  for (const obs::Event& e : stats.events) {
+    w.u64(e.index);
+    w.u64(e.ts_ns);
+    w.u64(e.a);
+    w.u64(e.b);
+    w.u16(e.shard);
+    w.u8(static_cast<std::uint8_t>(e.type));
+  }
   w.u32(static_cast<std::uint32_t>(stats.models.size()));
   for (const auto& [id, m] : stats.models) {
     w.u64(id);
@@ -481,6 +502,31 @@ runtime::EngineStats decode_engine_stats(const std::uint8_t* data,
   }
   stats.latency.total = r.u64();
   for (std::uint64_t& count : stats.latency.counts) count = r.u64();
+  const std::uint32_t stages = r.u32();
+  if (stages != obs::kEngineStageCount) {
+    throw ProtocolError("dist: stage histogram count mismatch");
+  }
+  for (runtime::LatencyHistogram& h : stats.stage_latency) {
+    h.total = r.u64();
+    for (std::uint64_t& count : h.counts) count = r.u64();
+  }
+  const std::uint32_t events = r.u32();
+  // Bounded by the ring capacity at the sender; a wire count past it is a
+  // corrupt frame, not a bigger ring.
+  if (events > obs::kEventRingCapacity) {
+    throw ProtocolError("dist: event count exceeds the ring capacity");
+  }
+  stats.events.reserve(events);
+  for (std::uint32_t i = 0; i < events; ++i) {
+    obs::Event e;
+    e.index = r.u64();
+    e.ts_ns = r.u64();
+    e.a = r.u64();
+    e.b = r.u64();
+    e.shard = r.u16();
+    e.type = static_cast<obs::EventType>(r.u8());
+    stats.events.push_back(e);
+  }
   const std::uint32_t models = r.u32();
   for (std::uint32_t i = 0; i < models; ++i) {
     const runtime::ModelId id = r.u64();
@@ -509,6 +555,48 @@ runtime::EngineStats decode_engine_stats(const std::uint8_t* data,
   }
   r.expect_end();
   return stats;
+}
+
+void encode_trace_reply(const std::vector<obs::SpanRecord>& spans,
+                        std::vector<std::uint8_t>& out) {
+  WireWriter w(out);
+  w.u64(spans.size());
+  for (const obs::SpanRecord& s : spans) {
+    w.u64(s.start_ns);
+    w.u64(s.end_ns);
+    w.u64(s.stream);
+    w.u64(s.seq);
+    w.u32(s.frames);
+    w.u16(s.shard);
+    w.u8(s.stage);
+    w.u8(s.thread);
+  }
+}
+
+std::vector<obs::SpanRecord> decode_trace_reply(const std::uint8_t* data,
+                                                std::size_t size) {
+  WireReader r(data, size);
+  const std::uint64_t count = r.u64();
+  // 40 wire bytes per span; divide, never multiply (overflow-proof bound).
+  if (count > r.remaining() / 40) {
+    throw ProtocolError("dist: truncated payload");
+  }
+  std::vector<obs::SpanRecord> spans;
+  spans.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    obs::SpanRecord s;
+    s.start_ns = r.u64();
+    s.end_ns = r.u64();
+    s.stream = r.u64();
+    s.seq = r.u64();
+    s.frames = r.u32();
+    s.shard = r.u16();
+    s.stage = r.u8();
+    s.thread = r.u8();
+    spans.push_back(s);
+  }
+  r.expect_end();
+  return spans;
 }
 
 }  // namespace eigenmaps::dist

@@ -25,6 +25,8 @@
 #include "core/factor_cache.h"
 #include "core/model.h"
 #include "numerics/matrix.h"
+#include "obs/event_log.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/registry.h"
 
@@ -40,8 +42,11 @@ class ProtocolError : public std::runtime_error {
 
 inline constexpr std::uint32_t kWireMagic = 0x454D5031;  // "EMP1"
 // v2: submit rebase flag; v3: log-linear latency histogram + per-model
-// expansion-backend memory accounting in the stats payload.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+// expansion-backend memory accounting in the stats payload; v4: per-frame
+// trace context (traced flag + origin timestamp) on kSubmitFrame, the
+// kTracePull/kTraceReply span-collection pair, and per-stage latency
+// histograms + structured events in the stats payload (DESIGN.md §15).
+inline constexpr std::uint16_t kProtocolVersion = 4;
 /// Sanity ceiling on one payload; a length past it is a corrupt header.
 inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
 
@@ -60,6 +65,8 @@ enum class MessageType : std::uint16_t {
   kDrainDone = 12,     // worker -> router: drain token completed
   kShutdown = 13,      // router -> worker: exit cleanly
   kWorkerError = 14,   // worker -> router: a per-frame serving error
+  kTracePull = 15,     // router -> worker: drain your span rings
+  kTraceReply = 16,    // worker -> router: the drained spans
 };
 
 struct WireHeader {
@@ -186,11 +193,18 @@ RetireModelMsg decode_retire_model(const std::uint8_t* data,
 /// of treating the jump as a sequence gap — a shard can legitimately see a
 /// stream leave (migrate back to a respawned worker) and return later
 /// (that worker dies again) with seqs it never served.
+/// `traced` + `origin_ns` carry the frame's trace context across the
+/// process hop (v4): when set, the worker records this frame's engine
+/// spans under the router's global seq, and the ingest span starts at
+/// `origin_ns` (the router-side push timestamp on the shared
+/// CLOCK_MONOTONIC), so the stitched trace covers the wire hop too.
 struct SubmitFrameMsg {
   std::uint64_t stream = 0;
   std::uint64_t seq = 0;
   runtime::ModelId model = 0;
   bool rebase = false;
+  bool traced = false;
+  std::uint64_t origin_ns = 0;
   core::SensorBitmask mask;
   numerics::Vector readings;
 };
@@ -198,7 +212,8 @@ void encode_submit_frame(std::uint64_t stream, std::uint64_t seq,
                          runtime::ModelId model,
                          const core::SensorBitmask& mask,
                          numerics::ConstVectorView readings,
-                         std::vector<std::uint8_t>& out, bool rebase = false);
+                         std::vector<std::uint8_t>& out, bool rebase = false,
+                         bool traced = false, std::uint64_t origin_ns = 0);
 /// Decodes into `msg`, reusing its buffers (hot path).
 void decode_submit_frame(const std::uint8_t* data, std::size_t size,
                          SubmitFrameMsg& msg);
@@ -252,12 +267,21 @@ void encode_worker_error(const WorkerErrorMsg& msg,
 WorkerErrorMsg decode_worker_error(const std::uint8_t* data,
                                    std::size_t size);
 
-/// EngineStats snapshot (kStatsReply payload), histogram included — the
-/// router merges these into ClusterStats.
+/// EngineStats snapshot (kStatsReply payload), histograms (aggregate and
+/// per-stage) and the worker's structured events included — the router
+/// merges these into ClusterStats.
 void encode_engine_stats(const runtime::EngineStats& stats,
                          std::vector<std::uint8_t>& out);
 runtime::EngineStats decode_engine_stats(const std::uint8_t* data,
                                          std::size_t size);
+
+/// Drained span records (kTraceReply payload; kTracePull has an empty
+/// payload). The router pulls these after a traced run and merges them
+/// with its own spans for the Chrome trace dump.
+void encode_trace_reply(const std::vector<obs::SpanRecord>& spans,
+                        std::vector<std::uint8_t>& out);
+std::vector<obs::SpanRecord> decode_trace_reply(const std::uint8_t* data,
+                                                std::size_t size);
 
 }  // namespace eigenmaps::dist
 

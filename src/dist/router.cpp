@@ -6,8 +6,13 @@
 #include <stdexcept>
 
 #include <signal.h>
+#include <stdlib.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include "obs/event_log.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace eigenmaps::dist {
 
@@ -78,6 +83,8 @@ struct ShardRouter::Shard {
   runtime::EngineStats last_stats;
   std::uint64_t stats_generation = 0;
   std::uint64_t drain_done_token = 0;
+  std::vector<obs::SpanRecord> last_trace;
+  std::uint64_t trace_generation = 0;
 
   // Self-healing bookkeeping, guarded by state_mutex_:
   std::size_t respawn_attempts = 0;  // consecutive failed lives (flaps)
@@ -200,6 +207,16 @@ ShardRouter::ShardRouter(RouterOptions options, ResultCallback on_result)
 }
 
 ShardRouter::~ShardRouter() {
+  // Final trace collection, while the workers are still up to answer the
+  // kTracePull round. Best-effort: a failure here must not stop teardown.
+  if (obs::tracing_enabled() && obs::trace_out_path() != nullptr) {
+    try {
+      obs::append_chrome_trace_if_configured(drain_trace());
+    } catch (const std::exception& error) {
+      obs::log(obs::LogLevel::kWarn, "router",
+               "final trace collection failed: %s", error.what());
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     shutting_down_ = true;
@@ -259,7 +276,12 @@ void ShardRouter::spawn_worker(std::size_t shard) {
   const pid_t pid = ::fork();
   if (pid < 0) throw TransportError("ShardRouter: fork failed");
   if (pid == 0) {
-    // Child: become the worker. execv only returns on failure.
+    // Child: become the worker. The trace file belongs to the router —
+    // worker spans travel back over kTracePull instead, so the variable
+    // must not leak into the worker or its engine destructor would append
+    // a duplicate copy of every span.
+    ::unsetenv("EIGENMAPS_TRACE_OUT");
+    // execv only returns on failure.
     const char* argv[] = {options_.worker_binary.c_str(),
                           socket_path_.c_str(),
                           shard_arg.c_str(),
@@ -398,7 +420,8 @@ bool ShardRouter::send_frame_to_owner(const StreamRoute& route,
                                       const core::SensorBitmask& mask,
                                       numerics::ConstVectorView readings,
                                       bool rebase,
-                                      std::vector<std::uint8_t>& scratch) {
+                                      std::vector<std::uint8_t>& scratch,
+                                      bool traced, std::uint64_t origin_ns) {
   std::shared_ptr<MessageConnection> conn;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -411,7 +434,8 @@ bool ShardRouter::send_frame_to_owner(const StreamRoute& route,
     if (owner.alive) conn = owner.conn;
   }
   if (!conn) return false;  // owner just died: its handler replays
-  encode_submit_frame(stream, seq, model, mask, readings, scratch, rebase);
+  encode_submit_frame(stream, seq, model, mask, readings, scratch, rebase,
+                      traced, origin_ns);
   // A kClosed here is equally fine — the frame is already in the replay
   // log, and the dead shard's failure handling will resend it.
   conn->send(MessageType::kSubmitFrame, scratch);
@@ -439,6 +463,11 @@ std::uint64_t ShardRouter::push_frame(std::uint64_t stream,
   if (!replay_.acquire_slot()) {
     throw std::runtime_error("ShardRouter: shutting down");
   }
+  // Trace context: the origin timestamp anchors the worker-side ingest
+  // span at the router's push instant (one CLOCK_MONOTONIC across the
+  // host), so the stitched trace covers the wire hop.
+  const bool traced = obs::tracing_enabled();
+  const std::uint64_t origin_ns = traced ? obs::monotonic_ns() : 0;
   thread_local std::vector<std::uint8_t> scratch;
   std::uint64_t seq = 0;
   {
@@ -453,10 +482,14 @@ std::uint64_t ShardRouter::push_frame(std::uint64_t stream,
     }
     const bool rebase = route->rebase_next;
     if (send_frame_to_owner(*route, stream, seq, model, mask, readings,
-                            rebase, scratch) &&
+                            rebase, scratch, traced, origin_ns) &&
         rebase) {
       route->rebase_next = false;  // the anchor actually reached the wire
     }
+  }
+  if (traced) {
+    obs::record_span(obs::Stage::kRoute, origin_ns, obs::monotonic_ns(),
+                     stream, seq, 1);
   }
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -583,7 +616,48 @@ ClusterStats ShardRouter::stats() {
     }
     out.shards.push_back(std::move(snapshot));
   }
+  // The router process's own structured events (shard lifecycle, replay
+  // windows, mirror hot-swaps) join the workers' ring snapshots; (shard,
+  // index) keeps the merged list de-duplicable.
+  const std::vector<obs::Event> local = obs::event_snapshot();
+  out.aggregate.events.insert(out.aggregate.events.end(), local.begin(),
+                              local.end());
   return out;
+}
+
+std::vector<obs::SpanRecord> ShardRouter::drain_trace() {
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    generation = ++trace_generation_;
+  }
+  std::vector<std::uint8_t> payload;  // kTracePull carries no payload
+  for (auto& shard : shards_) {
+    std::shared_ptr<MessageConnection> conn;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (shard->alive) conn = shard->conn;
+    }
+    if (conn) conn->send(MessageType::kTracePull, payload);
+  }
+  // The router's own rings drain while the workers prepare their replies.
+  std::vector<obs::SpanRecord> spans = obs::drain_spans();
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_cv_.wait(lock, [&] {
+    if (shutting_down_) return true;
+    for (const auto& shard : shards_) {
+      if (shard->alive && shard->trace_generation < generation) return false;
+    }
+    return true;
+  });
+  for (const auto& shard : shards_) {
+    if (shard->trace_generation == generation) {
+      spans.insert(spans.end(), shard->last_trace.begin(),
+                   shard->last_trace.end());
+      shard->last_trace.clear();
+    }
+  }
+  return spans;
 }
 
 std::size_t ShardRouter::shard_count() const { return shards_.size(); }
@@ -612,6 +686,8 @@ void ShardRouter::kill_shard(std::size_t shard) {
 }
 
 void ShardRouter::handle_result(std::size_t shard, const ResultMsg& msg) {
+  const bool traced = obs::tracing_enabled();
+  const std::uint64_t ack_start_ns = traced ? obs::monotonic_ns() : 0;
   std::shared_ptr<StreamRoute> route;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -650,6 +726,13 @@ void ShardRouter::handle_result(std::size_t shard, const ResultMsg& msg) {
       replay_.ack_before(msg.stream, end);
     }
   }
+  if (traced && delivered > 0) {
+    // The ack span covers result handling through client callback and
+    // replay-log ack, under the seq of the first frame actually delivered.
+    obs::record_span(obs::Stage::kAck, ack_start_ns, obs::monotonic_ns(),
+                     msg.stream, msg.first_seq + (msg.frames - delivered),
+                     static_cast<std::uint32_t>(delivered));
+  }
   std::lock_guard<std::mutex> lock(state_mutex_);
   counters_.results_delivered += delivered;
   counters_.stale_results_dropped += stale;
@@ -667,8 +750,8 @@ void ShardRouter::reader_loop(std::size_t shard_index,
     try {
       if (conn->recv(type, payload) != RecvStatus::kOk) break;
     } catch (const std::exception& error) {
-      std::fprintf(stderr, "eigenmaps router: shard %zu receive error: %s\n",
-                   shard_index, error.what());
+      obs::log(obs::LogLevel::kWarn, "router",
+               "shard %zu receive error: %s", shard_index, error.what());
       break;
     }
     {
@@ -711,16 +794,24 @@ void ShardRouter::reader_loop(std::size_t shard_index,
           state_cv_.notify_all();
           break;
         }
+        case MessageType::kTraceReply: {
+          std::vector<obs::SpanRecord> spans =
+              decode_trace_reply(payload.data(), payload.size());
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          shard.last_trace = std::move(spans);
+          shard.trace_generation = trace_generation_;
+          state_cv_.notify_all();
+          break;
+        }
         case MessageType::kWorkerError: {
           const WorkerErrorMsg error =
               decode_worker_error(payload.data(), payload.size());
-          std::fprintf(stderr,
-                       "eigenmaps router: shard %zu error on stream %llu "
-                       "seq %llu: %s\n",
-                       shard_index,
-                       static_cast<unsigned long long>(error.stream),
-                       static_cast<unsigned long long>(error.seq),
-                       error.text.c_str());
+          obs::log(obs::LogLevel::kError, "router",
+                   "shard %zu error on stream %llu seq %llu: %s",
+                   shard_index,
+                   static_cast<unsigned long long>(error.stream),
+                   static_cast<unsigned long long>(error.seq),
+                   error.text.c_str());
           {
             std::lock_guard<std::mutex> lock(state_mutex_);
             ++counters_.worker_errors;
@@ -737,10 +828,9 @@ void ShardRouter::reader_loop(std::size_t shard_index,
           break;
         }
         default:
-          std::fprintf(stderr,
-                       "eigenmaps router: shard %zu sent unexpected message "
-                       "type %u\n",
-                       shard_index, static_cast<unsigned>(type));
+          obs::log(obs::LogLevel::kWarn, "router",
+                   "shard %zu sent unexpected message type %u", shard_index,
+                   static_cast<unsigned>(type));
           break;
       }
     } catch (const std::exception& error) {
@@ -748,8 +838,8 @@ void ShardRouter::reader_loop(std::size_t shard_index,
       // peer is untrustworthy but the router is not — down this one shard
       // (streams rehash, frames replay) instead of letting the exception
       // unwind through the reader thread and terminate the process.
-      std::fprintf(stderr, "eigenmaps router: shard %zu decode error: %s\n",
-                   shard_index, error.what());
+      obs::log(obs::LogLevel::kError, "router",
+               "shard %zu decode error: %s", shard_index, error.what());
       break;
     }
   }
@@ -768,6 +858,7 @@ void ShardRouter::handle_shard_failure(std::size_t shard_index) {
     if (shutting_down_ || !shard.alive) return;
     shard.alive = false;
     ++counters_.shard_failures;
+    obs::emit_event(obs::EventType::kShardDeath, shard.index);
     rebuild_ring();
     all_dead = ring_.empty();
     if (!all_dead) {
@@ -827,6 +918,7 @@ void ShardRouter::replay_streams(
   // must re-anchor its seq mapping rather than diagnose a gap.
   std::vector<std::uint8_t> scratch;
   std::uint64_t replayed = 0;
+  const bool traced = obs::tracing_enabled();
   for (const auto& [stream, route] : reassigned) {
     std::lock_guard<std::mutex> ingest(route->ingest);
     {
@@ -839,13 +931,14 @@ void ShardRouter::replay_streams(
       route->rebase_next = true;
       continue;
     }
+    const std::uint64_t replay_start_ns = traced ? obs::monotonic_ns() : 0;
     bool rebase = true;
     for (const ReplayFrame& frame : pending) {
       if (send_frame_to_owner(
               *route, stream, frame.seq, frame.model, frame.mask,
               numerics::ConstVectorView(frame.readings.data(),
                                         frame.readings.size()),
-              rebase, scratch)) {
+              rebase, scratch, traced)) {
         rebase = false;  // anchor delivered; the rest follow in order
       }
       // A suppressed send (the new owner died already) is fine: that
@@ -853,6 +946,15 @@ void ShardRouter::replay_streams(
     }
     route->rebase_next = false;
     replayed += pending.size();
+    if (traced) {
+      obs::record_span(obs::Stage::kReplay, replay_start_ns,
+                       obs::monotonic_ns(), stream, pending.front().seq,
+                       static_cast<std::uint32_t>(pending.size()));
+    }
+  }
+  if (replayed > 0) {
+    obs::emit_event(obs::EventType::kReplayWindow, reassigned.size(),
+                    replayed);
   }
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -898,10 +1000,11 @@ void ShardRouter::schedule_respawn_locked(Shard& shard) {
     if (!shard.respawn_abandoned) {
       shard.respawn_abandoned = true;
       ++counters_.respawns_abandoned;
-      std::fprintf(stderr,
-                   "eigenmaps router: giving up on shard %u after %zu "
-                   "failed respawns\n",
-                   shard.index, shard.respawn_attempts);
+      obs::emit_event(obs::EventType::kShardRespawnAbandoned, shard.index,
+                      shard.respawn_attempts);
+      obs::log(obs::LogLevel::kError, "router",
+               "giving up on shard %u after %zu failed respawns",
+               shard.index, shard.respawn_attempts);
       state_cv_.notify_all();  // drain() may be waiting on this verdict
     }
     return;
@@ -991,8 +1094,8 @@ bool ShardRouter::attempt_respawn(std::size_t shard_index) {
   try {
     spawn_worker(shard_index);
   } catch (const TransportError& error) {
-    std::fprintf(stderr, "eigenmaps router: shard %zu respawn failed: %s\n",
-                 shard_index, error.what());
+    obs::log(obs::LogLevel::kError, "router", "shard %zu respawn failed: %s",
+             shard_index, error.what());
     return fail_respawn_attempt(shard);
   }
 
@@ -1029,10 +1132,9 @@ bool ShardRouter::attempt_respawn(std::size_t shard_index) {
     conn = std::move(candidate);
   }
   if (!conn) {
-    std::fprintf(stderr,
-                 "eigenmaps router: shard %zu respawn: worker did not "
-                 "reconnect in time\n",
-                 shard_index);
+    obs::log(obs::LogLevel::kError, "router",
+             "shard %zu respawn: worker did not reconnect in time",
+             shard_index);
     return fail_respawn_attempt(shard);
   }
 
@@ -1079,18 +1181,16 @@ bool ShardRouter::attempt_respawn(std::size_t shard_index) {
           const ModelAckMsg ack =
               decode_model_ack(reply.data(), reply.size());
           if (!ack.ok || ack.model != id) {
-            std::fprintf(stderr,
-                         "eigenmaps router: shard %zu respawn: model %llu "
-                         "re-teach rejected: %s\n",
-                         shard_index, static_cast<unsigned long long>(id),
-                         ack.error.c_str());
+            obs::log(obs::LogLevel::kError, "router",
+                     "shard %zu respawn: model %llu re-teach rejected: %s",
+                     shard_index, static_cast<unsigned long long>(id),
+                     ack.error.c_str());
             return fail_respawn_attempt(shard);
           }
         } catch (const std::exception& error) {
-          std::fprintf(stderr,
-                       "eigenmaps router: shard %zu respawn: re-teach "
-                       "failed: %s\n",
-                       shard_index, error.what());
+          obs::log(obs::LogLevel::kError, "router",
+                   "shard %zu respawn: re-teach failed: %s", shard_index,
+                   error.what());
           return fail_respawn_attempt(shard);
         }
         break;
@@ -1124,15 +1224,20 @@ bool ShardRouter::attempt_respawn(std::size_t shard_index) {
     }
     ++counters_.workers_respawned;
     counters_.streams_migrated_back += migrated.size();
+    obs::emit_event(obs::EventType::kShardRespawned, shard.index,
+                    shard.respawn_attempts);
+    if (!migrated.empty()) {
+      obs::emit_event(obs::EventType::kStreamsMigratedBack, shard.index,
+                      migrated.size());
+    }
     Shard* s = &shard;
     shard.reader = std::thread(
         [this, s, conn] { reader_loop(s->index, conn); });
     state_cv_.notify_all();
   }
-  std::fprintf(stderr,
-               "eigenmaps router: shard %zu respawned and rejoined "
-               "(%zu streams migrated back)\n",
-               shard_index, migrated.size());
+  obs::log(obs::LogLevel::kInfo, "router",
+           "shard %zu respawned and rejoined (%zu streams migrated back)",
+           shard_index, migrated.size());
   replay_streams(migrated);
   return true;
 }

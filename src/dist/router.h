@@ -43,6 +43,7 @@
 #include "dist/replay_log.h"
 #include "dist/transport.h"
 #include "numerics/matrix.h"
+#include "obs/trace.h"
 #include "runtime/registry.h"
 
 namespace eigenmaps::dist {
@@ -141,8 +142,17 @@ class ShardRouter {
   void drain();
 
   /// Pulls an EngineStats snapshot from every live shard and merges them
-  /// with the router's own counters.
+  /// with the router's own counters. The aggregate's event list includes
+  /// the router process's own structured events (shard lifecycle, replay
+  /// windows) alongside the workers' (hot swaps, drift, retrains).
   ClusterStats stats();
+
+  /// Collects every span recorded since the last call: the router's own
+  /// rings (route/replay/ack spans) drained locally, plus a kTracePull
+  /// round to every live shard for its engine-side spans. The destructor
+  /// runs one final collection and appends it to EIGENMAPS_TRACE_OUT, so
+  /// calling this is only needed for mid-run dumps or custom sinks.
+  std::vector<obs::SpanRecord> drain_trace();
 
   std::size_t shard_count() const;
   std::size_t alive_count() const;
@@ -204,7 +214,8 @@ class ShardRouter {
                            std::uint64_t seq, runtime::ModelId model,
                            const core::SensorBitmask& mask,
                            numerics::ConstVectorView readings, bool rebase,
-                           std::vector<std::uint8_t>& scratch);
+                           std::vector<std::uint8_t>& scratch,
+                           bool traced = false, std::uint64_t origin_ns = 0);
 
   const RouterOptions options_;
   const ResultCallback on_result_;
@@ -240,6 +251,7 @@ class ShardRouter {
   std::map<runtime::ModelId, std::map<std::uint32_t, ModelAckMsg>> acks_;
   std::uint64_t drain_token_ = 0;
   std::uint64_t stats_generation_ = 0;
+  std::uint64_t trace_generation_ = 0;
   RouterCounters counters_;
   bool shutting_down_ = false;
 };

@@ -43,6 +43,8 @@
 
 #include "dist/protocol.h"
 #include "dist/transport.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/registry.h"
 
@@ -95,6 +97,10 @@ int worker_main(int argc, char** argv) {
   const std::size_t threads = parse_u64(argv[3], "threads");
   const std::size_t batch = parse_u64(argv[4], "batch");
   const auto heartbeat_ms = static_cast<int>(parse_u64(argv[5], "hb_ms"));
+
+  // Every span and event this process records carries the shard id — the
+  // Chrome-trace pid and the (shard, index) event identity both key on it.
+  obs::set_process_shard(static_cast<std::uint16_t>(shard));
 
   // Fault-injection knobs for the router's chaos tests — no effect unless
   // the environment sets them.
@@ -221,8 +227,8 @@ int worker_main(int argc, char** argv) {
     try {
       status = conn.recv(type, payload);
     } catch (const dist::ProtocolError& error) {
-      std::fprintf(stderr, "eigenmaps_shard_worker %u: protocol error: %s\n",
-                   shard, error.what());
+      obs::log(obs::LogLevel::kError, "worker", "protocol error: %s",
+               error.what());
       exit_code = 1;
       break;
     }
@@ -235,8 +241,14 @@ int worker_main(int argc, char** argv) {
       if (type == dist::MessageType::kSubmitFrame) {
         if (wedged) continue;  // injected-error mode: black-hole submits
         dist::decode_submit_frame(payload.data(), payload.size(), frame);
+        // The first traced frame turns span recording on for the whole
+        // process (the router owns the decision; EIGENMAPS_TRACE_OUT never
+        // reaches the worker's environment). Spans go back over
+        // kTracePull.
+        if (frame.traced && !obs::tracing_enabled()) obs::set_tracing(true);
         bool accept = false;
         bool fatal = false;
+        std::uint64_t seq_base = 0;
         {
           std::lock_guard<std::mutex> lock(seq_mutex);
           auto [it, fresh] = seqs.try_emplace(frame.stream);
@@ -285,6 +297,11 @@ int worker_main(int argc, char** argv) {
           } else {
             seq.expected = frame.seq + 1;
             accept = true;
+            // The engine numbers this stream's next frame `pushed`
+            // locally; spans recorded under base + local stitch with the
+            // router's spans for the same global seq (modular arithmetic,
+            // same as the epoch bases).
+            seq_base = frame.seq - seq.pushed;
           }
         }
         if (accept && inject_error) {
@@ -303,14 +320,28 @@ int worker_main(int argc, char** argv) {
         }
         if (accept) {
           try {
+            // Carry the wire trace context into the engine push: an
+            // untraced frame must also set the context (traced = false)
+            // once tracing is on, or the engine would treat it as a
+            // locally-produced frame and trace it anyway.
+            if (obs::tracing_enabled()) {
+              obs::FrameContext trace_ctx;
+              trace_ctx.active = true;
+              trace_ctx.traced = frame.traced;
+              trace_ctx.origin_ns = frame.origin_ns;
+              trace_ctx.seq_base = seq_base;
+              obs::set_frame_context(trace_ctx);
+            }
             engine.push_frame(
                 frame.stream,
                 numerics::ConstVectorView(frame.readings.data(),
                                           frame.readings.size()),
                 frame.model, frame.mask);
+            obs::clear_frame_context();
             std::lock_guard<std::mutex> lock(seq_mutex);
             ++seqs[frame.stream].pushed;
           } catch (const std::exception& error) {
+            obs::clear_frame_context();
             // `expected` already advanced past a frame the engine never
             // took: continuing would shift the seq mapping of everything
             // after it. Report and exit instead — same recovery contract
@@ -366,6 +397,11 @@ int worker_main(int argc, char** argv) {
           conn.send(dist::MessageType::kStatsReply, reply);
           break;
         }
+        case dist::MessageType::kTracePull: {
+          dist::encode_trace_reply(obs::drain_spans(), reply);
+          conn.send(dist::MessageType::kTraceReply, reply);
+          break;
+        }
         case dist::MessageType::kDrain: {
           const dist::DrainMsg msg =
               dist::decode_drain(payload.data(), payload.size());
@@ -380,15 +416,13 @@ int worker_main(int argc, char** argv) {
         case dist::MessageType::kShutdown:
           goto done;
         default:
-          std::fprintf(stderr,
-                       "eigenmaps_shard_worker %u: unexpected message type "
-                       "%u\n",
-                       shard, static_cast<unsigned>(type));
+          obs::log(obs::LogLevel::kWarn, "worker",
+                   "unexpected message type %u", static_cast<unsigned>(type));
           break;
       }
     } catch (const dist::ProtocolError& error) {
-      std::fprintf(stderr, "eigenmaps_shard_worker %u: protocol error: %s\n",
-                   shard, error.what());
+      obs::log(obs::LogLevel::kError, "worker", "protocol error: %s",
+               error.what());
       exit_code = 1;
       break;
     }

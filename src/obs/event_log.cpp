@@ -1,0 +1,67 @@
+#include "obs/event_log.h"
+
+#include <array>
+#include <mutex>
+
+#include "obs/trace.h"
+
+namespace eigenmaps::obs {
+
+namespace {
+
+struct EventRing {
+  std::mutex mutex;
+  std::array<Event, kEventRingCapacity> slots;
+  std::uint64_t next_index = 0;  // total events ever emitted
+};
+
+EventRing& ring() {
+  static EventRing* r = new EventRing();  // leaked: outlives all threads
+  return *r;
+}
+
+}  // namespace
+
+const char* event_name(EventType type) {
+  switch (type) {
+    case EventType::kHotSwapPublished:      return "hot_swap_published";
+    case EventType::kModelRejected:         return "model_rejected";
+    case EventType::kDriftAlarm:            return "drift_alarm";
+    case EventType::kRetrainStarted:        return "retrain_started";
+    case EventType::kRetrainCompleted:      return "retrain_completed";
+    case EventType::kRetrainFailed:         return "retrain_failed";
+    case EventType::kShardDeath:            return "shard_death";
+    case EventType::kShardRespawned:        return "shard_respawned";
+    case EventType::kShardRespawnAbandoned: return "shard_respawn_abandoned";
+    case EventType::kStreamsMigratedBack:   return "streams_migrated_back";
+    case EventType::kReplayWindow:          return "replay_window";
+  }
+  return "unknown";
+}
+
+void emit_event(EventType type, std::uint64_t a, std::uint64_t b) {
+  EventRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Event& slot = r.slots[r.next_index % kEventRingCapacity];
+  slot.index = r.next_index++;
+  slot.ts_ns = monotonic_ns();
+  slot.a = a;
+  slot.b = b;
+  slot.shard = process_shard();
+  slot.type = type;
+}
+
+std::vector<Event> event_snapshot() {
+  EventRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::uint64_t count =
+      r.next_index < kEventRingCapacity ? r.next_index : kEventRingCapacity;
+  std::vector<Event> out;
+  out.reserve(count);
+  for (std::uint64_t i = r.next_index - count; i < r.next_index; ++i) {
+    out.push_back(r.slots[i % kEventRingCapacity]);
+  }
+  return out;
+}
+
+}  // namespace eigenmaps::obs

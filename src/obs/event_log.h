@@ -1,0 +1,55 @@
+// Structured event log (DESIGN.md §15): a bounded process-global ring of
+// typed control-plane events — hot-swaps, drift alarms, retrains, shard
+// lifecycle, replay windows — with monotonic timestamps and a per-process
+// monotonic index. Emission is rare (control-plane, never per-frame), so a
+// mutex suffices; snapshots are drained outward through EngineStats (the
+// worker's process events ride the stats wire payload) and merged into
+// ClusterStats at the router.
+#ifndef EIGENMAPS_OBS_EVENT_LOG_H
+#define EIGENMAPS_OBS_EVENT_LOG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eigenmaps::obs {
+
+enum class EventType : std::uint8_t {
+  kHotSwapPublished = 1,  // a = model id, b = published version
+  kModelRejected,         // a = model id (over-budget fp32 publish gate)
+  kDriftAlarm,            // a = model id, b = stream
+  kRetrainStarted,        // a = model id
+  kRetrainCompleted,      // a = model id, b = published version
+  kRetrainFailed,         // a = model id
+  kShardDeath,            // a = shard
+  kShardRespawned,        // a = shard, b = spawn attempts used
+  kShardRespawnAbandoned, // a = shard, b = attempts
+  kStreamsMigratedBack,   // a = shard, b = streams migrated
+  kReplayWindow,          // a = streams replayed, b = frames replayed
+};
+const char* event_name(EventType type);
+
+struct Event {
+  std::uint64_t index = 0;  // per-process monotonic emission index
+  std::uint64_t ts_ns = 0;  // obs::monotonic_ns() at emission
+  std::uint64_t a = 0;      // type-specific payload, see EventType
+  std::uint64_t b = 0;
+  std::uint16_t shard = 0;  // obs::process_shard() at emission
+  EventType type = EventType::kHotSwapPublished;
+};
+
+/// Ring capacity: the snapshot holds at most this many newest events.
+constexpr std::size_t kEventRingCapacity = 1024;
+
+/// Appends one event to the process ring (timestamp, shard, and index are
+/// filled in here).
+void emit_event(EventType type, std::uint64_t a = 0, std::uint64_t b = 0);
+
+/// The ring's current contents, oldest first. Indices are monotonic, so a
+/// reader can diff snapshots (and a merger can de-duplicate) by
+/// (shard, index).
+std::vector<Event> event_snapshot();
+
+}  // namespace eigenmaps::obs
+
+#endif  // EIGENMAPS_OBS_EVENT_LOG_H

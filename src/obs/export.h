@@ -1,0 +1,34 @@
+// Metrics export (DESIGN.md §15): renders EngineStats / ClusterStats as
+// Prometheus-style text exposition — counters, gauges, and the log-linear
+// latency histograms as cumulative `le` buckets (only non-empty buckets
+// are emitted, plus the mandatory +Inf, so the 577-bucket histograms stay
+// compact on the wire). Pull-model friendly: callers snapshot stats() and
+// hand the string to whatever serves /metrics.
+#ifndef EIGENMAPS_OBS_EXPORT_H
+#define EIGENMAPS_OBS_EXPORT_H
+
+#include <string>
+
+namespace eigenmaps::runtime {
+struct EngineStats;
+}
+namespace eigenmaps::dist {
+struct ClusterStats;
+}
+
+namespace eigenmaps::obs {
+
+/// One engine's stats: eigenmaps_frames_submitted, eigenmaps_batch_latency
+/// histogram, per-stage eigenmaps_stage_latency{stage="solve"} histograms,
+/// per-model counters and gauges labelled {model="<id>"}, and the event
+/// counters by type.
+std::string render_prometheus(const runtime::EngineStats& stats);
+
+/// The cluster view: router counters (eigenmaps_router_*), per-shard
+/// liveness gauges, then the merged aggregate rendered exactly like a
+/// single engine (stage histograms already bucket-added across shards).
+std::string render_prometheus(const dist::ClusterStats& stats);
+
+}  // namespace eigenmaps::obs
+
+#endif  // EIGENMAPS_OBS_EXPORT_H

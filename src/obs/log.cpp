@@ -1,0 +1,58 @@
+#include "obs/log.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/trace.h"
+#include "support/env.h"
+
+namespace eigenmaps::obs {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo:  return "info";
+    case LogLevel::kWarn:  return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff:   return "off";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  static const LogLevel level = [] {
+    return static_cast<LogLevel>(
+        support::env_choice("EIGENMAPS_LOG_LEVEL",
+                            {"debug", "info", "warn", "error", "off"})
+            .value_or(static_cast<std::size_t>(LogLevel::kInfo)));
+  }();
+  return level;
+}
+
+bool log_enabled(LogLevel level) {
+  return level >= log_level() && log_level() != LogLevel::kOff;
+}
+
+void log(LogLevel level, const char* component, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  char message[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  va_end(args);
+  // One fprintf per line so concurrent processes sharing a terminal never
+  // interleave mid-line (stderr is unbuffered, writes are atomic enough
+  // for one call).
+  std::fprintf(stderr,
+               "eigenmaps level=%s ts_ns=%" PRIu64
+               " shard=%u comp=%s msg=\"%s\"\n",
+               level_name(level), monotonic_ns(),
+               static_cast<unsigned>(process_shard()), component, message);
+}
+
+}  // namespace eigenmaps::obs

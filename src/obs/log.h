@@ -1,0 +1,39 @@
+// Leveled structured logging: one line per event on stderr, gated by
+// EIGENMAPS_LOG_LEVEL (debug|info|warn|error|off, default info, fail-loud
+// through support/env on any other spelling). Replaces the ad-hoc fprintf
+// startup lines that used to be scattered through the engine, router, and
+// worker — every line now carries a level, a monotonic timestamp, and a
+// component tag, so multi-process logs interleave legibly.
+#ifndef EIGENMAPS_OBS_LOG_H
+#define EIGENMAPS_OBS_LOG_H
+
+#include <cstdint>
+
+namespace eigenmaps::obs {
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo,
+  kWarn,
+  kError,
+  kOff,
+};
+
+/// The process log threshold: EIGENMAPS_LOG_LEVEL parsed once at first
+/// use (std::invalid_argument on a bad value), kInfo when unset.
+LogLevel log_level();
+
+/// True when a message at `level` would be written.
+bool log_enabled(LogLevel level);
+
+/// Writes one line: `eigenmaps level=<l> ts_ns=<monotonic> shard=<s>
+/// comp=<component> msg="<formatted>"`. printf-style formatting; a no-op
+/// below the threshold.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void log(LogLevel level, const char* component, const char* fmt, ...);
+
+}  // namespace eigenmaps::obs
+
+#endif  // EIGENMAPS_OBS_LOG_H

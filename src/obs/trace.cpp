@@ -1,0 +1,242 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+#include "support/env.h"
+
+namespace eigenmaps::obs {
+
+namespace {
+
+// Single-writer (its owning thread) / single-drainer (under the registry
+// mutex) span ring. The writer publishes `head` with release order after
+// filling the slot; the drainer validates its copy against a second head
+// read, dropping anything the writer may have lapped mid-copy — so a
+// drain never blocks recording and recording never waits on anything.
+struct TraceRing {
+  explicit TraceRing(std::size_t capacity, std::uint8_t ring_id)
+      : slots(capacity), id(ring_id) {}
+  std::vector<SpanRecord> slots;
+  std::atomic<std::uint64_t> head{0};  // total spans ever pushed
+  std::uint64_t drained = 0;           // registry mutex
+  std::uint8_t id = 0;
+};
+
+struct RingRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<TraceRing>> rings;
+};
+
+RingRegistry& registry() {
+  static RingRegistry* r = new RingRegistry();  // leaked: outlives all threads
+  return *r;
+}
+
+thread_local TraceRing* tls_ring = nullptr;
+thread_local BatchContext* tls_batch = nullptr;
+thread_local FrameContext tls_frame;
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint16_t> g_shard{kRouterShard};
+
+struct TraceConfig {
+  const char* out_path = nullptr;  // EIGENMAPS_TRACE_OUT
+  std::size_t ring_capacity = 16384;
+};
+
+const TraceConfig& config() {
+  static const TraceConfig cfg = [] {
+    TraceConfig c;
+    const char* raw = std::getenv("EIGENMAPS_TRACE_OUT");
+    if (raw != nullptr && *raw != '\0') {
+      c.out_path = raw;
+      g_tracing.store(true, std::memory_order_relaxed);
+    }
+    c.ring_capacity =
+        support::env_size_or("EIGENMAPS_TRACE_RING", c.ring_capacity, 64,
+                             std::size_t{1} << 24);
+    return c;
+  }();
+  return cfg;
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kIngest:    return "ingest";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kSolve:     return "solve";
+    case Stage::kExpand:    return "expand";
+    case Stage::kDeliver:   return "deliver";
+    case Stage::kRoute:     return "route";
+    case Stage::kReplay:    return "replay";
+    case Stage::kAck:       return "ack";
+  }
+  return "unknown";
+}
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool tracing_enabled() {
+  (void)config();  // first call adopts EIGENMAPS_TRACE_OUT
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing(bool on) {
+  (void)config();
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void set_process_shard(std::uint16_t shard) {
+  g_shard.store(shard, std::memory_order_relaxed);
+}
+
+std::uint16_t process_shard() {
+  return g_shard.load(std::memory_order_relaxed);
+}
+
+const char* trace_out_path() { return config().out_path; }
+
+std::size_t trace_ring_capacity() { return config().ring_capacity; }
+
+void ensure_thread_ring() {
+  if (tls_ring != nullptr) return;
+  RingRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const std::uint8_t id = static_cast<std::uint8_t>(reg.rings.size() & 0xff);
+  reg.rings.push_back(
+      std::make_unique<TraceRing>(trace_ring_capacity(), id));
+  tls_ring = reg.rings.back().get();
+}
+
+void record_span(Stage stage, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::uint64_t stream, std::uint64_t seq,
+                 std::uint32_t frames) {
+  if (!tracing_enabled()) return;
+  if (tls_ring == nullptr) ensure_thread_ring();
+  TraceRing& ring = *tls_ring;
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  SpanRecord& slot = ring.slots[h % ring.slots.size()];
+  slot.start_ns = start_ns;
+  slot.end_ns = end_ns;
+  slot.stream = stream;
+  slot.seq = seq;
+  slot.frames = frames;
+  slot.shard = process_shard();
+  slot.stage = static_cast<std::uint8_t>(stage);
+  slot.thread = ring.id;
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> drain_spans() {
+  std::vector<SpanRecord> out;
+  RingRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const std::unique_ptr<TraceRing>& ring : reg.rings) {
+    const std::uint64_t cap = ring->slots.size();
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    std::uint64_t from = ring->drained;
+    if (head > cap && from < head - cap) from = head - cap;  // lapped
+    const std::size_t first = out.size();
+    for (std::uint64_t i = from; i < head; ++i) {
+      out.push_back(ring->slots[i % cap]);
+    }
+    // A writer that lapped us mid-copy overwrote the oldest slots we read;
+    // re-check and discard anything no longer guaranteed intact.
+    const std::uint64_t head2 = ring->head.load(std::memory_order_acquire);
+    if (head2 > cap && head2 - cap > from) {
+      const std::uint64_t invalid = head2 - cap - from;  // oldest copied
+      out.erase(out.begin() + first,
+                out.begin() + first +
+                    static_cast<std::ptrdiff_t>(
+                        std::min<std::uint64_t>(invalid, head - from)));
+    }
+    ring->drained = head;
+  }
+  return out;
+}
+
+void set_batch_context(BatchContext* context) { tls_batch = context; }
+
+BatchContext* batch_context() { return tls_batch; }
+
+ScopedStageSpan::ScopedStageSpan(Stage stage)
+    : context_(tls_batch), stage_(stage) {
+  if (context_ != nullptr) start_ns_ = monotonic_ns();
+}
+
+ScopedStageSpan::~ScopedStageSpan() {
+  if (context_ == nullptr) return;
+  const std::uint64_t end_ns = monotonic_ns();
+  context_->stage_ns[static_cast<std::size_t>(stage_)] += end_ns - start_ns_;
+  if (context_->traced) {
+    record_span(stage_, start_ns_, end_ns, context_->stream,
+                context_->first_seq, context_->frames);
+  }
+}
+
+void set_frame_context(const FrameContext& context) { tls_frame = context; }
+
+void clear_frame_context() { tls_frame = FrameContext{}; }
+
+const FrameContext& frame_context() { return tls_frame; }
+
+void append_chrome_trace(const std::string& path,
+                         const std::vector<SpanRecord>& spans) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    throw std::runtime_error("obs::append_chrome_trace: cannot open " + path);
+  }
+  if (std::ftell(f) == 0) std::fputs("[\n", f);
+  // Perfetto and chrome://tracing both accept the unterminated JSON array
+  // form, which is what makes multi-process appends composable.
+  std::set<std::uint16_t> named;
+  for (const SpanRecord& span : spans) {
+    if (named.insert(span.shard).second) {
+      if (span.shard == kRouterShard) {
+        std::fprintf(f,
+                     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                     "\"args\":{\"name\":\"router\"}},\n",
+                     static_cast<unsigned>(span.shard));
+      } else {
+        std::fprintf(f,
+                     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                     "\"args\":{\"name\":\"shard %u\"}},\n",
+                     static_cast<unsigned>(span.shard),
+                     static_cast<unsigned>(span.shard));
+      }
+    }
+    std::fprintf(
+        f,
+        "{\"name\":\"%s\",\"cat\":\"eigenmaps\",\"ph\":\"X\",\"pid\":%u,"
+        "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"stream\":%" PRIu64
+        ",\"seq\":%" PRIu64 ",\"frames\":%u}},\n",
+        stage_name(static_cast<Stage>(span.stage)),
+        static_cast<unsigned>(span.shard), static_cast<unsigned>(span.thread),
+        static_cast<double>(span.start_ns) / 1000.0,
+        static_cast<double>(span.end_ns - span.start_ns) / 1000.0,
+        span.stream, span.seq, static_cast<unsigned>(span.frames));
+  }
+  std::fclose(f);
+}
+
+void append_chrome_trace_if_configured(const std::vector<SpanRecord>& spans) {
+  if (spans.empty() || trace_out_path() == nullptr) return;
+  append_chrome_trace(trace_out_path(), spans);
+}
+
+}  // namespace eigenmaps::obs

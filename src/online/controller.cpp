@@ -6,6 +6,7 @@
 
 #include "core/metrics.h"
 #include "core/model.h"
+#include "obs/event_log.h"
 #include "support/env.h"
 
 namespace eigenmaps::online {
@@ -82,7 +83,7 @@ AdaptationController::~AdaptationController() {
 }
 
 void AdaptationController::on_batch(std::uint64_t model,
-                                    std::uint64_t version, std::uint64_t,
+                                    std::uint64_t version, std::uint64_t stream,
                                     const core::ReconstructionModel& served,
                                     const core::SensorBitmask& mask,
                                     numerics::ConstMatrixView frames,
@@ -150,6 +151,7 @@ void AdaptationController::on_batch(std::uint64_t model,
       }
     }
   }
+  if (alarm) obs::emit_event(obs::EventType::kDriftAlarm, model_id_, stream);
   // The O(N) reservoir copies run outside the controller lock (the
   // reservoir has its own leaf lock), so concurrent workers only
   // serialize on the cheap detector pass above. The cell-count guard
@@ -283,11 +285,13 @@ AdaptationController::RetrainOutcome AdaptationController::retrain_once() {
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++retrains_started_;
   }
+  obs::emit_event(obs::EventType::kRetrainStarted, model_id_);
   const std::shared_ptr<const runtime::RegisteredModel> entry =
       registry_.resolve(model_id_);
   if (!entry) {
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++retrains_failed_;
+    obs::emit_event(obs::EventType::kRetrainFailed, model_id_);
     return RetrainOutcome::kFailed;
   }
   const std::shared_ptr<const core::ReconstructionModel> current =
@@ -343,10 +347,12 @@ AdaptationController::RetrainOutcome AdaptationController::retrain_once() {
     // the very stale residuals the on_batch filter exists to exclude.
     if (published > newest_version_seen_) newest_version_seen_ = published;
     detector_.reset();
+    obs::emit_event(obs::EventType::kRetrainCompleted, model_id_, published);
     return RetrainOutcome::kSwapped;
   } catch (const std::exception&) {
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++retrains_failed_;
+    obs::emit_event(obs::EventType::kRetrainFailed, model_id_);
     return RetrainOutcome::kFailed;
   }
 }

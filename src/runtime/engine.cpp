@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "numerics/blas.h"
 #include "numerics/isa.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace eigenmaps::runtime {
 
@@ -67,6 +68,15 @@ struct ReconstructionEngine::Job {
   // Streaming path.
   std::uint64_t stream = 0;
   std::uint64_t first_seq = 0;
+  // Trace identity of the batch (DESIGN.md §15): whether its frames are
+  // traced, the origin timestamp of its first frame (router push time for
+  // dist traffic, local push time otherwise), the local->global sequence
+  // offset that stitches spans across processes, and when its first frame
+  // was pushed (the ingest-assembly histogram sample).
+  bool traced = false;
+  std::uint64_t origin_ns = 0;
+  std::uint64_t seq_base = 0;
+  std::uint64_t first_push_ns = 0;
 };
 
 struct ReconstructionEngine::StreamState {
@@ -88,6 +98,13 @@ struct ReconstructionEngine::StreamState {
   // a producer that raced the retire re-resolves a fresh state instead of
   // writing into the orphan.
   bool retired = false;
+  // Trace identity of the pending batch, set by its first frame (every
+  // batch's first frame takes the rebind branch) and moved into the job at
+  // cut().
+  bool batch_traced = false;
+  std::uint64_t batch_origin_ns = 0;
+  std::uint64_t batch_seq_base = 0;
+  std::uint64_t batch_first_push_ns = 0;
 
   // Delivery side: completed batches held until their turn, sorted by
   // first_seq in a small vector whose capacity is reused (at most
@@ -114,6 +131,10 @@ struct ReconstructionEngine::StreamState {
     job.mask = mask;
     job.stream = stream_id;
     job.first_seq = batch_first_seq;
+    job.traced = batch_traced;
+    job.origin_ns = batch_origin_ns;
+    job.seq_base = batch_seq_base;
+    job.first_push_ns = batch_first_push_ns;
     pending_frames = 0;
     batch_first_seq = next_seq;
     return job;
@@ -197,8 +218,8 @@ ReconstructionEngine::ReconstructionEngine(
   // below depend on it, and a container that silently loses AVX support
   // should be visible in the first lines of the log (DESIGN.md §13).
   static const bool logged_isa = [] {
-    std::fprintf(stderr, "eigenmaps engine: kernel isa %s\n",
-                 numerics::isa_name());
+    obs::log(obs::LogLevel::kInfo, "engine", "kernel isa %s",
+             numerics::isa_name());
     return true;
   }();
   (void)logged_isa;
@@ -222,6 +243,12 @@ ReconstructionEngine::~ReconstructionEngine() {
   drain();
   queue_->close();
   for (std::thread& worker : workers_) worker.join();
+  // Flush this process's spans to EIGENMAPS_TRACE_OUT (appending — the
+  // drain watermark means spans dump exactly once even with several
+  // engines or a router in the process). Shard workers skip this: the
+  // router unsets the variable in its children and pulls their spans over
+  // the wire instead.
+  obs::append_chrome_trace_if_configured(obs::drain_spans());
 }
 
 void ReconstructionEngine::on_registry_swap(const RegisteredModel& entry) {
@@ -389,6 +416,24 @@ std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
   // Bindings store and compare the canonical form; the raw mask still
   // goes through bind() so wrong-width masks fail at a batch boundary.
   const core::SensorBitmask& canon = canonical_mask(mask);
+  // Trace identity of this frame (DESIGN.md §15). When tracing is off the
+  // hot path pays exactly one relaxed load; when on, a shard worker's
+  // FrameContext supplies the wire-carried origin/seq mapping, and a local
+  // producer traces from here with identity mapping.
+  const bool tracing = obs::tracing_enabled();
+  bool frame_traced = false;
+  std::uint64_t push_start_ns = 0;
+  std::uint64_t frame_origin_ns = 0;
+  std::uint64_t frame_seq_base = 0;
+  if (tracing) {
+    push_start_ns = obs::monotonic_ns();
+    const obs::FrameContext& context = obs::frame_context();
+    frame_traced = context.active ? context.traced : true;
+    frame_origin_ns = context.active && context.origin_ns != 0
+                          ? context.origin_ns
+                          : push_start_ns;
+    frame_seq_base = context.active ? context.seq_base : 0;
+  }
   for (;;) {
     std::shared_ptr<StreamState> state = stream_state(stream);
     std::lock_guard<std::mutex> lock(state->ingest_mutex);
@@ -415,6 +460,12 @@ std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
       state->mask = canon;
       state->width = state->entry->model->sensor_count();
       state->batch_first_seq = state->next_seq;
+      // Every batch's first frame lands here, so the batch trace identity
+      // is always this frame's (and cleanly false when tracing is off).
+      state->batch_traced = frame_traced;
+      state->batch_origin_ns = frame_origin_ns;
+      state->batch_seq_base = frame_seq_base;
+      state->batch_first_push_ns = push_start_ns;
       // A fresh batch needs a buffer — `pending` is always empty here (it
       // left with the previous cut(), including the mid-batch cut above).
       // Pool recycling makes this allocation-free once the engine is warm.
@@ -445,6 +496,17 @@ std::uint64_t ReconstructionEngine::push_frame(std::uint64_t stream,
     double* dst = state->pending.data() + state->pending_frames * state->width;
     for (std::size_t s = 0; s < state->width; ++s) dst[s] = frame[s];
     ++state->pending_frames;
+    if (frame_traced) {
+      // Per-frame ingest span, origin -> resident in the pending batch:
+      // for dist traffic the origin is the router's push, so this span is
+      // the cross-process hop the stitched view hangs together on. The
+      // entry timestamp doubles as the span end — the only clock read on
+      // the traced push path, which is what keeps a ~3.5 µs/frame engine
+      // inside the <=2% overhead budget; the sub-µs spent copying into
+      // the batch is not worth a second read.
+      obs::record_span(obs::Stage::kIngest, frame_origin_ns, push_start_ns,
+                       stream, frame_seq_base + seq, 1);
+    }
     if (state->pending_frames >= options_.batch_size) {
       cut_jobs[cut_count++] = state->cut(stream);
     }
@@ -487,12 +549,20 @@ void ReconstructionEngine::drain() {
 
 EngineStats ReconstructionEngine::stats() const {
   EngineStats out;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    out = stats_;
-  }
+  // One consistent snapshot: the per-model gauges are resolved and read
+  // under the SAME stats_mutex_ hold that copies the counters. The overlay
+  // used to run after the lock was dropped, so a concurrent hot-swap could
+  // pair the new version's gauges (fresh cache counters, a different
+  // backend's byte fields) with counters copied before the swap — a skew
+  // the swap-under-stats stress test now pins. Lock order here is
+  // stats_mutex_ -> registry/cache/observer mutexes; no path takes them in
+  // the other nesting (workers release the cache lock before touching
+  // stats_mutex_, and registry listeners never enter stats()).
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  out = stats_;
   out.frames_submitted = frames_submitted_.load(std::memory_order_relaxed);
   out.frames_completed = frames_completed_.load(std::memory_order_relaxed);
+  out.events = obs::event_snapshot();
   // Overlay the factor-cache counters of each model's currently registered
   // version (a hot swap restarts them with its fresh cache), and the
   // adaptation counters of the attached observer (if any).
@@ -560,6 +630,9 @@ void ReconstructionEngine::worker_loop() {
   // Workers parallelise across batches; pin the kernels under them to one
   // thread so BLAS threading cannot nest and oversubscribe the machine.
   numerics::set_blas_threads_this_thread(1);
+  // Preallocate this worker's span ring up front (engine construction is
+  // the warm-up boundary the zero-allocation invariant is pinned against).
+  if (obs::tracing_enabled()) obs::ensure_thread_ring();
   // One warmed scratch arena per worker: after the first few batches its
   // capacity covers every model it serves and begin() never allocates.
   core::Workspace workspace;
@@ -580,6 +653,26 @@ void ReconstructionEngine::run_job(Job& job, core::Workspace& workspace) {
   const std::uint64_t growths_before = workspace.growths();
   std::uint64_t minted_buffers = 0;
 
+  // Per-batch stage attribution (DESIGN.md §15): the solve/expand timers
+  // inside core write their durations here; the span ring additionally
+  // gets the batch's spans when its frames are traced. Lives on this
+  // stack frame — nothing on this path allocates for tracing.
+  obs::BatchContext ctx;
+  ctx.traced = job.traced && !job.one_shot() && obs::tracing_enabled();
+  ctx.stream = job.stream;
+  ctx.first_seq = job.seq_base + job.first_seq;
+  ctx.frames = static_cast<std::uint32_t>(job.frame_count);
+  const auto enqueued_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          job.enqueued_at.time_since_epoch())
+          .count());
+  const std::uint64_t dequeued_ns = obs::monotonic_ns();
+  if (ctx.traced) {
+    obs::record_span(obs::Stage::kQueueWait, enqueued_ns, dequeued_ns,
+                     ctx.stream, ctx.first_seq, ctx.frames);
+  }
+  obs::set_batch_context(&ctx);
+
   // One-shot and streaming results both come out of the pool; the one-shot
   // buffer leaves custody inside a PooledMaps handle and returns when the
   // caller drops it.
@@ -588,6 +681,7 @@ void ReconstructionEngine::run_job(Job& job, core::Workspace& workspace) {
   if (minted) ++minted_buffers;
   numerics::MatrixView out(maps.data(), job.frame_count, cells, cells);
   job.entry->cache->reconstruct_batch_into(frames, job.mask, out, workspace);
+  obs::set_batch_context(nullptr);
 
   const auto latency = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -602,6 +696,19 @@ void ReconstructionEngine::run_job(Job& job, core::Workspace& workspace) {
       stats_.max_batch_latency_ns = latency;
     }
     stats_.latency.record(latency);
+    // Per-stage histograms (queue-wait, solve, expand per batch; ingest =
+    // batch assembly, sampled only when the traced push path timestamped
+    // the first frame). deliver is recorded after the handoff below.
+    if (job.first_push_ns != 0 && enqueued_ns >= job.first_push_ns) {
+      stats_.stage_latency[static_cast<std::size_t>(obs::Stage::kIngest)]
+          .record(enqueued_ns - job.first_push_ns);
+    }
+    stats_.stage_latency[static_cast<std::size_t>(obs::Stage::kQueueWait)]
+        .record(dequeued_ns >= enqueued_ns ? dequeued_ns - enqueued_ns : 0);
+    stats_.stage_latency[static_cast<std::size_t>(obs::Stage::kSolve)].record(
+        ctx.stage_ns[static_cast<std::size_t>(obs::Stage::kSolve)]);
+    stats_.stage_latency[static_cast<std::size_t>(obs::Stage::kExpand)]
+        .record(ctx.stage_ns[static_cast<std::size_t>(obs::Stage::kExpand)]);
     ModelStats& model_stats = stats_.models[job.entry->id];
     model_stats.frames_completed += job.frame_count;
     ++model_stats.batches_completed;
@@ -641,8 +748,17 @@ void ReconstructionEngine::run_job(Job& job, core::Workspace& workspace) {
       job.waiter->cv.notify_one();
     }
   } else {
+    const std::uint64_t deliver_start_ns = obs::monotonic_ns();
     deliver(job.stream, job.first_seq, std::move(maps), job.frame_count,
             cells);
+    const std::uint64_t deliver_end_ns = obs::monotonic_ns();
+    if (ctx.traced) {
+      obs::record_span(obs::Stage::kDeliver, deliver_start_ns, deliver_end_ns,
+                       ctx.stream, ctx.first_seq, ctx.frames);
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.stage_latency[static_cast<std::size_t>(obs::Stage::kDeliver)]
+        .record(deliver_end_ns - deliver_start_ns);
   }
 }
 

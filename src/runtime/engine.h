@@ -23,6 +23,8 @@
 #include "core/factor_cache.h"
 #include "core/reconstructor.h"
 #include "core/workspace.h"
+#include "obs/event_log.h"
+#include "obs/trace.h"
 #include "runtime/registry.h"
 #include "runtime/work_queue.h"
 
@@ -295,6 +297,16 @@ struct EngineStats {
   std::uint64_t max_batch_latency_ns = 0;
   /// Per-batch latency distribution (p50/p99 via quantile_ns).
   LatencyHistogram latency;
+  /// Per-stage latency distributions, indexed by obs::Stage (engine
+  /// stages only): ingest = batch assembly (populated while tracing is
+  /// enabled — its per-frame timestamps ride the traced push path),
+  /// queue-wait, solve, expand, deliver. Merged across shards by bucket
+  /// addition exactly like `latency` (DESIGN.md §15).
+  std::array<LatencyHistogram, obs::kEngineStageCount> stage_latency{};
+  /// Snapshot of this process's structured event ring (hot-swaps, drift
+  /// alarms, retrains, shard lifecycle — obs/event_log.h), taken at
+  /// stats() time. De-duplicable by (shard, index).
+  std::vector<obs::Event> events;
   /// Every model this engine has completed batches for.
   std::map<ModelId, ModelStats> models;
 };

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/event_log.h"
 #include "support/env.h"
 
 namespace eigenmaps::runtime {
@@ -20,6 +21,7 @@ std::uint64_t ModelRegistry::register_model(
   if (model->expansion_backend() == core::ExpansionBackend::kFp32 &&
       model->fp32_measured_error() >
           model->expansion_options().fp32_error_budget) {
+    obs::emit_event(obs::EventType::kModelRejected, id);
     throw std::invalid_argument(
         "ModelRegistry::register_model: model " + std::to_string(id) +
         " fp32 expansion error " +
@@ -42,6 +44,7 @@ std::uint64_t ModelRegistry::register_model(
     published = entry;
     models_[id] = std::move(entry);
   }
+  obs::emit_event(obs::EventType::kHotSwapPublished, id, version);
   // Notify outside the table lock: listeners may resolve(). The listener
   // lock is held across the calls so unsubscribe() can guarantee
   // quiescence.

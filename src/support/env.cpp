@@ -65,4 +65,22 @@ double env_double_or(const char* name, double fallback, double min,
   return env_double(name, min, max).value_or(fallback);
 }
 
+std::optional<std::size_t> env_choice(
+    const char* name, std::initializer_list<const char*> choices) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  std::size_t index = 0;
+  for (const char* choice : choices) {
+    if (std::string(raw) == choice) return index;
+    ++index;
+  }
+  std::string accepted = "one of";
+  for (const char* choice : choices) {
+    accepted += accepted.size() == 6 ? " '" : ", '";
+    accepted += choice;
+    accepted += '\'';
+  }
+  fail(name, raw, accepted.c_str());
+}
+
 }  // namespace eigenmaps::support

@@ -10,6 +10,7 @@
 #define EIGENMAPS_SUPPORT_ENV_H
 
 #include <cstddef>
+#include <initializer_list>
 #include <optional>
 
 namespace eigenmaps::support {
@@ -31,6 +32,13 @@ std::size_t env_size_or(const char* name, std::size_t fallback,
 /// env_double with a fallback.
 double env_double_or(const char* name, double fallback, double min,
                      double max);
+
+/// `name` matched against `choices` (exact, case-sensitive); returns the
+/// matching index, nullopt when unset or empty. Throws std::invalid_argument
+/// listing the accepted spellings on any other value — the knob contract
+/// for enumerated settings like EIGENMAPS_LOG_LEVEL.
+std::optional<std::size_t> env_choice(
+    const char* name, std::initializer_list<const char*> choices);
 
 }  // namespace eigenmaps::support
 

@@ -3,6 +3,7 @@
 // case: SIGKILL a shard mid-stream and require byte-identical,
 // exactly-once, in-order delivery against a single-process golden run
 // (DESIGN.md §12).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -28,6 +29,8 @@
 #include "dist/replay_log.h"
 #include "dist/router.h"
 #include "numerics/rng.h"
+#include "obs/event_log.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 
 namespace {
@@ -129,6 +132,18 @@ TEST(DistProtocol, SubmitFrameRoundTripAndTruncationThrows) {
       /*rebase=*/true);
   dist::decode_submit_frame(payload.data(), payload.size(), msg);
   EXPECT_TRUE(msg.rebase);
+  EXPECT_FALSE(msg.traced);  // v4 trace context defaults off
+  EXPECT_EQ(msg.origin_ns, 0u);
+
+  // The v4 trace context (traced flag + router-side origin timestamp, the
+  // cross-process stitch) survives the round trip.
+  dist::encode_submit_frame(
+      9, 41, 7, mask,
+      numerics::ConstVectorView(readings.data(), readings.size()), payload,
+      /*rebase=*/false, /*traced=*/true, /*origin_ns=*/987654321012345ull);
+  dist::decode_submit_frame(payload.data(), payload.size(), msg);
+  EXPECT_TRUE(msg.traced);
+  EXPECT_EQ(msg.origin_ns, 987654321012345ull);
 }
 
 TEST(DistProtocol, OverflowingLengthFieldsThrowInsteadOfAllocating) {
@@ -197,6 +212,19 @@ TEST(DistProtocol, EngineStatsRoundTrip) {
   model.cache_misses = 2;
   model.hot_swaps_served = 1;
   model.adaptation.drift_events = 5;
+  // v4 payload: per-stage histograms and the structured event snapshot.
+  for (std::size_t s = 0; s < obs::kEngineStageCount; ++s) {
+    stats.stage_latency[s].record(1000 * (s + 1));
+    stats.stage_latency[s].record(900000 * (s + 1));
+  }
+  obs::Event event;
+  event.index = 12;
+  event.ts_ns = 777;
+  event.a = 3;
+  event.b = 2;
+  event.shard = 1;
+  event.type = obs::EventType::kHotSwapPublished;
+  stats.events.push_back(event);
 
   std::vector<std::uint8_t> payload;
   dist::encode_engine_stats(stats, payload);
@@ -207,9 +235,60 @@ TEST(DistProtocol, EngineStatsRoundTrip) {
   EXPECT_EQ(back.max_batch_latency_ns, stats.max_batch_latency_ns);
   EXPECT_EQ(back.latency.total, stats.latency.total);
   EXPECT_EQ(back.latency.counts, stats.latency.counts);
+  for (std::size_t s = 0; s < obs::kEngineStageCount; ++s) {
+    EXPECT_EQ(back.stage_latency[s].total, 2u);
+    EXPECT_EQ(back.stage_latency[s].counts, stats.stage_latency[s].counts);
+  }
+  ASSERT_EQ(back.events.size(), 1u);
+  EXPECT_EQ(back.events[0].index, 12u);
+  EXPECT_EQ(back.events[0].ts_ns, 777u);
+  EXPECT_EQ(back.events[0].a, 3u);
+  EXPECT_EQ(back.events[0].b, 2u);
+  EXPECT_EQ(back.events[0].shard, 1u);
+  EXPECT_EQ(back.events[0].type, obs::EventType::kHotSwapPublished);
   ASSERT_EQ(back.models.count(4), 1u);
   EXPECT_EQ(back.models.at(4).cache_hits, 7u);
   EXPECT_EQ(back.models.at(4).adaptation.drift_events, 5u);
+}
+
+TEST(DistProtocol, TraceReplyRoundTripAndTruncationThrows) {
+  std::vector<obs::SpanRecord> spans(3);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    spans[i].start_ns = 1000 + i;
+    spans[i].end_ns = 2000 + i;
+    spans[i].stream = 5 + i;
+    spans[i].seq = 40 + i;
+    spans[i].frames = 8;
+    spans[i].shard = static_cast<std::uint16_t>(i);
+    spans[i].stage = static_cast<std::uint8_t>(obs::Stage::kSolve);
+    spans[i].thread = static_cast<std::uint8_t>(i);
+  }
+  std::vector<std::uint8_t> payload;
+  dist::encode_trace_reply(spans, payload);
+  const std::vector<obs::SpanRecord> back =
+      dist::decode_trace_reply(payload.data(), payload.size());
+  ASSERT_EQ(back.size(), spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(back[i].start_ns, spans[i].start_ns);
+    EXPECT_EQ(back[i].end_ns, spans[i].end_ns);
+    EXPECT_EQ(back[i].stream, spans[i].stream);
+    EXPECT_EQ(back[i].seq, spans[i].seq);
+    EXPECT_EQ(back[i].frames, spans[i].frames);
+    EXPECT_EQ(back[i].shard, spans[i].shard);
+    EXPECT_EQ(back[i].stage, spans[i].stage);
+    EXPECT_EQ(back[i].thread, spans[i].thread);
+  }
+
+  // Truncation and a count larger than the payload could hold both throw.
+  for (std::size_t cut : {std::size_t{4}, payload.size() / 2,
+                          payload.size() - 1}) {
+    EXPECT_THROW(dist::decode_trace_reply(payload.data(), cut),
+                 dist::ProtocolError);
+  }
+  std::vector<std::uint8_t> lying(payload);
+  lying[0] = 0xff;  // count claims 255+ spans, payload holds 3
+  EXPECT_THROW(dist::decode_trace_reply(lying.data(), lying.size()),
+               dist::ProtocolError);
 }
 
 // ---- replay log ----------------------------------------------------------
@@ -506,6 +585,177 @@ TEST(DistRouter, TwoShardsMatchSingleProcessGoldenByteForByte) {
     if (shard.engine.frames_completed > 0) ++loaded;
   }
   EXPECT_GE(loaded, 1u);
+}
+
+/// Restores the process-global tracer to the off state when a traced test
+/// scope ends (and clears whatever its rings still hold).
+struct ScopedTracing {
+  ScopedTracing() {
+    obs::drain_spans();
+    obs::set_tracing(true);
+  }
+  ~ScopedTracing() {
+    obs::set_tracing(false);
+    obs::drain_spans();
+  }
+};
+
+TEST(DistRouter, TracedRunStitchesSpansAcrossRouterAndShards) {
+  // The cross-process acceptance story (DESIGN.md §15): with tracing on,
+  // a frame pushed through the 2-shard router yields route + ack spans
+  // from the router process and ingest → queue-wait → solve → expand →
+  // deliver spans from whichever worker served it, all stitched by
+  // (stream, global seq) — gap-free over every pushed frame and ordered
+  // by the shared monotonic clock.
+  const Fixture fx;
+  constexpr std::size_t kBatch = 8;
+  constexpr std::uint64_t kFrames = 32;
+  constexpr std::uint64_t kStreams = 3;
+  ScopedTracing tracing;
+
+  std::vector<obs::SpanRecord> spans;
+  Collector collector;
+  {
+    dist::ShardRouter router(test_router_options(2, kBatch),
+                             collector.callback());
+    router.register_model(1, fx.rec.model());
+    for (std::uint64_t f = 0; f < kFrames; ++f) {
+      for (std::uint64_t stream = 0; stream < kStreams; ++stream) {
+        const numerics::Vector frame = fx.frame(stream, f);
+        router.push_frame(
+            stream, numerics::ConstVectorView(frame.data(), frame.size()),
+            1);
+      }
+    }
+    router.drain();
+    spans = router.drain_trace();
+  }
+
+  // Interval helper: the [seq, seq + frames) spans of one (stream, stage)
+  // must tile [0, kFrames) without a gap.
+  const auto coverage = [&](std::uint64_t stream, obs::Stage stage,
+                            bool router_side) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> iv;
+    for (const obs::SpanRecord& span : spans) {
+      if (span.stream != stream ||
+          span.stage != static_cast<std::uint8_t>(stage)) {
+        continue;
+      }
+      EXPECT_GE(span.end_ns, span.start_ns);
+      // Router-side spans carry the router pseudo-shard; engine-side spans
+      // carry the worker shard that actually served the frame.
+      if (router_side) {
+        EXPECT_EQ(span.shard, obs::kRouterShard);
+      } else {
+        EXPECT_NE(span.shard, obs::kRouterShard);
+        EXPECT_LT(span.shard, 2u);
+      }
+      iv.emplace_back(span.seq, span.seq + span.frames);
+    }
+    ASSERT_FALSE(iv.empty())
+        << "stream " << stream << " has no " << obs::stage_name(stage)
+        << " spans";
+    std::sort(iv.begin(), iv.end());
+    std::uint64_t next = 0;
+    for (const auto& [begin, end] : iv) {
+      EXPECT_LE(begin, next)
+          << "stream " << stream << " " << obs::stage_name(stage)
+          << ": gap before seq " << begin;
+      next = std::max(next, end);
+    }
+    EXPECT_EQ(next, kFrames)
+        << "stream " << stream << " " << obs::stage_name(stage);
+  };
+  for (std::uint64_t stream = 0; stream < kStreams; ++stream) {
+    coverage(stream, obs::Stage::kRoute, true);
+    coverage(stream, obs::Stage::kAck, true);
+    coverage(stream, obs::Stage::kIngest, false);
+    coverage(stream, obs::Stage::kQueueWait, false);
+    coverage(stream, obs::Stage::kSolve, false);
+    coverage(stream, obs::Stage::kExpand, false);
+    coverage(stream, obs::Stage::kDeliver, false);
+  }
+
+  // Per-stream lifecycle order on the first frame, across the process
+  // boundary: CLOCK_MONOTONIC is machine-wide, so the worker-side chain
+  // must start no earlier than the router's route span, advance through
+  // the engine stages in order, and finish inside the router's ack.
+  for (std::uint64_t stream = 0; stream < kStreams; ++stream) {
+    const auto first_span = [&](obs::Stage stage) {
+      const obs::SpanRecord* found = nullptr;
+      for (const obs::SpanRecord& span : spans) {
+        if (span.stream != stream || span.seq != 0 ||
+            span.stage != static_cast<std::uint8_t>(stage)) {
+          continue;
+        }
+        if (found == nullptr || span.start_ns < found->start_ns) {
+          found = &span;
+        }
+      }
+      EXPECT_NE(found, nullptr);
+      return found;
+    };
+    const obs::SpanRecord* route = first_span(obs::Stage::kRoute);
+    const obs::SpanRecord* ingest = first_span(obs::Stage::kIngest);
+    const obs::SpanRecord* queue = first_span(obs::Stage::kQueueWait);
+    const obs::SpanRecord* solve = first_span(obs::Stage::kSolve);
+    const obs::SpanRecord* expand = first_span(obs::Stage::kExpand);
+    const obs::SpanRecord* deliver = first_span(obs::Stage::kDeliver);
+    const obs::SpanRecord* ack = first_span(obs::Stage::kAck);
+    ASSERT_TRUE(route && ingest && queue && solve && expand && deliver &&
+                ack);
+    // The ingest span starts at the router's push timestamp (the origin
+    // rides the wire), so the cross-process hop is inside it.
+    EXPECT_EQ(ingest->start_ns, route->start_ns);
+    EXPECT_LE(ingest->start_ns, queue->start_ns);
+    EXPECT_LE(queue->start_ns, solve->start_ns);
+    EXPECT_LE(solve->start_ns, expand->start_ns);
+    EXPECT_LE(expand->start_ns, deliver->start_ns);
+    EXPECT_LE(deliver->start_ns, ack->end_ns);
+    // Solve and expand happened on the worker that owns the stream.
+    EXPECT_EQ(solve->shard, expand->shard);
+  }
+
+  // The same spans render as loadable Chrome trace JSON, one process per
+  // shard plus the router.
+  const std::string path =
+      testing::TempDir() + "/dist_traced_run_trace.json";
+  std::remove(path.c_str());
+  obs::append_chrome_trace(path, spans);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    text.append(chunk, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(text.substr(0, 2), "[\n");
+  for (const char* name : {"\"ingest\"", "\"queue_wait\"", "\"solve\"",
+                           "\"expand\"", "\"deliver\"", "\"route\"",
+                           "\"ack\""}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("\"args\":{\"name\":\"router\"}"), std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"name\":\"shard "), std::string::npos);
+
+  // Untraced control: with tracing off, the same run records nothing.
+  obs::set_tracing(false);
+  {
+    Collector quiet;
+    dist::ShardRouter router(test_router_options(2, kBatch),
+                             quiet.callback());
+    router.register_model(1, fx.rec.model());
+    const numerics::Vector frame = fx.frame(9, 0);
+    for (std::uint64_t f = 0; f < kBatch; ++f) {
+      router.push_frame(
+          9, numerics::ConstVectorView(frame.data(), frame.size()), 1);
+    }
+    router.drain();
+    EXPECT_TRUE(router.drain_trace().empty());
+  }
 }
 
 TEST(DistRouter, ProducerSideValidationFailsFast) {

@@ -1,6 +1,8 @@
 // The shared EIGENMAPS_* knob parser: unset/empty mean default, anything
 // malformed or out of range fails loudly instead of silently defaulting.
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -92,6 +94,41 @@ TEST(EnvKnobs, OutOfRangeValuesThrow) {
     ScopedEnv env("EIGENMAPS_TEST_KNOB", "nan");
     EXPECT_THROW(support::env_double("EIGENMAPS_TEST_KNOB", 0.0, 1.0),
                  std::invalid_argument);
+  }
+}
+
+TEST(EnvKnobs, ChoiceMatchesExactSpellingOrThrowsNamingTheVariable) {
+  {
+    ScopedEnv unset("EIGENMAPS_TEST_KNOB", nullptr);
+    EXPECT_FALSE(support::env_choice("EIGENMAPS_TEST_KNOB",
+                                     {"debug", "info", "warn"})
+                     .has_value());
+  }
+  {
+    ScopedEnv empty("EIGENMAPS_TEST_KNOB", "");
+    EXPECT_FALSE(support::env_choice("EIGENMAPS_TEST_KNOB",
+                                     {"debug", "info", "warn"})
+                     .has_value());
+  }
+  {
+    ScopedEnv env("EIGENMAPS_TEST_KNOB", "warn");
+    EXPECT_EQ(support::env_choice("EIGENMAPS_TEST_KNOB",
+                                  {"debug", "info", "warn"})
+                  .value(),
+              2u);
+  }
+  // Wrong spelling, wrong case, surrounding whitespace: all loud, and the
+  // message names the variable so a misconfigured deployment is findable.
+  for (const char* bad : {"verbose", "Info", " info", "info "}) {
+    ScopedEnv env("EIGENMAPS_TEST_KNOB", bad);
+    try {
+      support::env_choice("EIGENMAPS_TEST_KNOB", {"debug", "info", "warn"});
+      ADD_FAILURE() << bad << " should have thrown";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("EIGENMAPS_TEST_KNOB"),
+                std::string::npos)
+          << error.what();
+    }
   }
 }
 

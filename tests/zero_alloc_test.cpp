@@ -20,6 +20,7 @@
 #include "numerics/isa.h"
 #include "numerics/qr.h"
 #include "numerics/rng.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 
 namespace {
@@ -211,6 +212,85 @@ TEST(ZeroAlloc, WarmedEngineBatchCycle) {
   EXPECT_EQ(model_stats.steady_state_allocations,
             warm_model_stats.steady_state_allocations);
   EXPECT_EQ(stats.frames_completed, 2u * 22u * options.batch_size);
+}
+
+TEST(ZeroAlloc, WarmedTracedEngineBatchCycleStaysHeapFree) {
+  // The tracing overhead budget (DESIGN.md §15): a warmed engine serving
+  // *traced* frames must still be allocation-free — span records go into
+  // the preallocated per-thread rings minted during warm-up, and the
+  // per-stage histograms are fixed storage.
+  obs::drain_spans();
+  obs::set_tracing(true);
+  const Fixture fx;
+  const numerics::Matrix frames = fx.frames(64, 15);
+
+  std::atomic<std::uint64_t> delivered{0};
+  // The worker stalls in deliver while this is set: warm-up uses it to
+  // *force* the producer to block on the full queue, so the buffer pool
+  // provably reaches its peak live population (pending batch + full queue
+  // + in-flight job + output) before anything is measured. Without the
+  // stall a fast worker can keep the queue empty through every warm cycle
+  // and a scheduler hiccup during the measured cycle would hit a fresh
+  // concurrency peak — and mint a pool buffer mid-measurement.
+  std::atomic<bool> stall_delivery{true};
+  runtime::EngineOptions options;
+  options.worker_count = 1;
+  options.batch_size = 8;
+  options.queue_capacity = 2;
+  {
+    runtime::ReconstructionEngine engine(
+        fx.rec, options,
+        [&](std::uint64_t, std::uint64_t, numerics::ConstMatrixView maps) {
+          if (stall_delivery.load(std::memory_order_relaxed)) {
+            const std::uint64_t until = obs::monotonic_ns() + 200'000;
+            while (obs::monotonic_ns() < until) {
+            }
+          }
+          delivered.fetch_add(maps.rows(), std::memory_order_relaxed);
+        });
+
+    obs::ensure_thread_ring();  // the producer thread's ring, pre-minted
+    const auto push_cycle = [&](std::size_t batches) {
+      for (std::size_t b = 0; b < batches; ++b) {
+        for (std::size_t f = 0; f < options.batch_size; ++f) {
+          engine.push_frame(1, frames.row_view(
+                                   (b * options.batch_size + f) %
+                                   frames.rows()));
+        }
+      }
+    };
+    const auto wait_for = [&](std::uint64_t target) {
+      while (delivered.load(std::memory_order_relaxed) < target) {
+        std::this_thread::yield();
+      }
+    };
+
+    push_cycle(6);
+    wait_for(6 * options.batch_size);
+    stall_delivery.store(false, std::memory_order_relaxed);
+    push_cycle(6);
+    wait_for(12 * options.batch_size);
+
+    const std::uint64_t before = testhook::allocation_count();
+    push_cycle(10);
+    wait_for(22 * options.batch_size);
+    EXPECT_EQ(testhook::allocation_count() - before, 0u)
+        << "a warmed engine must serve traced batches without allocating";
+
+    // The frames really were traced: spans exist for every engine stage.
+    const std::vector<obs::SpanRecord> spans = obs::drain_spans();
+    bool seen[obs::kEngineStageCount] = {};
+    for (const obs::SpanRecord& span : spans) {
+      if (span.stream == 1 && span.stage < obs::kEngineStageCount) {
+        seen[span.stage] = true;
+      }
+    }
+    for (std::size_t s = 0; s < obs::kEngineStageCount; ++s) {
+      EXPECT_TRUE(seen[s]) << "stage " << s << " recorded no spans";
+    }
+  }
+  obs::set_tracing(false);
+  obs::drain_spans();
 }
 
 TEST(ZeroAlloc, WarmedSubmitWaitServesOneShotBatchesWithoutAllocating) {
